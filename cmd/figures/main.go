@@ -1,0 +1,215 @@
+// Command figures regenerates the paper's evaluation: one table per
+// figure (4-9) plus the ablations catalogued in DESIGN.md. Tables print
+// to stdout and, with -out, are also written as .txt and .csv files.
+//
+// Examples:
+//
+//	figures -fig 4                    # full-scale Figure 4 (slow)
+//	figures -fig all -seeds 10 -duration 15s -out results/
+//	figures -fig a5 -quick            # smoke-scale ablation A5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dcfguard"
+	"dcfguard/internal/analytic"
+)
+
+// drawCharts mirrors the -chart flag for emit; combined accumulates the
+// -report document.
+var (
+	drawCharts bool
+	combined   *dcfguard.Report
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,a1..a7,validate or all")
+		seeds    = flag.Int("seeds", 0, "override seeds per data point (paper: 30)")
+		duration = flag.Duration("duration", 0, "override simulated duration per run (paper: 50s)")
+		quick    = flag.Bool("quick", false, "use the reduced smoke configuration")
+		outDir   = flag.String("out", "", "also write each table as <dir>/<name>.txt and .csv")
+		chart    = flag.Bool("chart", false, "also draw each table as an ASCII chart")
+		report   = flag.String("report", "", "also write a combined markdown report to this path")
+	)
+	flag.Parse()
+	drawCharts = *chart
+	if *report != "" {
+		combined = &dcfguard.Report{
+			Title: "dcfguard experiment report",
+			Preamble: fmt.Sprintf("Reproduction of Kyasanur & Vaidya, DSN 2003. "+
+				"Generated %s by cmd/figures.", time.Now().Format("2006-01-02")),
+		}
+	}
+
+	cfg := dcfguard.DefaultConfig()
+	if *quick {
+		cfg = dcfguard.QuickConfig()
+	}
+	if *seeds > 0 {
+		cfg.Seeds = dcfguard.Seeds(*seeds)
+	}
+	if *duration > 0 {
+		cfg.Duration = dcfguard.Time(*duration)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	targets := strings.Split(*fig, ",")
+	if *fig == "all" {
+		targets = []string{"4", "5", "6+7", "8", "9", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "hidden", "validate"}
+	}
+	start := time.Now()
+	for _, target := range targets {
+		if err := emit(target, cfg, *outDir); err != nil {
+			return err
+		}
+	}
+	if combined != nil {
+		if err := os.WriteFile(*report, []byte(combined.Markdown(time.Since(start))), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d sections)\n", *report, combined.Len())
+	}
+	return nil
+}
+
+func emit(target string, cfg dcfguard.Config, outDir string) error {
+	start := time.Now()
+	var tables []*dcfguard.Table
+	var names []string
+
+	switch target {
+	case "4":
+		t, err := dcfguard.Fig4(cfg)
+		if err != nil {
+			return err
+		}
+		tables, names = []*dcfguard.Table{t}, []string{"fig4"}
+	case "5", "delay", "5+delay":
+		t5, tD, err := dcfguard.Fig5WithDelay(cfg)
+		if err != nil {
+			return err
+		}
+		tables, names = []*dcfguard.Table{t5, tD}, []string{"fig5", "ext-delay"}
+	case "6", "7", "6+7":
+		t6, t7, err := dcfguard.Fig6And7(cfg)
+		if err != nil {
+			return err
+		}
+		tables, names = []*dcfguard.Table{t6, t7}, []string{"fig6", "fig7"}
+	case "8":
+		t, err := dcfguard.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		tables, names = []*dcfguard.Table{t}, []string{"fig8"}
+	case "9":
+		t, err := dcfguard.Fig9(cfg)
+		if err != nil {
+			return err
+		}
+		tables, names = []*dcfguard.Table{t}, []string{"fig9"}
+	case "a1":
+		t, err := dcfguard.AblationPenaltyFactor(cfg, []float64{1.0, 1.25, 1.5, 2.0})
+		if err != nil {
+			return err
+		}
+		tables, names = []*dcfguard.Table{t}, []string{"ablation-a1-penalty"}
+	case "a2":
+		t, err := dcfguard.AblationAlpha(cfg, []float64{0.5, 0.7, 0.9, 1.0})
+		if err != nil {
+			return err
+		}
+		tables, names = []*dcfguard.Table{t}, []string{"ablation-a2-alpha"}
+	case "a3":
+		t, err := dcfguard.AblationWindow(cfg, []dcfguard.WindowPoint{
+			{W: 3, Thresh: 12}, {W: 5, Thresh: 10}, {W: 5, Thresh: 20}, {W: 10, Thresh: 40},
+		})
+		if err != nil {
+			return err
+		}
+		tables, names = []*dcfguard.Table{t}, []string{"ablation-a3-window"}
+	case "a4":
+		t, err := dcfguard.AblationAttemptVerification(cfg)
+		if err != nil {
+			return err
+		}
+		tables, names = []*dcfguard.Table{t}, []string{"ablation-a4-attempts"}
+	case "a5":
+		t, err := dcfguard.AblationReceiverMisbehavior(cfg)
+		if err != nil {
+			return err
+		}
+		tables, names = []*dcfguard.Table{t}, []string{"ablation-a5-receiver"}
+	case "a6":
+		t, err := dcfguard.AblationAdaptiveThresh(cfg)
+		if err != nil {
+			return err
+		}
+		tables, names = []*dcfguard.Table{t}, []string{"ablation-a6-adaptive"}
+	case "a7":
+		t, err := dcfguard.AblationBasicAccess(cfg)
+		if err != nil {
+			return err
+		}
+		tables, names = []*dcfguard.Table{t}, []string{"ablation-a7-basic-access"}
+	case "hidden":
+		t, err := dcfguard.ExtHiddenTerminal(cfg)
+		if err != nil {
+			return err
+		}
+		tables, names = []*dcfguard.Table{t}, []string{"ext-hidden-terminal"}
+	case "validate":
+		t, err := analytic.ValidateAgainstModel(cfg)
+		if err != nil {
+			return err
+		}
+		tables, names = []*dcfguard.Table{t}, []string{"validate-bianchi"}
+	default:
+		return fmt.Errorf("unknown figure %q", target)
+	}
+
+	for i, t := range tables {
+		fmt.Println(t.Render())
+		if combined != nil {
+			combined.Add(t, true)
+		}
+		if drawCharts && len(t.Columns) > 1 {
+			yCols := make([]int, 0, len(t.Columns)-1)
+			for c := 1; c < len(t.Columns); c++ {
+				yCols = append(yCols, c)
+			}
+			if plot := t.Chart(64, 16, 0, yCols...); !strings.Contains(plot, "no data") {
+				fmt.Println(plot)
+			}
+		}
+		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if outDir != "" {
+			base := filepath.Join(outDir, names[i])
+			if err := os.WriteFile(base+".txt", []byte(t.Render()), 0o644); err != nil {
+				return err
+			}
+			if err := os.WriteFile(base+".csv", []byte(t.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

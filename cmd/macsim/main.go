@@ -1,0 +1,192 @@
+// Command macsim runs a single simulation scenario and prints its
+// metrics: the interactive entry point for exploring the protocol.
+//
+// Examples:
+//
+//	macsim -protocol correct -pm 80
+//	macsim -protocol 802.11 -pm 80 -two-flow
+//	macsim -random 40 -mis 5 -pm 60 -seeds 5
+//	macsim -protocol correct -pm 80 -series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"dcfguard"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "macsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		protocol = flag.String("protocol", "correct", "MAC protocol: 802.11 or correct")
+		pm       = flag.Int("pm", 0, "percentage of misbehavior (0-100)")
+		strategy = flag.String("strategy", "partial", "misbehavior strategy: partial, quarter, nodouble, liar")
+		senders  = flag.Int("senders", 8, "number of senders in the star topology")
+		twoFlow  = flag.Bool("two-flow", false, "enable the TWO-FLOW interferer flows")
+		misNode  = flag.Int("mis-node", 3, "misbehaving sender id in the star (0 disables)")
+		random   = flag.Int("random", 0, "use a random topology with this many nodes instead of the star")
+		mis      = flag.Int("mis", 5, "number of misbehaving nodes in the random topology")
+		duration = flag.Duration("duration", 50*time.Second, "simulated duration")
+		seed     = flag.Uint64("seed", 1, "run seed (single run)")
+		seeds    = flag.Int("seeds", 0, "run this many seeds (1..n) and aggregate instead of one run")
+		series   = flag.Bool("series", false, "print the per-second diagnosis series")
+		perNode  = flag.Bool("per-node", false, "print per-sender throughputs")
+		traceN   = flag.Int("trace", 0, "print the first N frame transmissions as a timeline")
+		pcapPath = flag.String("pcap", "", "write the traced frames to this pcap file (requires -trace)")
+		csvPath  = flag.String("csv", "", "with -seeds: write raw per-run metrics to this CSV file")
+		basic    = flag.Bool("basic", false, "basic access: no RTS/CTS handshake")
+		adaptive = flag.Bool("adaptive", false, "adaptive THRESH selection (CORRECT only)")
+		block    = flag.Bool("block", false, "refuse service to diagnosed senders (CORRECT only)")
+	)
+	flag.Parse()
+
+	s := dcfguard.DefaultScenario()
+	s.Duration = dcfguard.Time(*duration)
+	s.PM = *pm
+
+	switch *protocol {
+	case "802.11", "80211":
+		s.Protocol = dcfguard.Protocol80211
+	case "correct", "CORRECT":
+		s.Protocol = dcfguard.ProtocolCorrect
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+	switch *strategy {
+	case "partial":
+		s.Strategy = dcfguard.StrategyPartial
+	case "quarter":
+		s.Strategy = dcfguard.StrategyQuarterWindow
+	case "nodouble":
+		s.Strategy = dcfguard.StrategyNoDoubling
+	case "liar":
+		s.Strategy = dcfguard.StrategyAttemptLiar
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	if *random > 0 {
+		s.Topo = dcfguard.RandomTopo(*random, *mis)
+		s.Name = fmt.Sprintf("random-%d", *random)
+	} else if *misNode > 0 {
+		s.Topo = dcfguard.StarTopo(*senders, *twoFlow, *misNode)
+	} else {
+		s.Topo = dcfguard.StarTopo(*senders, *twoFlow)
+	}
+	if *series {
+		s.BinSize = dcfguard.Second
+	}
+	s.MAC.BasicAccess = *basic
+	s.Core.AdaptiveThresh = *adaptive
+	s.Core.BlockDiagnosed = *block
+	if *pcapPath != "" && *traceN == 0 {
+		return fmt.Errorf("-pcap requires -trace N")
+	}
+	s.TraceEvents = *traceN
+
+	if *seeds > 0 {
+		return runAggregate(s, *seeds, *series, *csvPath)
+	}
+	return runSingle(s, *seed, *series, *perNode, *pcapPath)
+}
+
+func runSingle(s dcfguard.Scenario, seed uint64, series, perNode bool, pcapPath string) error {
+	start := time.Now()
+	r, err := dcfguard.Run(s, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario          %s (seed %d, %v simulated, %v wall)\n",
+		r.Scenario, r.Seed, r.Duration, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("protocol          %s, strategy %s, PM %d%%\n", s.Protocol, s.Strategy, s.PM)
+	fmt.Printf("total goodput     %.1f Kbps\n", r.TotalKbps)
+	fmt.Printf("AVG (honest)      %.1f Kbps/node\n", r.AvgHonestKbps)
+	fmt.Printf("MSB (misbehaving) %.1f Kbps/node\n", r.AvgMisbehaverKbps)
+	fmt.Printf("delay AVG / MSB   %.1f / %.1f ms\n", r.AvgHonestDelayMs, r.AvgMisbehaverDelayMs)
+	fmt.Printf("fairness (Jain)   %.3f\n", r.Fairness)
+	fmt.Printf("correct diagnosis %.1f%%\n", r.CorrectDiagnosisPct)
+	fmt.Printf("misdiagnosis      %.1f%%\n", r.MisdiagnosisPct)
+	if r.ProvenMisbehaviors > 0 {
+		fmt.Printf("proven misbehaviors %d\n", r.ProvenMisbehaviors)
+	}
+	if r.GreedyDetections > 0 {
+		fmt.Printf("greedy detections %d\n", r.GreedyDetections)
+	}
+	fmt.Printf("kernel events     %d\n", r.EventsFired)
+	if perNode {
+		ids := make([]dcfguard.NodeID, 0, len(r.ThroughputBySender))
+		for id := range r.ThroughputBySender {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			fmt.Printf("  sender %-3d %.1f Kbps\n", id, r.ThroughputBySender[id])
+		}
+	}
+	if series {
+		fmt.Println("diagnosis series (1 s bins):")
+		for _, p := range r.Series {
+			fmt.Printf("  t=%-4.0fs correct=%5.1f%% (%d packets)\n",
+				p.Start.Seconds(), p.CorrectPct, p.Packets)
+		}
+	}
+	if r.Trace != nil {
+		fmt.Printf("frame timeline (first %d transmissions):\n", r.Trace.Len())
+		fmt.Print(r.Trace.Text())
+		if pcapPath != "" {
+			f, err := os.Create(pcapPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := r.Trace.WritePcap(f); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", pcapPath)
+		}
+	}
+	return nil
+}
+
+func runAggregate(s dcfguard.Scenario, n int, series bool, csvPath string) error {
+	start := time.Now()
+	agg, err := dcfguard.RunSeeds(s, dcfguard.Seeds(n))
+	if err != nil {
+		return err
+	}
+	if csvPath != "" {
+		results, err := dcfguard.RunAll(s, dcfguard.Seeds(n))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(csvPath, []byte(dcfguard.ResultsCSV(results)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	fmt.Printf("scenario          %s (%d seeds, %v wall)\n",
+		agg.Scenario, agg.Runs, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("total goodput     %.1f ± %.1f Kbps\n", agg.TotalKbps.Mean, agg.TotalKbps.CI95)
+	fmt.Printf("AVG (honest)      %.1f ± %.1f Kbps/node\n", agg.AvgHonestKbps.Mean, agg.AvgHonestKbps.CI95)
+	fmt.Printf("MSB (misbehaving) %.1f ± %.1f Kbps/node\n", agg.AvgMisbehaverKbps.Mean, agg.AvgMisbehaverKbps.CI95)
+	fmt.Printf("fairness (Jain)   %.3f\n", agg.Fairness.Mean)
+	fmt.Printf("correct diagnosis %.1f ± %.1f %%\n", agg.CorrectDiagnosisPct.Mean, agg.CorrectDiagnosisPct.CI95)
+	fmt.Printf("misdiagnosis      %.1f ± %.1f %%\n", agg.MisdiagnosisPct.Mean, agg.MisdiagnosisPct.CI95)
+	if series {
+		fmt.Println("diagnosis series (1 s bins, pooled):")
+		for _, p := range agg.Series {
+			fmt.Printf("  t=%-4.0fs correct=%5.1f%% (%d packets)\n",
+				p.Start.Seconds(), p.CorrectPct, p.Packets)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+// Package dcfguard is a discrete-event reproduction of "Detection and
+// Handling of MAC Layer Misbehavior in Wireless Networks" (Kyasanur &
+// Vaidya, DSN 2003).
+//
+// It provides, built from scratch on the Go standard library:
+//
+//   - a slot-accurate IEEE 802.11 DCF simulator (CSMA/CA, RTS/CTS/DATA/
+//     ACK, NAV, contention-window doubling) over a log-normal shadowing
+//     channel calibrated exactly as in the paper (50% reception at
+//     250 m, 50% carrier sense at 550 m, β = 2, σ = 1 dB);
+//   - the paper's receiver-assigned backoff protocol: deviation
+//     detection (α), the correction scheme (deviation-proportional
+//     penalties) and the diagnosis scheme (window W, threshold THRESH),
+//     plus the §4.4 extensions (attempt-number verification and
+//     greedy-receiver detection via the public function g);
+//   - the misbehavior models the paper studies (percentage-of-
+//     misbehavior backoff shaving, [0, CW/4] selection, CW non-doubling,
+//     attempt-number lying);
+//   - every evaluation scenario from §5 (Figures 4-9) and the ablations
+//     catalogued in DESIGN.md.
+//
+// # Quick start
+//
+//	s := dcfguard.DefaultScenario()
+//	s.Protocol = dcfguard.ProtocolCorrect
+//	s.PM = 80 // the misbehaving sender counts only 20% of each backoff
+//	r, err := dcfguard.Run(s, 1)
+//	// r.AvgMisbehaverKbps, r.CorrectDiagnosisPct, ...
+//
+// Multi-seed aggregates (the paper averages 30 runs):
+//
+//	agg, err := dcfguard.RunSeeds(s, dcfguard.Seeds(30))
+//
+// Paper figures:
+//
+//	table, err := dcfguard.Fig4(dcfguard.DefaultConfig())
+//	fmt.Print(table.Render())
+//
+// Runs are pure functions of (Scenario, seed): identical inputs yield
+// identical outputs on every platform.
+package dcfguard
+
+import (
+	"dcfguard/internal/core"
+	"dcfguard/internal/experiment"
+	"dcfguard/internal/frame"
+	"dcfguard/internal/mac"
+	"dcfguard/internal/phys"
+	"dcfguard/internal/sim"
+	"dcfguard/internal/stats"
+	"dcfguard/internal/topo"
+	"dcfguard/internal/trace"
+)
+
+// Re-exported simulation and scenario types. The aliases give external
+// importers a stable public API over the internal packages.
+type (
+	// Scenario describes one simulation configuration.
+	Scenario = experiment.Scenario
+	// Result holds one run's metrics.
+	Result = experiment.Result
+	// Aggregate holds multi-seed summaries.
+	Aggregate = experiment.Aggregate
+	// Config scales the per-figure generators.
+	Config = experiment.Config
+	// Table is a rendered experiment result.
+	Table = experiment.Table
+	// Report combines tables into a markdown document.
+	Report = experiment.Report
+	// Protocol selects the MAC variant (802.11 or CORRECT).
+	Protocol = experiment.Protocol
+	// Strategy selects the misbehavior model.
+	Strategy = experiment.Strategy
+	// WindowPoint is one (W, THRESH) diagnosis configuration.
+	WindowPoint = experiment.WindowPoint
+
+	// NodeID identifies a node.
+	NodeID = frame.NodeID
+	// Time is simulated time in nanoseconds.
+	Time = sim.Time
+	// Topology is a set of positioned nodes and flows.
+	Topology = topo.Topology
+	// Flow is one traffic flow within a Topology.
+	Flow = topo.Flow
+	// Point is a node position in metres.
+	Point = phys.Point
+	// CoreParams configures detection, correction and diagnosis.
+	CoreParams = core.Params
+	// MACParams configures 802.11 DCF timing and contention.
+	MACParams = mac.Params
+	// Shadowing is the log-normal propagation model.
+	Shadowing = phys.Shadowing
+	// Summary is a mean/stddev/CI95 snapshot of one metric.
+	Summary = stats.Summary
+	// SeriesPoint is one diagnosis time-series bin.
+	SeriesPoint = stats.SeriesPoint
+	// Trace is a frame-level timeline recorder (see Scenario.TraceEvents).
+	Trace = trace.Recorder
+)
+
+// Protocol and strategy constants.
+const (
+	Protocol80211   = experiment.Protocol80211
+	ProtocolCorrect = experiment.ProtocolCorrect
+
+	StrategyPartial       = experiment.StrategyPartial
+	StrategyQuarterWindow = experiment.StrategyQuarterWindow
+	StrategyNoDoubling    = experiment.StrategyNoDoubling
+	StrategyAttemptLiar   = experiment.StrategyAttemptLiar
+)
+
+// Simulated-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// DefaultScenario returns the paper's base configuration: the Figure-3
+// ZERO-FLOW star with 8 senders, node 3 misbehaving, 50 s runs.
+func DefaultScenario() Scenario { return experiment.DefaultScenario() }
+
+// DefaultConfig returns the paper's full evaluation settings (50 s runs,
+// 30 seeds per data point).
+func DefaultConfig() Config { return experiment.DefaultConfig() }
+
+// QuickConfig returns a reduced configuration for smoke runs and benches.
+func QuickConfig() Config { return experiment.QuickConfig() }
+
+// Run executes a scenario once; it is a pure function of (s, seed).
+func Run(s Scenario, seed uint64) (Result, error) { return experiment.Run(s, seed) }
+
+// RunSeeds executes a scenario once per seed (in parallel) and
+// aggregates the results.
+func RunSeeds(s Scenario, seeds []uint64) (Aggregate, error) {
+	return experiment.RunSeeds(s, seeds)
+}
+
+// Seeds returns the fixed seed set 1..n, as the paper uses for every
+// data point.
+func Seeds(n int) []uint64 { return experiment.Seeds(n) }
+
+// RunAll executes the scenario once per seed and returns the raw
+// per-run results for external analysis.
+func RunAll(s Scenario, seeds []uint64) ([]Result, error) { return experiment.RunAll(s, seeds) }
+
+// ResultsCSV renders raw per-run results as CSV.
+func ResultsCSV(results []Result) string { return experiment.ResultsCSV(results) }
+
+// PerSenderCSV renders the per-flow throughput breakdown as CSV.
+func PerSenderCSV(results []Result) string { return experiment.PerSenderCSV(results) }
+
+// StarTopo builds the Figure-3 star topology (optionally with the
+// TWO-FLOW interferers) with the given misbehaving sender IDs.
+func StarTopo(nSenders int, twoFlow bool, misbehaving ...int) func(uint64) *Topology {
+	return experiment.StarTopo(nSenders, twoFlow, misbehaving...)
+}
+
+// RandomTopo builds Figure-9 random topologies (regenerated per seed).
+func RandomTopo(nodes, nMis int) func(uint64) *Topology {
+	return experiment.RandomTopo(nodes, nMis)
+}
+
+// Fig4 reproduces diagnosis accuracy vs PM (Figure 4).
+func Fig4(cfg Config) (*Table, error) { return experiment.Fig4(cfg) }
+
+// Fig5 reproduces throughput under misbehavior (Figure 5).
+func Fig5(cfg Config) (*Table, error) { return experiment.Fig5(cfg) }
+
+// Fig5WithDelay runs the Figure-5 sweep once and also returns the
+// per-packet delay extension table.
+func Fig5WithDelay(cfg Config) (*Table, *Table, error) { return experiment.Fig5WithDelay(cfg) }
+
+// Fig6 reproduces throughput without misbehavior (Figure 6).
+func Fig6(cfg Config) (*Table, error) { return experiment.Fig6(cfg) }
+
+// Fig7 reproduces the fairness comparison (Figure 7).
+func Fig7(cfg Config) (*Table, error) { return experiment.Fig7(cfg) }
+
+// Fig6And7 runs the shared no-misbehavior sweep once and returns both
+// the Figure-6 and Figure-7 tables.
+func Fig6And7(cfg Config) (*Table, *Table, error) { return experiment.Fig6And7(cfg) }
+
+// Fig8 reproduces diagnosis responsiveness over time (Figure 8).
+func Fig8(cfg Config) (*Table, error) { return experiment.Fig8(cfg) }
+
+// Fig9 reproduces the random-topology evaluation (Figure 9).
+func Fig9(cfg Config) (*Table, error) { return experiment.Fig9(cfg) }
+
+// AblationPenaltyFactor sweeps the correction penalty multiplier (A1).
+func AblationPenaltyFactor(cfg Config, factors []float64) (*Table, error) {
+	return experiment.AblationPenaltyFactor(cfg, factors)
+}
+
+// AblationAlpha sweeps the deviation tolerance α (A2).
+func AblationAlpha(cfg Config, alphas []float64) (*Table, error) {
+	return experiment.AblationAlpha(cfg, alphas)
+}
+
+// AblationWindow sweeps the diagnosis (W, THRESH) parameters (A3).
+func AblationWindow(cfg Config, points []WindowPoint) (*Table, error) {
+	return experiment.AblationWindow(cfg, points)
+}
+
+// AblationAttemptVerification evaluates §4.1's intentional drops (A4).
+func AblationAttemptVerification(cfg Config) (*Table, error) {
+	return experiment.AblationAttemptVerification(cfg)
+}
+
+// AblationReceiverMisbehavior evaluates §4.4's greedy receiver (A5).
+func AblationReceiverMisbehavior(cfg Config) (*Table, error) {
+	return experiment.AblationReceiverMisbehavior(cfg)
+}
+
+// AblationAdaptiveThresh evaluates the adaptive THRESH extension (A6).
+func AblationAdaptiveThresh(cfg Config) (*Table, error) {
+	return experiment.AblationAdaptiveThresh(cfg)
+}
+
+// AblationBasicAccess evaluates the scheme without RTS/CTS (A7).
+func AblationBasicAccess(cfg Config) (*Table, error) {
+	return experiment.AblationBasicAccess(cfg)
+}
+
+// ExtHiddenTerminal contrasts basic access and RTS/CTS under hidden
+// terminals (extension experiment).
+func ExtHiddenTerminal(cfg Config) (*Table, error) {
+	return experiment.ExtHiddenTerminal(cfg)
+}

@@ -1,0 +1,79 @@
+package dcfguard
+
+import "testing"
+
+// These tests exercise the public façade end to end; detailed behaviour
+// is covered by the internal packages' suites.
+
+func TestPublicRun(t *testing.T) {
+	s := DefaultScenario()
+	s.Duration = 3 * Second
+	s.PM = 80
+	r, err := Run(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalKbps <= 0 {
+		t.Fatalf("TotalKbps = %v", r.TotalKbps)
+	}
+	if r.CorrectDiagnosisPct < 50 {
+		t.Fatalf("correct diagnosis = %v%% at PM=80", r.CorrectDiagnosisPct)
+	}
+}
+
+func TestPublicRunSeeds(t *testing.T) {
+	s := DefaultScenario()
+	s.Duration = 2 * Second
+	s.Protocol = Protocol80211
+	agg, err := RunSeeds(s, Seeds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 2 || agg.TotalKbps.Mean <= 0 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+}
+
+func TestPublicTopologies(t *testing.T) {
+	star := StarTopo(4, true, 2)(1)
+	if err := star.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	random := RandomTopo(10, 2)(1)
+	if err := random.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicFigureSmoke(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Duration = 2 * Second
+	cfg.Seeds = Seeds(1)
+	cfg.PMs = []int{80}
+	cfg.NetworkSizes = []int{2}
+	cfg.Fig8PMs = []int{80}
+	tb, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || tb.Render() == "" || tb.CSV() == "" {
+		t.Fatalf("figure table malformed: %+v", tb)
+	}
+}
+
+func TestPublicConstantsDistinct(t *testing.T) {
+	if Protocol80211 == ProtocolCorrect {
+		t.Fatal("protocol constants collide")
+	}
+	strategies := []Strategy{StrategyPartial, StrategyQuarterWindow, StrategyNoDoubling, StrategyAttemptLiar}
+	seen := make(map[Strategy]bool)
+	for _, s := range strategies {
+		if seen[s] {
+			t.Fatalf("duplicate strategy %v", s)
+		}
+		seen[s] = true
+	}
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond {
+		t.Fatal("time constants inconsistent")
+	}
+}

@@ -1,0 +1,70 @@
+package dcfguard_test
+
+import (
+	"fmt"
+
+	"dcfguard"
+)
+
+// ExampleRun demonstrates the basic workflow: configure the paper's
+// Figure-3 scenario, run it once, and read the headline metrics.
+func ExampleRun() {
+	s := dcfguard.DefaultScenario()
+	s.Duration = 2 * dcfguard.Second
+	s.Protocol = dcfguard.ProtocolCorrect
+	s.PM = 100 // the misbehaving node never backs off
+
+	r, err := dcfguard.Run(s, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("diagnosed %.0f%% of the misbehaver's packets\n", r.CorrectDiagnosisPct)
+	fmt.Printf("misdiagnosis %.0f%%\n", r.MisdiagnosisPct)
+	// Output:
+	// diagnosed 100% of the misbehaver's packets
+	// misdiagnosis 0%
+}
+
+// ExampleRunSeeds shows multi-seed aggregation with confidence
+// intervals, as the paper's 30-run averages use.
+func ExampleRunSeeds() {
+	s := dcfguard.DefaultScenario()
+	s.Duration = 1 * dcfguard.Second
+	s.Protocol = dcfguard.Protocol80211
+
+	agg, err := dcfguard.RunSeeds(s, dcfguard.Seeds(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("runs: %d\n", agg.Runs)
+	fmt.Printf("fairness above 0.9: %v\n", agg.Fairness.Mean > 0.9)
+	// Output:
+	// runs: 3
+	// fairness above 0.9: true
+}
+
+// ExampleScenario_watchdog demonstrates §4.4 collusion detection with a
+// passive third-party observer.
+func ExampleScenario_watchdog() {
+	s := dcfguard.DefaultScenario()
+	s.Duration = 5 * dcfguard.Second
+	s.PM = 100
+	s.Topo = func(uint64) *dcfguard.Topology {
+		return &dcfguard.Topology{
+			Positions: []dcfguard.Point{{X: 0}, {X: 120}, {Y: 100}, {X: 120, Y: 100}},
+			Flows:     []dcfguard.Flow{{Src: 2, Dst: 0}, {Src: 3, Dst: 1}},
+			Measured:  []dcfguard.NodeID{2, 3},
+			Receivers: []dcfguard.NodeID{0, 1},
+		}
+	}
+	s.ColludingReceivers = []dcfguard.NodeID{1}
+	s.Watchdog = true
+
+	r, err := dcfguard.Run(s, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("collusions detected: %d\n", r.CollusionsDetected)
+	// Output:
+	// collusions detected: 1
+}

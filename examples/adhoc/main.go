@@ -1,0 +1,77 @@
+// Adhoc: the paper's §4.3/§5 ad hoc setting — a 40-node random network
+// where every node runs a flow to a neighbor, five nodes misbehave, and
+// every receiver independently runs the monitor. Demonstrates the
+// response the paper proposes for diagnosed nodes: the MAC refusing to
+// serve them (BlockDiagnosed), the hook a network layer would use to
+// route around misbehavers.
+//
+//	go run ./examples/adhoc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcfguard"
+)
+
+func main() {
+	fmt.Println("ad hoc network: 40 nodes in 1500 m x 700 m, 5 misbehaving at PM=80%")
+	fmt.Println("every receiver monitors its senders independently")
+	fmt.Println()
+
+	base := dcfguard.DefaultScenario()
+	base.Duration = 15 * dcfguard.Second
+	base.Topo = dcfguard.RandomTopo(40, 5)
+	base.PM = 80
+
+	// Plain 802.11: the misbehavers feast.
+	std := base
+	std.Protocol = dcfguard.Protocol80211
+	rStd, err := dcfguard.Run(std, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// CORRECT: correction keeps them near their share and diagnosis
+	// identifies them.
+	cor := base
+	cor.Protocol = dcfguard.ProtocolCorrect
+	rCor, err := dcfguard.Run(cor, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// CORRECT + blocking: diagnosed senders get no CTS at all — the
+	// MAC-layer sanction of §4.3 (an ad hoc network's network layer
+	// could instead use the diagnosis to re-route or refuse forwarding).
+	blk := cor
+	blk.Core.BlockDiagnosed = true
+	rBlk, err := dcfguard.Run(blk, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rows := []struct {
+		label string
+		r     dcfguard.Result
+	}{
+		{"802.11", rStd},
+		{"CORRECT", rCor},
+		{"CORRECT + blocking", rBlk},
+	}
+	fmt.Printf("%-20s %12s %12s %10s %10s\n",
+		"protocol", "misbehaver", "honest", "correct%", "misdiag%")
+	for _, row := range rows {
+		fmt.Printf("%-20s %8.1f Kbps %8.1f Kbps %9.1f%% %9.1f%%\n",
+			row.label, row.r.AvgMisbehaverKbps, row.r.AvgHonestKbps,
+			row.r.CorrectDiagnosisPct, row.r.MisdiagnosisPct)
+	}
+
+	fmt.Println()
+	fmt.Printf("blocking cuts the misbehavers' goodput from %.0f to %.0f Kbps while\n",
+		rCor.AvgMisbehaverKbps, rBlk.AvgMisbehaverKbps)
+	fmt.Println("honest nodes keep (or improve) theirs — at the price that any")
+	fmt.Println("misdiagnosed honest node is punished too, which is why the paper")
+	fmt.Println("leaves the sanction to higher layers by default.")
+}

@@ -1,0 +1,70 @@
+// Hotspot: the paper's motivating deployment — a public wireless cell
+// whose trusted access point monitors untrusted clients (§3.1). This
+// example sweeps the client's misbehavior level and prints the Figure-4
+// and Figure-5 story side by side: what the cheater gains under plain
+// 802.11, how the CORRECT access point contains it, and how quickly the
+// diagnosis scheme flags it — including the effect of the interferer
+// traffic (TWO-FLOW) that makes detection noisy in real deployments.
+//
+//	go run ./examples/hotspot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcfguard"
+)
+
+func main() {
+	fmt.Println("public hotspot: 8 clients upload to one trusted AP; client 3 cheats")
+	fmt.Println("interferer traffic near the AP makes clients' channel views diverge")
+	fmt.Println()
+	fmt.Printf("%4s | %13s | %22s | %18s\n", "", "802.11", "CORRECT access point", "diagnosis")
+	fmt.Printf("%4s | %6s %6s | %6s %6s %8s | %9s %8s\n",
+		"PM%", "cheat", "honest", "cheat", "honest", "penalty", "correct%", "misdiag%")
+
+	for _, pm := range []int{0, 20, 40, 60, 80, 95} {
+		base := dcfguard.DefaultScenario()
+		base.Duration = 10 * dcfguard.Second
+		base.Topo = dcfguard.StarTopo(8, true, 3) // TWO-FLOW: interferers on
+		base.PM = pm
+
+		std := base
+		std.Protocol = dcfguard.Protocol80211
+		rStd, err := dcfguard.Run(std, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		cor := base
+		cor.Protocol = dcfguard.ProtocolCorrect
+		rCor, err := dcfguard.Run(cor, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The penalty column summarises the correction scheme: how much
+		// extra backoff the AP levied on the cheating client, relative
+		// to its fair share of the channel.
+		penalty := "low"
+		switch {
+		case rCor.AvgMisbehaverKbps < 0.7*rCor.AvgHonestKbps:
+			penalty = "heavy"
+		case rCor.CorrectDiagnosisPct > 50:
+			penalty = "active"
+		}
+
+		fmt.Printf("%4d | %6.0f %6.0f | %6.0f %6.0f %8s | %8.1f%% %7.1f%%\n",
+			pm,
+			rStd.AvgMisbehaverKbps, rStd.AvgHonestKbps,
+			rCor.AvgMisbehaverKbps, rCor.AvgHonestKbps, penalty,
+			rCor.CorrectDiagnosisPct, rCor.MisdiagnosisPct)
+	}
+
+	fmt.Println()
+	fmt.Println("reading the table: under 802.11 the cheater's share (column 1) grows")
+	fmt.Println("with PM while honest clients collapse; the CORRECT AP holds both near")
+	fmt.Println("their fair share and the diagnosis columns show the detection/false-")
+	fmt.Println("positive trade-off the paper discusses for interference-heavy cells.")
+}

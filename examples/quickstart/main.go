@@ -1,0 +1,39 @@
+// Quickstart: simulate the paper's base setup — eight stations sending
+// to one access point over 802.11 DCF — once with everyone honest and
+// once with station 3 shaving 80% of its backoff, under both plain
+// 802.11 and the paper's CORRECT scheme.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcfguard"
+)
+
+func main() {
+	run := func(label string, protocol dcfguard.Protocol, pm int) {
+		s := dcfguard.DefaultScenario() // Figure-3 star, node 3 misbehaving
+		s.Duration = 10 * dcfguard.Second
+		s.Protocol = protocol
+		s.PM = pm
+
+		r, err := dcfguard.Run(s, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s honest %6.1f Kbps/node | misbehaver %6.1f Kbps | diagnosed %5.1f%%\n",
+			label, r.AvgHonestKbps, r.AvgMisbehaverKbps, r.CorrectDiagnosisPct)
+	}
+
+	fmt.Println("eight stations, 2 Mbps channel, 512 B packets, 10 s simulated")
+	fmt.Println()
+	run("802.11, everyone honest", dcfguard.Protocol80211, 0)
+	run("802.11, node 3 at PM=80%", dcfguard.Protocol80211, 80)
+	run("CORRECT, node 3 at PM=80%", dcfguard.ProtocolCorrect, 80)
+	fmt.Println()
+	fmt.Println("under 802.11 the misbehaver grabs several times its fair share;")
+	fmt.Println("the CORRECT scheme pins it back and diagnoses nearly every packet.")
+}

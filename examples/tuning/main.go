@@ -1,0 +1,77 @@
+// Tuning: explores the protocol-parameter trade-offs the paper defers
+// to "future work" — how α (deviation tolerance), W and THRESH
+// (diagnosis window) move the operating point between catching
+// misbehavers and falsely accusing honest senders, in the noisy
+// TWO-FLOW environment.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcfguard"
+)
+
+func measure(mutate func(*dcfguard.Scenario)) (correct, misdiag float64) {
+	s := dcfguard.DefaultScenario()
+	s.Duration = 10 * dcfguard.Second
+	s.Topo = dcfguard.StarTopo(8, true, 3)
+	s.Protocol = dcfguard.ProtocolCorrect
+	s.PM = 50
+	mutate(&s)
+	agg, err := dcfguard.RunSeeds(s, dcfguard.Seeds(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return agg.CorrectDiagnosisPct.Mean, agg.MisdiagnosisPct.Mean
+}
+
+func main() {
+	fmt.Println("diagnosis tuning at PM=50, TWO-FLOW, 3 seeds x 10 s")
+	fmt.Println()
+
+	fmt.Println("alpha (deviation tolerance; paper: 0.9)")
+	for _, alpha := range []float64{0.5, 0.7, 0.9, 1.0} {
+		c, m := measure(func(s *dcfguard.Scenario) { s.Core.Alpha = alpha })
+		fmt.Printf("  α=%.1f   correct %5.1f%%   misdiagnosis %5.1f%%\n", alpha, c, m)
+	}
+	fmt.Println()
+
+	fmt.Println("diagnosis window (paper: W=5, THRESH=20)")
+	for _, p := range []struct {
+		w      int
+		thresh float64
+	}{
+		{3, 12}, {5, 10}, {5, 20}, {5, 40}, {10, 40},
+	} {
+		c, m := measure(func(s *dcfguard.Scenario) {
+			s.Core.Window = p.w
+			s.Core.Thresh = p.thresh
+		})
+		fmt.Printf("  W=%-2d THRESH=%-3.0f  correct %5.1f%%   misdiagnosis %5.1f%%\n",
+			p.w, p.thresh, c, m)
+	}
+	fmt.Println()
+
+	fmt.Println("penalty factor (correction scheme; this repo's default: 1.25)")
+	for _, f := range []float64{1.0, 1.25, 1.5, 2.0} {
+		s := dcfguard.DefaultScenario()
+		s.Duration = 10 * dcfguard.Second
+		s.Protocol = dcfguard.ProtocolCorrect
+		s.PM = 70
+		s.Core.PenaltyFactor = f
+		agg, err := dcfguard.RunSeeds(s, dcfguard.Seeds(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  factor=%.2f  misbehaver %6.1f Kbps   honest %6.1f Kbps\n",
+			f, agg.AvgMisbehaverKbps.Mean, agg.AvgHonestKbps.Mean)
+	}
+
+	fmt.Println()
+	fmt.Println("the pattern: lowering THRESH or raising α catches more misbehavior")
+	fmt.Println("but accuses more honest senders; the penalty factor trades misbehaver")
+	fmt.Println("containment against over-punishing borderline deviations.")
+}

@@ -1,0 +1,103 @@
+package dcfguard
+
+import (
+	"strings"
+	"testing"
+)
+
+// minimal is the smallest config that still produces classifications.
+func minimal() Config {
+	cfg := QuickConfig()
+	cfg.Duration = 1 * Second
+	cfg.Seeds = Seeds(1)
+	cfg.PMs = []int{80}
+	cfg.NetworkSizes = []int{2}
+	cfg.Fig8PMs = []int{80}
+	return cfg
+}
+
+// TestAllFigureWrappers exercises every figure and ablation façade at
+// minimal scale: each must produce a non-empty, renderable table.
+func TestAllFigureWrappers(t *testing.T) {
+	cfg := minimal()
+	generators := map[string]func() (*Table, error){
+		"fig4": func() (*Table, error) { return Fig4(cfg) },
+		"fig5": func() (*Table, error) { return Fig5(cfg) },
+		"fig6": func() (*Table, error) { return Fig6(cfg) },
+		"fig7": func() (*Table, error) { return Fig7(cfg) },
+		"fig8": func() (*Table, error) { return Fig8(cfg) },
+		"fig9": func() (*Table, error) { return Fig9(cfg) },
+		"a1":   func() (*Table, error) { return AblationPenaltyFactor(cfg, []float64{1.25}) },
+		"a2":   func() (*Table, error) { return AblationAlpha(cfg, []float64{0.9}) },
+		"a3":   func() (*Table, error) { return AblationWindow(cfg, []WindowPoint{{W: 5, Thresh: 20}}) },
+		"a4":   func() (*Table, error) { return AblationAttemptVerification(cfg) },
+		"a5":   func() (*Table, error) { return AblationReceiverMisbehavior(cfg) },
+		"a6":   func() (*Table, error) { return AblationAdaptiveThresh(cfg) },
+		"a7":   func() (*Table, error) { return AblationBasicAccess(cfg) },
+	}
+	for name, gen := range generators {
+		name, gen := name, gen
+		t.Run(name, func(t *testing.T) {
+			tb, err := gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			if out := tb.Render(); !strings.Contains(out, "|") {
+				t.Fatalf("render produced %q", out)
+			}
+			if csv := tb.CSV(); !strings.Contains(csv, ",") {
+				t.Fatalf("CSV produced %q", csv)
+			}
+		})
+	}
+}
+
+func TestFig5WithDelayWrapper(t *testing.T) {
+	t5, tD, err := Fig5WithDelay(minimal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) == 0 || len(tD.Rows) == 0 {
+		t.Fatal("empty tables")
+	}
+	if !strings.Contains(tD.Title, "delay") {
+		t.Fatalf("delay title = %q", tD.Title)
+	}
+}
+
+func TestRunAllWrapperAndCSV(t *testing.T) {
+	s := DefaultScenario()
+	s.Duration = 1 * Second
+	results, err := RunAll(s, Seeds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if csv := ResultsCSV(results); !strings.Contains(csv, "zero-flow,1,") {
+		t.Fatalf("ResultsCSV missing rows:\n%s", csv)
+	}
+	if csv := PerSenderCSV(results); !strings.Contains(csv, "sender") {
+		t.Fatalf("PerSenderCSV missing header:\n%s", csv)
+	}
+}
+
+func TestTraceThroughFacade(t *testing.T) {
+	s := DefaultScenario()
+	s.Duration = 100 * Millisecond
+	s.TraceEvents = 20
+	r, err := Run(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trace == nil || r.Trace.Len() == 0 {
+		t.Fatal("no trace through façade")
+	}
+	if txt := r.Trace.Text(); !strings.Contains(txt, "RTS") {
+		t.Fatalf("trace text missing frames:\n%s", txt)
+	}
+}

@@ -1,0 +1,3 @@
+module dcfguard
+
+go 1.22

@@ -1,0 +1,139 @@
+// Package analytic implements a Bianchi-style analytical model of
+// saturated 802.11 DCF with RTS/CTS (G. Bianchi, "Performance Analysis
+// of the IEEE 802.11 Distributed Coordination Function", JSAC 2000),
+// adapted to this simulator's exact frame timings. It provides an
+// independent check of the DCF substrate: the simulator's saturation
+// throughput and collision probability must track the model, which the
+// test suite verifies.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/mac"
+	"dcfguard/internal/sim"
+)
+
+// Model describes a saturated single-hop cell: n stations, all in range,
+// all backlogged toward one receiver, RTS/CTS always on.
+type Model struct {
+	// N is the number of contending stations.
+	N int
+	// MAC supplies slot, SIFS/DIFS and contention-window parameters.
+	MAC mac.Params
+	// PayloadBytes is the DATA payload (the paper uses 512).
+	PayloadBytes int
+	// BitRate is the channel rate in bits/s (the paper uses 2 Mbps).
+	BitRate int64
+}
+
+// Validate reports whether the model is well-formed.
+func (m Model) Validate() error {
+	switch {
+	case m.N < 1:
+		return fmt.Errorf("analytic: N = %d", m.N)
+	case m.PayloadBytes <= 0:
+		return fmt.Errorf("analytic: payload = %d", m.PayloadBytes)
+	case m.BitRate <= 0:
+		return fmt.Errorf("analytic: bit rate = %d", m.BitRate)
+	}
+	return m.MAC.Validate()
+}
+
+// stages returns the number of contention-window doubling stages before
+// CW saturates at CWMax.
+func (m Model) stages() int {
+	s := 0
+	cw := m.MAC.CWMin
+	for cw < m.MAC.CWMax {
+		cw = (cw+1)*2 - 1
+		s++
+	}
+	return s
+}
+
+// Tau solves the Bianchi fixed point and returns τ (the probability a
+// station transmits in a random slot) and p (the conditional collision
+// probability). For N = 1 it returns the contention-free values.
+func (m Model) Tau() (tau, p float64) {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	w := float64(m.MAC.CWMin + 1)
+	mm := float64(m.stages())
+	if m.N == 1 {
+		// Alone on the channel: never collides; mean backoff (W-1)/2.
+		return 2 / (w + 1), 0
+	}
+	// Damped fixed-point iteration on τ.
+	tau = 0.1
+	for i := 0; i < 10000; i++ {
+		p = 1 - math.Pow(1-tau, float64(m.N-1))
+		next := 2 * (1 - 2*p) /
+			((1-2*p)*(w+1) + p*w*(1-math.Pow(2*p, mm)))
+		tau = 0.5*tau + 0.5*next
+		if math.Abs(next-tau) < 1e-13 {
+			break
+		}
+	}
+	p = 1 - math.Pow(1-tau, float64(m.N-1))
+	return tau, p
+}
+
+// slotTimes returns (Ts, Tc, sigma): the durations of a successful
+// exchange, a collision, and an idle slot, using this simulator's exact
+// frame timings (including the 2-slot CTS-timeout slack colliding
+// senders wait before resuming contention).
+func (m Model) slotTimes() (ts, tc, sigma float64) {
+	rate := m.BitRate
+	rtsAir := frame.Airtime(frame.RTSBytes, rate)
+	ctsAir := frame.Airtime(frame.CTSBytes, rate)
+	ackAir := frame.Airtime(frame.AckBytes, rate)
+	dataAir := frame.Airtime(frame.DataOverhead+m.PayloadBytes, rate)
+
+	tsT := rtsAir + m.MAC.SIFS + ctsAir + m.MAC.SIFS + dataAir +
+		m.MAC.SIFS + ackAir + m.MAC.DIFS()
+	tcT := rtsAir + m.MAC.SIFS + ctsAir + 2*m.MAC.SlotTime + m.MAC.DIFS()
+	return seconds(tsT), seconds(tcT), seconds(m.MAC.SlotTime)
+}
+
+func seconds(t sim.Time) float64 { return t.Seconds() }
+
+// SaturationThroughputBps returns the aggregate goodput (payload bits
+// per second) the cell sustains at saturation.
+func (m Model) SaturationThroughputBps() float64 {
+	tau, _ := m.Tau()
+	n := float64(m.N)
+	pTr := 1 - math.Pow(1-tau, n)
+	if pTr == 0 {
+		return 0
+	}
+	pS := n * tau * math.Pow(1-tau, n-1) / pTr
+
+	ts, tc, sigma := m.slotTimes()
+	payloadBits := float64(m.PayloadBytes) * 8
+	denom := (1-pTr)*sigma + pTr*pS*ts + pTr*(1-pS)*tc
+	return pS * pTr * payloadBits / denom
+}
+
+// PerNodeKbps returns the per-station saturation goodput in Kbps.
+func (m Model) PerNodeKbps() float64 {
+	return m.SaturationThroughputBps() / float64(m.N) / 1000
+}
+
+// CollisionProbability returns p, the probability a transmission
+// attempt collides.
+func (m Model) CollisionProbability() float64 {
+	_, p := m.Tau()
+	return p
+}
+
+// MaxGoodputBps returns the contention-free channel efficiency bound:
+// payload bits over one full exchange duration (no backoff, no
+// collisions). Useful as a sanity ceiling in validation.
+func (m Model) MaxGoodputBps() float64 {
+	ts, _, _ := m.slotTimes()
+	return float64(m.PayloadBytes) * 8 / ts
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AdaptiveThresh implements the adaptive THRESH selection the paper
+// defers to future work (§4.3): instead of a fixed threshold, the
+// receiver learns the distribution of windowed (B_exp − B_act) sums its
+// channel actually produces and places the threshold at the upper
+// Tukey fence, Q3 + k·IQR, of recent samples.
+//
+// The fence is robust to a minority of misbehaving senders: their
+// outlying sums inflate the upper tail, not the quartiles. In a clean
+// channel (ZERO-FLOW) the fence tightens far below the static default
+// and catches milder misbehavior; in a noisy channel (TWO-FLOW,
+// hidden-terminal topologies) honest sums are scattered, the fence
+// widens, and misdiagnosis falls.
+type AdaptiveThresh struct {
+	samples []float64 // ring buffer of recent window sums
+	next    int
+	full    bool
+
+	k        float64
+	min, max float64
+}
+
+// NewAdaptiveThresh builds a tracker over a ring of capacity samples,
+// with fence multiplier k and clamping bounds [min, max] (slots).
+func NewAdaptiveThresh(capacity int, k, min, max float64) *AdaptiveThresh {
+	if capacity < 4 || k <= 0 || min < 0 || max < min {
+		panic(fmt.Sprintf("core: NewAdaptiveThresh(%d, %v, %v, %v)", capacity, k, min, max))
+	}
+	return &AdaptiveThresh{
+		samples: make([]float64, 0, capacity),
+		k:       k,
+		min:     min,
+		max:     max,
+	}
+}
+
+// DefaultAdaptiveThresh returns the tracker used by the A6 ablation:
+// 256 recent window sums, Tukey fence Q3 + 1.5·IQR, clamped to
+// [5, 200] slots.
+func DefaultAdaptiveThresh() *AdaptiveThresh {
+	return NewAdaptiveThresh(256, 1.5, 5, 200)
+}
+
+// Observe records one window sum.
+func (a *AdaptiveThresh) Observe(sum float64) {
+	if len(a.samples) < cap(a.samples) {
+		a.samples = append(a.samples, sum)
+		return
+	}
+	a.samples[a.next] = sum
+	a.next = (a.next + 1) % len(a.samples)
+	a.full = true
+}
+
+// N returns the number of retained samples.
+func (a *AdaptiveThresh) N() int { return len(a.samples) }
+
+// Threshold returns the current adaptive threshold. With fewer than 8
+// samples it returns the upper clamp (conservative: diagnose nothing
+// until the channel has been observed).
+func (a *AdaptiveThresh) Threshold() float64 {
+	if len(a.samples) < 8 {
+		return a.max
+	}
+	sorted := make([]float64, len(a.samples))
+	copy(sorted, a.samples)
+	sort.Float64s(sorted)
+	q1 := quantile(sorted, 0.25)
+	q3 := quantile(sorted, 0.75)
+	iqr := q3 - q1
+	t := q3 + a.k*iqr
+	if t < a.min {
+		t = a.min
+	}
+	if t > a.max {
+		t = a.max
+	}
+	return t
+}
+
+// quantile returns the q-th quantile of sorted data by linear
+// interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAdaptiveThreshColdStart(t *testing.T) {
+	a := NewAdaptiveThresh(64, 1.5, 5, 200)
+	if got := a.Threshold(); got != 200 {
+		t.Fatalf("cold threshold = %v, want the conservative max 200", got)
+	}
+	for i := 0; i < 7; i++ {
+		a.Observe(0)
+	}
+	if got := a.Threshold(); got != 200 {
+		t.Fatalf("threshold with 7 samples = %v, want 200", got)
+	}
+}
+
+func TestAdaptiveThreshCleanChannelTightens(t *testing.T) {
+	a := DefaultAdaptiveThresh()
+	// Honest ZERO-FLOW sums cluster at 0 with tiny jitter.
+	for i := 0; i < 100; i++ {
+		a.Observe(float64(i % 3)) // 0, 1, 2
+	}
+	th := a.Threshold()
+	if th >= 20 {
+		t.Fatalf("clean-channel threshold = %v, want well below the static 20", th)
+	}
+	if th < 5 {
+		t.Fatalf("threshold = %v, below the clamp floor", th)
+	}
+}
+
+func TestAdaptiveThreshNoisyChannelWidens(t *testing.T) {
+	clean := DefaultAdaptiveThresh()
+	noisy := DefaultAdaptiveThresh()
+	for i := 0; i < 200; i++ {
+		clean.Observe(float64(i % 3))
+		noisy.Observe(float64((i * 37) % 60)) // scattered honest sums
+	}
+	if noisy.Threshold() <= clean.Threshold() {
+		t.Fatalf("noisy threshold %v not above clean %v",
+			noisy.Threshold(), clean.Threshold())
+	}
+}
+
+func TestAdaptiveThreshRobustToMinorityOutliers(t *testing.T) {
+	a := DefaultAdaptiveThresh()
+	// 87% honest (sums ≈ 0..4), 13% misbehaving (sums ≈ 500).
+	for i := 0; i < 200; i++ {
+		if i%8 == 0 {
+			a.Observe(500)
+		} else {
+			a.Observe(float64(i % 5))
+		}
+	}
+	th := a.Threshold()
+	if th > 50 {
+		t.Fatalf("threshold = %v dragged up by the misbehaving minority", th)
+	}
+}
+
+func TestAdaptiveThreshClamps(t *testing.T) {
+	a := NewAdaptiveThresh(64, 1.5, 5, 200)
+	for i := 0; i < 100; i++ {
+		a.Observe(10000)
+	}
+	if got := a.Threshold(); got != 200 {
+		t.Fatalf("threshold = %v, want clamped to 200", got)
+	}
+}
+
+func TestAdaptiveThreshRingEviction(t *testing.T) {
+	a := NewAdaptiveThresh(16, 1.5, 0, 1e9)
+	for i := 0; i < 16; i++ {
+		a.Observe(1000)
+	}
+	// After the ring rolls over with small sums, the old regime must be
+	// forgotten.
+	for i := 0; i < 16; i++ {
+		a.Observe(1)
+	}
+	if th := a.Threshold(); th > 10 {
+		t.Fatalf("threshold = %v still dominated by evicted samples", th)
+	}
+	if a.N() != 16 {
+		t.Fatalf("N = %d, want ring capacity 16", a.N())
+	}
+}
+
+func TestAdaptiveThreshValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid tracker did not panic")
+		}
+	}()
+	NewAdaptiveThresh(2, 1.5, 5, 200)
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := quantile(sorted, c.q); got != c.want {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile(empty) = %v", got)
+	}
+	// Interpolation between points.
+	if got := quantile([]float64{0, 10}, 0.25); got != 2.5 {
+		t.Errorf("interpolated quantile = %v, want 2.5", got)
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []int8, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sorted := make([]float64, len(raw))
+		for i, v := range raw {
+			sorted[i] = float64(v)
+		}
+		sortFloats(sorted)
+		a := float64(qa%101) / 100
+		b := float64(qb%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		return quantile(sorted, a) <= quantile(sorted, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestMonitorAdaptiveThreshIntegration(t *testing.T) {
+	params := DefaultParams()
+	params.AdaptiveThresh = true
+	h := newHarness(params)
+	if got := h.m.CurrentThresh(); got != 200 {
+		t.Fatalf("cold monitor threshold = %v, want conservative 200", got)
+	}
+	assigned := h.exchange(5)
+	for i := 0; i < 20; i++ {
+		assigned = h.exchange(assigned)
+	}
+	// Twenty honest packets: the learned threshold tightens below the
+	// static default.
+	if got := h.m.CurrentThresh(); got >= 20 {
+		t.Fatalf("learned threshold = %v, want below static 20", got)
+	}
+	// A hard misbehaver is now caught despite the tight channel.
+	for i := 0; i < 10; i++ {
+		h.exchange(0)
+	}
+	if !h.m.Diagnosed(1) {
+		t.Fatal("adaptive monitor failed to diagnose hard misbehavior")
+	}
+}
+
+func TestMonitorStaticThreshUnchanged(t *testing.T) {
+	h := newHarness(DefaultParams())
+	if got := h.m.CurrentThresh(); got != 20 {
+		t.Fatalf("static threshold = %v, want 20", got)
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/mac"
+	"dcfguard/internal/medium"
+	"dcfguard/internal/misbehave"
+	"dcfguard/internal/phys"
+	"dcfguard/internal/rng"
+	"dcfguard/internal/sim"
+)
+
+// collusionWorld is the end-to-end §4.4 collusion scenario: an honest
+// pair (sender 2 → receiver 0) and a colluding pair (sender 3 at PM=100
+// → receiver 1 that assigns zero and waives penalties), plus a passive
+// watchdog (node 4) overhearing both.
+type collusionWorld struct {
+	sched *sim.Scheduler
+	dog   *Watchdog
+}
+
+func buildCollusionWorld(t *testing.T) *collusionWorld {
+	t.Helper()
+	var sched sim.Scheduler
+	model := phys.DefaultShadowing()
+	model.SigmaDB = 0
+	radio := phys.CalibratedRadio(model, 24.5, 250, 0.5, 550, 0.5, 2_000_000)
+	med := medium.New(&sched, medium.Config{Model: model}, rng.New(9))
+	mp := mac.DefaultParams()
+
+	honestParams := DefaultParams()
+	colludeParams := DefaultParams()
+	colludeParams.AssignMode = AssignGreedy
+	colludeParams.WaivePenalties = true
+
+	mon0 := NewMonitor(0, honestParams, mp, rng.New(20), Events{})
+	mon1 := NewMonitor(1, colludeParams, mp, rng.New(21), Events{})
+
+	// Receivers.
+	r0 := mac.NewNode(0, mp, &sched, med, mac.NewStandardPolicy(rng.New(30)), mon0, mac.Callbacks{})
+	med.Attach(0, phys.Point{X: 0, Y: 0}, radio, r0)
+	r1 := mac.NewNode(1, mp, &sched, med, mac.NewStandardPolicy(rng.New(31)), mon1, mac.Callbacks{})
+	med.Attach(1, phys.Point{X: 120, Y: 0}, radio, r1)
+
+	// Senders: 2 honest to 0; 3 misbehaving (PM=100) to colluding 1.
+	mkSender := func(id frame.NodeID, dst frame.NodeID, pol mac.BackoffPolicy, pos phys.Point) {
+		var n *mac.Node
+		cb := mac.Callbacks{OnQueueSpace: func(sim.Time) { n.Enqueue(dst, 512) }}
+		n = mac.NewNode(id, mp, &sched, med, pol, nil, cb)
+		med.Attach(id, pos, radio, n)
+		for k := 0; k < 4; k++ {
+			n.Enqueue(dst, 512)
+		}
+	}
+	mkSender(2, 0, NewAssignedPolicy(2, mp, rng.New(32)), phys.Point{X: 0, Y: 100})
+	mkSender(3, 1, misbehave.NewPartial(NewAssignedPolicy(3, mp, rng.New(33)), 100),
+		phys.Point{X: 120, Y: 100})
+
+	// Passive watchdog at the centre of the cell.
+	dog := NewWatchdog(DefaultParams(), mp, 2_000_000)
+	med.Attach(4, phys.Point{X: 60, Y: 50}, radio, dog)
+
+	return &collusionWorld{sched: &sched, dog: dog}
+}

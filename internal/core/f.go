@@ -1,0 +1,82 @@
+// Package core implements the paper's contribution: receiver-assigned
+// backoff for IEEE 802.11 DCF, with deviation detection (§4.1), the
+// correction scheme (§4.2), the diagnosis scheme (§4.3), and the §4.4
+// extensions (attempt-number verification via intentional RTS drops, and
+// receiver-misbehavior detection via the public assignment function g).
+//
+// The receiver side is Monitor, a mac.ReceiverHook. The sender side is
+// AssignedPolicy, a mac.BackoffPolicy. Both are pure protocol logic:
+// they plug into the unmodified DCF state machine in internal/mac.
+package core
+
+import (
+	"fmt"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/mac"
+)
+
+// F is the paper's deterministic retransmission function:
+//
+//	f(backoff, nodeId, attempt) = (aX + c) mod (CWmin + 1)
+//	with a = 5, c = 2·attempt + 1, X = (backoff + nodeId) mod (CWmin+1)
+//
+// It returns a pseudo-uniform integer in [0, CWmin]. Dividing by CWmin
+// maps it to [0, 1]; RetrySlots applies that fraction to the attempt's
+// contention window. Both sender and receiver evaluate F, which is what
+// lets the receiver reconstruct the sender's retry backoffs.
+func F(backoff int, nodeID frame.NodeID, attempt, cwMin int) int {
+	if attempt < 2 {
+		panic(fmt.Sprintf("core: F for attempt %d < 2", attempt))
+	}
+	if backoff < 0 {
+		backoff = 0
+	}
+	m := cwMin + 1
+	x := (backoff + int(nodeID)) % m
+	a := 5
+	c := 2*attempt + 1
+	return ((a*x+c)%m + m) % m
+}
+
+// RetrySlots returns the backoff (in slots) the protocol prescribes for
+// the given retransmission attempt: F scaled from [0, CWmin] onto the
+// attempt's contention window, New Backoff = f(...)·CW.
+func RetrySlots(backoff int, nodeID frame.NodeID, attempt int, params mac.Params) int {
+	fv := F(backoff, nodeID, attempt, params.CWMin)
+	cw := params.CW(attempt)
+	return fv * cw / params.CWMin
+}
+
+// ExpectedBackoff reconstructs B_exp, the total number of slots the
+// sender was expected to count for a packet that arrived on the given
+// attempt:
+//
+//	B_exp = backoff + Σ_{i=2}^{attempt} f(backoff, nodeId, i)·CW_i
+//
+// For a retransmission that follows a *delivered* packet (ACK lost at
+// the sender), pass includeBase=false: the base backoff was counted
+// before the receiver's observation window opened.
+func ExpectedBackoff(backoff int, nodeID frame.NodeID, attempt int, params mac.Params, includeBase bool) int {
+	total := 0
+	if includeBase {
+		total = backoff
+	}
+	for i := 2; i <= attempt; i++ {
+		total += RetrySlots(backoff, nodeID, i, params)
+	}
+	return total
+}
+
+// G is the public assignment function of the §4.4 extension: when
+// verifiable assignments are enabled, the receiver must derive the base
+// (pre-penalty) backoff it assigns from G, and the sender checks the
+// advertised value against it. Like F it is an LCG over [0, CWmin],
+// keyed so that distinct (receiver, sender, exchange) triples give
+// well-spread values.
+func G(receiver, sender frame.NodeID, seq uint32, cwMin int) int {
+	m := cwMin + 1
+	x := (int(receiver)*7 + int(sender)*13 + int(seq%4096)*31) % m
+	v := (5*x + 3) % m
+	return ((v % m) + m) % m
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/mac"
+)
+
+func TestFDeterministic(t *testing.T) {
+	for attempt := 2; attempt <= 7; attempt++ {
+		a := F(12, 3, attempt, 31)
+		b := F(12, 3, attempt, 31)
+		if a != b {
+			t.Fatalf("F not deterministic for attempt %d: %d vs %d", attempt, a, b)
+		}
+	}
+}
+
+func TestFRange(t *testing.T) {
+	for backoff := 0; backoff <= 31; backoff++ {
+		for id := frame.NodeID(0); id < 50; id++ {
+			for attempt := 2; attempt <= 8; attempt++ {
+				v := F(backoff, id, attempt, 31)
+				if v < 0 || v > 31 {
+					t.Fatalf("F(%d, %d, %d, 31) = %d out of [0, 31]", backoff, id, attempt, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFPanicsOnFirstAttempt(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("F(attempt=1) did not panic")
+		}
+	}()
+	F(3, 1, 1, 31)
+}
+
+func TestFNegativeBackoffClamped(t *testing.T) {
+	if F(-5, 1, 2, 31) != F(0, 1, 2, 31) {
+		t.Fatal("negative backoff not clamped to 0")
+	}
+}
+
+func TestFCollidersDiverge(t *testing.T) {
+	// The paper chose f so that colliding senders (same backoff, same
+	// attempt, different nodeId) pick different retry backoffs with
+	// high probability. With a=5 coprime to CWmin+1=32, distinct ids in
+	// a 32-window always diverge.
+	same := 0
+	total := 0
+	for backoff := 0; backoff <= 31; backoff++ {
+		for idA := frame.NodeID(0); idA < 16; idA++ {
+			for idB := idA + 1; idB < 16; idB++ {
+				total++
+				if F(backoff, idA, 2, 31) == F(backoff, idB, 2, 31) {
+					same++
+				}
+			}
+		}
+	}
+	if same != 0 {
+		t.Fatalf("%d of %d collider pairs selected the same retry value", same, total)
+	}
+}
+
+func TestFAttemptVariation(t *testing.T) {
+	// Consecutive attempts by the same node must not repeat the same
+	// value (c = 2·attempt+1 advances the LCG output).
+	for backoff := 0; backoff <= 31; backoff++ {
+		if F(backoff, 5, 2, 31) == F(backoff, 5, 3, 31) {
+			t.Fatalf("attempts 2 and 3 collide for backoff %d", backoff)
+		}
+	}
+}
+
+func TestRetrySlotsRange(t *testing.T) {
+	params := mac.DefaultParams()
+	for backoff := 0; backoff <= 31; backoff++ {
+		for attempt := 2; attempt <= 8; attempt++ {
+			v := RetrySlots(backoff, 7, attempt, params)
+			cw := params.CW(attempt)
+			if v < 0 || v > cw {
+				t.Fatalf("RetrySlots(backoff=%d, attempt=%d) = %d out of [0, %d]",
+					backoff, attempt, v, cw)
+			}
+		}
+	}
+}
+
+func TestRetrySlotsScalesWithWindow(t *testing.T) {
+	// The same f fraction applied to a doubled window doubles (within
+	// integer truncation) the retry backoff — find a backoff where
+	// f > 0 and check proportionality.
+	params := mac.DefaultParams()
+	fv := F(10, 3, 2, params.CWMin)
+	if fv == 0 {
+		t.Skip("chosen inputs give f = 0")
+	}
+	want2 := fv * params.CW(2) / params.CWMin
+	if got := RetrySlots(10, 3, 2, params); got != want2 {
+		t.Fatalf("RetrySlots attempt 2 = %d, want %d", got, want2)
+	}
+}
+
+func TestExpectedBackoffFirstAttempt(t *testing.T) {
+	params := mac.DefaultParams()
+	if got := ExpectedBackoff(17, 3, 1, params, true); got != 17 {
+		t.Fatalf("ExpectedBackoff(attempt=1) = %d, want 17", got)
+	}
+	if got := ExpectedBackoff(17, 3, 1, params, false); got != 0 {
+		t.Fatalf("ExpectedBackoff(attempt=1, no base) = %d, want 0", got)
+	}
+}
+
+func TestExpectedBackoffSumsChain(t *testing.T) {
+	params := mac.DefaultParams()
+	backoff, id := 9, frame.NodeID(4)
+	want := backoff
+	for i := 2; i <= 5; i++ {
+		want += RetrySlots(backoff, id, i, params)
+	}
+	if got := ExpectedBackoff(backoff, id, 5, params, true); got != want {
+		t.Fatalf("ExpectedBackoff(attempt=5) = %d, want %d", got, want)
+	}
+	if got := ExpectedBackoff(backoff, id, 5, params, false); got != want-backoff {
+		t.Fatalf("ExpectedBackoff(attempt=5, no base) = %d, want %d", got, want-backoff)
+	}
+}
+
+func TestExpectedBackoffMonotoneInAttempt(t *testing.T) {
+	params := mac.DefaultParams()
+	f := func(b uint8, id uint8) bool {
+		backoff := int(b) % 32
+		node := frame.NodeID(id)
+		prev := -1
+		for attempt := 1; attempt <= 7; attempt++ {
+			v := ExpectedBackoff(backoff, node, attempt, params, true)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSenderReceiverAgreeOnRetryChain(t *testing.T) {
+	// The receiver's estimator and the sender's policy must compute the
+	// exact same retry backoffs — that agreement is the protocol's
+	// foundation.
+	params := mac.DefaultParams()
+	f := func(b uint8, id uint8, a uint8) bool {
+		backoff := int(b) % 32
+		node := frame.NodeID(id % 64)
+		attempt := int(a)%6 + 2
+		senderSide := RetrySlots(backoff, node, attempt, params)
+		receiverSide := ExpectedBackoff(backoff, node, attempt, params, true) -
+			ExpectedBackoff(backoff, node, attempt-1, params, true)
+		return senderSide == receiverSide
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGRange(t *testing.T) {
+	for r := frame.NodeID(0); r < 20; r++ {
+		for s := frame.NodeID(0); s < 20; s++ {
+			for seq := uint32(0); seq < 100; seq++ {
+				v := G(r, s, seq, 31)
+				if v < 0 || v > 31 {
+					t.Fatalf("G(%d, %d, %d) = %d out of [0, 31]", r, s, seq, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGDeterministic(t *testing.T) {
+	if G(1, 2, 77, 31) != G(1, 2, 77, 31) {
+		t.Fatal("G not deterministic")
+	}
+}
+
+func TestGVariesWithSeq(t *testing.T) {
+	distinct := make(map[int]bool)
+	for seq := uint32(0); seq < 32; seq++ {
+		distinct[G(3, 5, seq, 31)] = true
+	}
+	if len(distinct) < 8 {
+		t.Fatalf("G produced only %d distinct values over 32 seqs", len(distinct))
+	}
+}

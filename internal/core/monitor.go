@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/mac"
+	"dcfguard/internal/rng"
+	"dcfguard/internal/sim"
+)
+
+// Events are optional observation callbacks for metrics. Nil fields are
+// skipped.
+type Events struct {
+	// OnClassified fires once per packet when the diagnosis scheme
+	// evaluates it: misbehaving is the scheme's verdict for the packet,
+	// diff the B_exp − B_act stored in the window.
+	OnClassified func(sender frame.NodeID, misbehaving bool, diff float64, now sim.Time)
+	// OnDeviation fires when equation (1) flags a transmission as
+	// deviating; penalty is the slots added to the next assignment.
+	OnDeviation func(sender frame.NodeID, deviation float64, penalty int, now sim.Time)
+	// OnProvenMisbehavior fires when attempt-number verification
+	// catches a sender red-handed (a retransmission that did not
+	// increment the attempt field).
+	OnProvenMisbehavior func(sender frame.NodeID, now sim.Time)
+}
+
+// Monitor is the paper's receiver: it assigns backoff values to senders,
+// measures B_act between exchanges, detects deviations, applies the
+// correction penalty, and runs the diagnosis window. It implements
+// mac.ReceiverHook.
+type Monitor struct {
+	self      frame.NodeID
+	params    Params
+	macParams mac.Params
+	src       *rng.Source
+	observer  *IdleObserver
+	events    Events
+	adaptive  *AdaptiveThresh // nil unless Params.AdaptiveThresh
+
+	senders map[frame.NodeID]*senderRecord
+}
+
+// senderRecord is the per-sender monitoring state.
+type senderRecord struct {
+	// current is the backoff the sender should be counting for its next
+	// new packet (b_n); -1 before the first completed exchange.
+	current int
+	// prev is the value of current before the last rotation, needed to
+	// check retransmissions that follow a lost ACK.
+	prev int
+	// next is the assignment advertised in the ongoing exchange's
+	// CTS/ACK (b_{n+1}); -1 when not yet decided.
+	next int
+	// decidedSeq is the exchange sequence next was decided for.
+	decidedSeq uint32
+	// lastAckedSeq is the last sequence this receiver ACKed.
+	lastAckedSeq uint32
+	ackedOnce    bool
+	// mark is the end of the last ACK sent to this sender: the start of
+	// the B_act observation window.
+	mark    sim.Time
+	hasMark bool
+	// window holds the last W (B_exp − B_act) differences; windowSeqs
+	// the packet each entry belongs to (retries replace, not append).
+	window     []float64
+	windowSeqs []uint32
+	// diagnosed is the current verdict of the diagnosis scheme.
+	diagnosed bool
+	// provenLiar is set when attempt verification caught this sender.
+	provenLiar bool
+	// verification state: when a drop is outstanding, the RTS we
+	// dropped (to check the retry increments the attempt field).
+	verifyPending bool
+	verifySeq     uint32
+	verifyAttempt uint8
+
+	// pendingPenalty accumulates correction penalties not yet folded
+	// into an assignment.
+	pendingPenalty int
+
+	penaltyTotal   int
+	deviationCount int
+	packetCount    int
+}
+
+var _ mac.ReceiverHook = (*Monitor)(nil)
+
+// NewMonitor builds the receiver-side engine for the node self.
+func NewMonitor(self frame.NodeID, params Params, macParams mac.Params, src *rng.Source, events Events) *Monitor {
+	if err := params.Validate(); err != nil {
+		panic(fmt.Sprintf("core: monitor for node %d: %v", self, err))
+	}
+	if err := macParams.Validate(); err != nil {
+		panic(fmt.Sprintf("core: monitor for node %d: %v", self, err))
+	}
+	m := &Monitor{
+		self:      self,
+		params:    params,
+		macParams: macParams,
+		src:       src,
+		observer:  NewIdleObserver(macParams.SlotTime, macParams.DIFS(), params.HistoryHorizon),
+		events:    events,
+		senders:   make(map[frame.NodeID]*senderRecord),
+	}
+	if params.AdaptiveThresh {
+		m.adaptive = DefaultAdaptiveThresh()
+	}
+	return m
+}
+
+// CurrentThresh returns the diagnosis threshold in force: the static
+// THRESH, or the learned fence when adaptive selection is enabled.
+func (m *Monitor) CurrentThresh() float64 {
+	if m.adaptive != nil {
+		return m.adaptive.Threshold()
+	}
+	return m.params.Thresh
+}
+
+func (m *Monitor) record(sender frame.NodeID) *senderRecord {
+	r, ok := m.senders[sender]
+	if !ok {
+		r = &senderRecord{current: -1, prev: -1, next: -1}
+		m.senders[sender] = r
+	}
+	return r
+}
+
+// Diagnosed reports the diagnosis scheme's current verdict for sender.
+func (m *Monitor) Diagnosed(sender frame.NodeID) bool {
+	r, ok := m.senders[sender]
+	return ok && (r.diagnosed || r.provenLiar)
+}
+
+// SenderStats returns cumulative per-sender counters: packets checked,
+// deviations detected, and total penalty slots assigned.
+func (m *Monitor) SenderStats(sender frame.NodeID) (packets, deviations, penaltySlots int) {
+	r, ok := m.senders[sender]
+	if !ok {
+		return 0, 0, 0
+	}
+	return r.packetCount, r.deviationCount, r.penaltyTotal
+}
+
+// OnCarrierBusy implements mac.ReceiverHook.
+func (m *Monitor) OnCarrierBusy(now sim.Time) { m.observer.OnBusy(now) }
+
+// OnCarrierIdle implements mac.ReceiverHook.
+func (m *Monitor) OnCarrierIdle(now sim.Time) { m.observer.OnIdle(now) }
+
+// OnRTS implements mac.ReceiverHook: the heart of the scheme.
+func (m *Monitor) OnRTS(rts frame.Frame, start, end sim.Time) (bool, int) {
+	return m.handleOpening(rts, start, end)
+}
+
+// handleOpening processes the frame that opens an exchange — the RTS
+// in RTS/CTS mode, or the DATA itself in basic-access mode. Both carry
+// the attempt number the estimator needs.
+func (m *Monitor) handleOpening(f frame.Frame, start, end sim.Time) (bool, int) {
+	r := m.record(f.Src)
+
+	// §4.1 attempt-number verification: check an outstanding drop.
+	if r.verifyPending {
+		switch {
+		case f.Seq == r.verifySeq:
+			if f.Attempt <= r.verifyAttempt {
+				// The retransmission did not increment the attempt
+				// number: immediate proof of misbehavior.
+				r.provenLiar = true
+				if m.events.OnProvenMisbehavior != nil {
+					m.events.OnProvenMisbehavior(f.Src, end)
+				}
+			}
+			r.verifyPending = false
+		case f.Seq > r.verifySeq:
+			// The sender abandoned the dropped packet (retry limit);
+			// the check is inconclusive.
+			r.verifyPending = false
+		}
+	}
+
+	// Deviation measurement, when we have both an assignment the sender
+	// should be counting and an observation window.
+	if r.current >= 0 && r.hasMark {
+		m.check(r, f, start, end)
+	}
+
+	// Decide the next assignment (b_{n+1}) once per exchange; retries
+	// of the same sequence re-advertise the same value.
+	if r.next < 0 || r.decidedSeq != f.Seq {
+		r.next = m.assign(r, f.Src, f.Seq)
+		r.decidedSeq = f.Seq
+	}
+
+	// Blocking mode: refuse service to diagnosed senders.
+	if m.params.BlockDiagnosed && (r.diagnosed || r.provenLiar) {
+		return false, -1
+	}
+
+	// Intentional drop for attempt verification.
+	if m.params.VerifyAttempts && !r.verifyPending && m.src.Bool(m.params.VerifyDropProb) {
+		r.verifyPending = true
+		r.verifySeq = f.Seq
+		r.verifyAttempt = f.Attempt
+		return false, -1
+	}
+
+	return true, r.next
+}
+
+// check applies equation (1), the correction scheme and the diagnosis
+// window to a received RTS.
+func (m *Monitor) check(r *senderRecord, rts frame.Frame, start, end sim.Time) {
+	bAct := m.observer.IdleSlots(r.mark, start)
+
+	// Reconstruct B_exp. A retransmission of the sequence we already
+	// ACKed means our ACK was lost: the sender counted the base backoff
+	// before our observation window opened, so only the retry chain
+	// counts, keyed on the assignment it was using then (prev).
+	attempt := int(rts.Attempt)
+	var bExp int
+	dup := r.ackedOnce && rts.Seq == r.lastAckedSeq
+	if dup {
+		base := r.prev
+		if base < 0 {
+			return // nothing reliable to check against
+		}
+		bExp = ExpectedBackoff(base, rts.Src, attempt, m.macParams, false)
+	} else {
+		bExp = ExpectedBackoff(r.current, rts.Src, attempt, m.macParams, true)
+	}
+
+	// Correction scheme (§4.2): penalty proportional to the deviation.
+	if float64(bAct) < m.params.Alpha*float64(bExp) {
+		deviation := m.params.Alpha*float64(bExp) - float64(bAct)
+		penalty := int(m.params.PenaltyFactor*deviation + 0.5)
+		if m.params.PenaltyCap > 0 && penalty > m.params.PenaltyCap {
+			penalty = m.params.PenaltyCap
+		}
+		r.pendingPenalty += penalty
+		if m.params.PenaltyCap > 0 && r.pendingPenalty > m.params.PenaltyCap {
+			r.pendingPenalty = m.params.PenaltyCap
+		}
+		r.deviationCount++
+		if m.events.OnDeviation != nil {
+			m.events.OnDeviation(rts.Src, deviation, penalty, end)
+		}
+	}
+
+	// Diagnosis scheme (§4.3): a moving window of B_exp − B_act sums.
+	diff := float64(bExp - bAct)
+	if n := len(r.windowSeqs); n > 0 && r.windowSeqs[n-1] == rts.Seq {
+		// Retry of an already-recorded packet: replace its entry.
+		r.window[len(r.window)-1] = diff
+	} else {
+		r.window = append(r.window, diff)
+		r.windowSeqs = append(r.windowSeqs, rts.Seq)
+		if len(r.window) > m.params.Window {
+			r.window = r.window[1:]
+			r.windowSeqs = r.windowSeqs[1:]
+		}
+		r.packetCount++
+	}
+	sum := 0.0
+	for _, d := range r.window {
+		sum += d
+	}
+	r.diagnosed = sum > m.CurrentThresh()
+	if m.adaptive != nil {
+		// Learn from the sum after judging it, so a packet never moves
+		// its own goalposts.
+		m.adaptive.Observe(sum)
+	}
+	if m.events.OnClassified != nil {
+		m.events.OnClassified(rts.Src, r.diagnosed, diff, end)
+	}
+}
+
+// assign decides the base backoff for the sender's next packet and adds
+// the pending correction penalty.
+func (m *Monitor) assign(r *senderRecord, sender frame.NodeID, seq uint32) int {
+	var base int
+	switch m.params.AssignMode {
+	case AssignRandom:
+		base = m.src.IntRange(0, m.macParams.CWMin)
+	case AssignVerifiable:
+		base = G(m.self, sender, seq, m.macParams.CWMin)
+	case AssignGreedy:
+		base = 0
+	}
+	if m.params.WaivePenalties {
+		r.pendingPenalty = 0
+		return base
+	}
+	assigned := base + r.pendingPenalty
+	r.penaltyTotal += r.pendingPenalty
+	r.pendingPenalty = 0
+	return assigned
+}
+
+// OnData implements mac.ReceiverHook. With RTS/CTS, the exchange was
+// already opened by OnRTS and the DATA just confirms the assignment to
+// re-advertise in the ACK. In basic-access mode (a DATA carrying an
+// attempt number with no prior RTS decision) the DATA itself opens the
+// exchange: it goes through the full detection pipeline, and a false
+// verdict suppresses the ACK.
+func (m *Monitor) OnData(data frame.Frame, start, end sim.Time) (bool, int) {
+	r := m.record(data.Src)
+	if data.Attempt > 0 && (r.verifyPending || r.next < 0 || r.decidedSeq != data.Seq) {
+		return m.handleOpening(data, start, end)
+	}
+	if r.next < 0 || r.decidedSeq != data.Seq {
+		// DATA without a matching RTS decision and no attempt field
+		// (should not happen with RTS/CTS on, but stay robust).
+		r.next = m.assign(r, data.Src, data.Seq)
+		r.decidedSeq = data.Seq
+	}
+	return true, r.next
+}
+
+// OnAckSent implements mac.ReceiverHook: the exchange is complete.
+// Rotate assignments and open the observation window for the sender's
+// next packet.
+func (m *Monitor) OnAckSent(to frame.NodeID, seq uint32, end sim.Time) {
+	r := m.record(to)
+	r.prev = r.current
+	if r.next >= 0 {
+		r.current = r.next
+	}
+	r.lastAckedSeq = seq
+	r.ackedOnce = true
+	r.mark = end
+	r.hasMark = true
+}

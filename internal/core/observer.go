@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"dcfguard/internal/sim"
+)
+
+// IdleObserver reconstructs, from the receiver's own carrier-sense
+// transitions, the number of backoff slots a sender could have counted
+// in a time window — the receiver-side measurement B_act of §4.1.
+//
+// The counting rule mirrors the sender's countdown: within each maximal
+// idle interval, the first DIFS is consumed before slots start counting,
+// and only whole slots count.
+type IdleObserver struct {
+	slot    sim.Time
+	difs    sim.Time
+	horizon sim.Time
+
+	busy        bool
+	transitions []transition // ordered by time
+}
+
+type transition struct {
+	at   sim.Time
+	busy bool
+}
+
+// NewIdleObserver returns an observer with the given slot time, DIFS and
+// retention horizon. The channel is assumed idle at time zero.
+func NewIdleObserver(slot, difs, horizon sim.Time) *IdleObserver {
+	if slot <= 0 || difs < 0 || horizon <= 0 {
+		panic(fmt.Sprintf("core: IdleObserver(slot=%v, difs=%v, horizon=%v)", slot, difs, horizon))
+	}
+	return &IdleObserver{slot: slot, difs: difs, horizon: horizon}
+}
+
+// OnBusy records a carrier busy transition at now.
+func (o *IdleObserver) OnBusy(now sim.Time) { o.record(now, true) }
+
+// OnIdle records a carrier idle transition at now.
+func (o *IdleObserver) OnIdle(now sim.Time) { o.record(now, false) }
+
+func (o *IdleObserver) record(now sim.Time, busy bool) {
+	if busy == o.busy {
+		return
+	}
+	o.busy = busy
+	o.transitions = append(o.transitions, transition{at: now, busy: busy})
+	o.prune(now)
+}
+
+// prune drops transitions that ended before the retention horizon,
+// always keeping at least one so the state at any retained instant is
+// reconstructible.
+func (o *IdleObserver) prune(now sim.Time) {
+	cutoff := now - o.horizon
+	i := 0
+	for i < len(o.transitions)-1 && o.transitions[i+1].at <= cutoff {
+		i++
+	}
+	if i > 0 {
+		o.transitions = append(o.transitions[:0], o.transitions[i:]...)
+	}
+}
+
+// Busy reports the channel state as last recorded.
+func (o *IdleObserver) Busy() bool { return o.busy }
+
+// IdleSlots returns the number of backoff slots available in [from, to):
+// for every maximal idle interval overlapping the window, the interval's
+// first DIFS is discarded (clipped to the window) and the remainder is
+// divided into whole slots.
+//
+// The DIFS of an idle interval that began before the window still counts
+// against the window only for the portion inside it: the sender's DIFS
+// wait after its ACK falls exactly at the window start, which is why the
+// window boundary is treated as the start of a fresh idle interval.
+func (o *IdleObserver) IdleSlots(from, to sim.Time) int {
+	if to < from {
+		panic(fmt.Sprintf("core: IdleSlots window [%v, %v) inverted", from, to))
+	}
+	slots := 0
+	// Walk transitions, tracking the state before the window.
+	busy := false
+	cur := sim.Time(0)
+	idx := 0
+	for idx < len(o.transitions) && o.transitions[idx].at <= from {
+		busy = o.transitions[idx].busy
+		cur = o.transitions[idx].at
+		idx++
+	}
+	_ = cur
+	segStart := from
+	for segStart < to {
+		var segEnd sim.Time
+		var nextBusy bool
+		if idx < len(o.transitions) && o.transitions[idx].at < to {
+			segEnd = o.transitions[idx].at
+			nextBusy = o.transitions[idx].busy
+			idx++
+		} else {
+			segEnd = to
+			nextBusy = busy
+		}
+		if !busy {
+			span := segEnd - segStart - o.difs
+			if span > 0 {
+				slots += int(span / o.slot)
+			}
+		}
+		busy = nextBusy
+		segStart = segEnd
+	}
+	return slots
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcfguard/internal/sim"
+)
+
+const (
+	tSlot = 20 * sim.Microsecond
+	tDIFS = 50 * sim.Microsecond
+)
+
+func newObs() *IdleObserver {
+	return NewIdleObserver(tSlot, tDIFS, 2*sim.Second)
+}
+
+func TestIdleSlotsFullyIdle(t *testing.T) {
+	o := newObs()
+	// Window of exactly DIFS + 5 slots, channel idle throughout.
+	from := sim.Time(100 * sim.Microsecond)
+	to := from + tDIFS + 5*tSlot
+	if got := o.IdleSlots(from, to); got != 5 {
+		t.Fatalf("IdleSlots = %d, want 5", got)
+	}
+}
+
+func TestIdleSlotsShorterThanDIFS(t *testing.T) {
+	o := newObs()
+	from := sim.Time(0)
+	if got := o.IdleSlots(from, from+tDIFS-sim.Microsecond); got != 0 {
+		t.Fatalf("IdleSlots = %d, want 0 for sub-DIFS window", got)
+	}
+}
+
+func TestIdleSlotsPartialSlotDiscarded(t *testing.T) {
+	o := newObs()
+	from := sim.Time(0)
+	to := from + tDIFS + 3*tSlot + 19*sim.Microsecond
+	if got := o.IdleSlots(from, to); got != 3 {
+		t.Fatalf("IdleSlots = %d, want 3 (partial slot must not count)", got)
+	}
+}
+
+func TestIdleSlotsBusyGapSplitsWindow(t *testing.T) {
+	o := newObs()
+	// Idle DIFS+4 slots, busy 1 ms, idle DIFS+6 slots.
+	start := sim.Time(0)
+	busyAt := start + tDIFS + 4*tSlot
+	idleAt := busyAt + sim.Millisecond
+	end := idleAt + tDIFS + 6*tSlot
+	o.OnBusy(busyAt)
+	o.OnIdle(idleAt)
+	if got := o.IdleSlots(start, end); got != 10 {
+		t.Fatalf("IdleSlots = %d, want 10 (each gap pays its own DIFS)", got)
+	}
+}
+
+func TestIdleSlotsWindowStartsDuringBusy(t *testing.T) {
+	o := newObs()
+	o.OnBusy(0)
+	o.OnIdle(sim.Millisecond)
+	from := 500 * sim.Microsecond // mid-busy
+	to := sim.Millisecond + tDIFS + 7*tSlot
+	if got := o.IdleSlots(from, to); got != 7 {
+		t.Fatalf("IdleSlots = %d, want 7", got)
+	}
+}
+
+func TestIdleSlotsWindowEndsDuringBusy(t *testing.T) {
+	o := newObs()
+	o.OnBusy(tDIFS + 4*tSlot)
+	o.OnIdle(10 * sim.Millisecond)
+	if got := o.IdleSlots(0, tDIFS+4*tSlot+sim.Millisecond); got != 4 {
+		t.Fatalf("IdleSlots = %d, want 4", got)
+	}
+}
+
+func TestIdleSlotsEntirelyBusy(t *testing.T) {
+	o := newObs()
+	o.OnBusy(0)
+	if got := o.IdleSlots(sim.Microsecond, sim.Millisecond); got != 0 {
+		t.Fatalf("IdleSlots = %d, want 0 for busy window", got)
+	}
+}
+
+func TestIdleSlotsZeroWindow(t *testing.T) {
+	o := newObs()
+	if got := o.IdleSlots(sim.Millisecond, sim.Millisecond); got != 0 {
+		t.Fatalf("IdleSlots = %d, want 0 for empty window", got)
+	}
+}
+
+func TestIdleSlotsInvertedWindowPanics(t *testing.T) {
+	o := newObs()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted window did not panic")
+		}
+	}()
+	o.IdleSlots(2*sim.Millisecond, sim.Millisecond)
+}
+
+func TestObserverDeduplicatesTransitions(t *testing.T) {
+	o := newObs()
+	o.OnBusy(sim.Millisecond)
+	o.OnBusy(2 * sim.Millisecond) // duplicate busy must be ignored
+	o.OnIdle(3 * sim.Millisecond)
+	o.OnIdle(4 * sim.Millisecond) // duplicate idle must be ignored
+	if o.Busy() {
+		t.Fatal("state should be idle after OnIdle")
+	}
+	// Idle [0,1ms): DIFS + floor(950/20) = 47; busy [1,3); idle [3, 3+DIFS+2slots).
+	end := 3*sim.Millisecond + tDIFS + 2*tSlot
+	want := 47 + 2
+	if got := o.IdleSlots(0, end); got != want {
+		t.Fatalf("IdleSlots = %d, want %d", got, want)
+	}
+}
+
+func TestObserverPruneKeepsWindowAccuracy(t *testing.T) {
+	o := NewIdleObserver(tSlot, tDIFS, 10*sim.Millisecond)
+	// Fill far past the horizon with busy/idle pairs.
+	for i := 0; i < 1000; i++ {
+		base := sim.Time(i) * sim.Millisecond
+		o.OnBusy(base + 500*sim.Microsecond)
+		o.OnIdle(base + 600*sim.Microsecond)
+	}
+	// A recent window is still computed exactly: within [999.6 ms,
+	// 999.6 ms + DIFS + 5 slots) the channel is idle.
+	from := 999*sim.Millisecond + 600*sim.Microsecond
+	to := from + tDIFS + 5*tSlot
+	if got := o.IdleSlots(from, to); got != 5 {
+		t.Fatalf("IdleSlots after pruning = %d, want 5", got)
+	}
+}
+
+func TestObserverValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero slot did not panic")
+		}
+	}()
+	NewIdleObserver(0, tDIFS, sim.Second)
+}
+
+func TestQuickIdleSlotsNonNegativeAndBounded(t *testing.T) {
+	f := func(busyOffsets []uint16, winStart, winLen uint16) bool {
+		o := newObs()
+		at := sim.Time(0)
+		busy := false
+		for _, d := range busyOffsets {
+			at += sim.Time(d%1000+1) * sim.Microsecond
+			if busy {
+				o.OnIdle(at)
+			} else {
+				o.OnBusy(at)
+			}
+			busy = !busy
+		}
+		from := sim.Time(winStart) * sim.Microsecond
+		to := from + sim.Time(winLen)*sim.Microsecond
+		got := o.IdleSlots(from, to)
+		maxSlots := int((to - from) / tSlot)
+		return got >= 0 && got <= maxSlots
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIdleSlotsMonotoneInWindow(t *testing.T) {
+	// Extending the window never decreases the count.
+	f := func(busyOffsets []uint16, winLen1, winLen2 uint16) bool {
+		o := newObs()
+		at := sim.Time(0)
+		busy := false
+		for _, d := range busyOffsets {
+			at += sim.Time(d%500+1) * sim.Microsecond
+			if busy {
+				o.OnIdle(at)
+			} else {
+				o.OnBusy(at)
+			}
+			busy = !busy
+		}
+		a, b := sim.Time(winLen1)*sim.Microsecond, sim.Time(winLen2)*sim.Microsecond
+		if a > b {
+			a, b = b, a
+		}
+		return o.IdleSlots(0, a) <= o.IdleSlots(0, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

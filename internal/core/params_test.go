@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"dcfguard/internal/mac"
+	"dcfguard/internal/rng"
+	"dcfguard/internal/sim"
+)
+
+func TestParamsValidateRejectsBadValues(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	cases := map[string]func(*Params){
+		"alpha zero":       func(p *Params) { p.Alpha = 0 },
+		"alpha above one":  func(p *Params) { p.Alpha = 1.5 },
+		"window zero":      func(p *Params) { p.Window = 0 },
+		"negative thresh":  func(p *Params) { p.Thresh = -1 },
+		"negative factor":  func(p *Params) { p.PenaltyFactor = -0.1 },
+		"negative cap":     func(p *Params) { p.PenaltyCap = -1 },
+		"drop prob > 1":    func(p *Params) { p.VerifyDropProb = 1.5 },
+		"drop prob < 0":    func(p *Params) { p.VerifyDropProb = -0.1 },
+		"zero horizon":     func(p *Params) { p.HistoryHorizon = 0 },
+		"bad assign mode":  func(p *Params) { p.AssignMode = 0 },
+		"assign mode high": func(p *Params) { p.AssignMode = AssignMode(9) },
+	}
+	for name, mutate := range cases {
+		p := DefaultParams()
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestAssignModeString(t *testing.T) {
+	cases := map[AssignMode]string{
+		AssignRandom:     "random",
+		AssignVerifiable: "verifiable",
+		AssignGreedy:     "greedy",
+	}
+	for mode, want := range cases {
+		if got := mode.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", mode, got, want)
+		}
+	}
+	if AssignMode(9).String() == "" {
+		t.Error("unknown mode must render")
+	}
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	bad := DefaultParams()
+	bad.Window = 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid core params did not panic")
+			}
+		}()
+		NewMonitor(1, bad, mac.DefaultParams(), rng.New(1), Events{})
+	}()
+	badMAC := mac.DefaultParams()
+	badMAC.CWMin = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid mac params did not panic")
+		}
+	}()
+	NewMonitor(1, DefaultParams(), badMAC, rng.New(1), Events{})
+}
+
+func TestNewAssignedPolicyValidation(t *testing.T) {
+	bad := mac.DefaultParams()
+	bad.SlotTime = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid mac params did not panic")
+		}
+	}()
+	NewAssignedPolicy(1, bad, rng.New(1))
+}
+
+func TestNewWatchdogValidation(t *testing.T) {
+	bad := DefaultParams()
+	bad.Alpha = 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid params did not panic")
+			}
+		}()
+		NewWatchdog(bad, mac.DefaultParams(), 2_000_000)
+	}()
+	badMAC := mac.DefaultParams()
+	badMAC.SIFS = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid mac params did not panic")
+		}
+	}()
+	NewWatchdog(DefaultParams(), badMAC, 2_000_000)
+}
+
+func TestSenderStatsUnknownSender(t *testing.T) {
+	m := NewMonitor(1, DefaultParams(), mac.DefaultParams(), rng.New(1), Events{})
+	if p, d, pen := m.SenderStats(42); p != 0 || d != 0 || pen != 0 {
+		t.Fatal("unknown sender has stats")
+	}
+	if m.Diagnosed(42) {
+		t.Fatal("unknown sender diagnosed")
+	}
+	_ = sim.Time(0)
+}

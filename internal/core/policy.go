@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/mac"
+	"dcfguard/internal/rng"
+)
+
+// AssignedPolicy is the sender side of the paper's protocol: count the
+// backoff the receiver assigned (arbitrary for the very first packet to
+// a receiver), and derive retransmission backoffs from the deterministic
+// function f so the receiver can reconstruct them.
+//
+// With VerifyReceiver enabled (§4.4 extension), the policy audits every
+// assignment against the public function G and refuses to count less
+// than G's value, neutralising greedy receivers.
+type AssignedPolicy struct {
+	self      frame.NodeID
+	macParams mac.Params
+	src       *rng.Source
+
+	// VerifyReceiver enables the §4.4 sender-side audit.
+	VerifyReceiver bool
+
+	dests map[frame.NodeID]*destState
+
+	greedyDetections int
+}
+
+// destState tracks assignments from one receiver.
+type destState struct {
+	// active is the backoff to count for the next new packet; -1 until
+	// the first ACK carries an assignment.
+	active int
+	// counting is the base the current packet's countdown used (feeds
+	// the retry function f).
+	counting int
+	// pending is the assignment seen in the current exchange's CTS; it
+	// is promoted to active only when the ACK confirms the exchange.
+	pending int
+}
+
+var _ mac.BackoffPolicy = (*AssignedPolicy)(nil)
+
+// NewAssignedPolicy builds the sender-side policy for node self.
+func NewAssignedPolicy(self frame.NodeID, macParams mac.Params, src *rng.Source) *AssignedPolicy {
+	if err := macParams.Validate(); err != nil {
+		panic(fmt.Sprintf("core: policy for node %d: %v", self, err))
+	}
+	return &AssignedPolicy{
+		self:      self,
+		macParams: macParams,
+		src:       src,
+		dests:     make(map[frame.NodeID]*destState),
+	}
+}
+
+func (p *AssignedPolicy) dest(dst frame.NodeID) *destState {
+	d, ok := p.dests[dst]
+	if !ok {
+		d = &destState{active: -1, counting: -1, pending: -1}
+		p.dests[dst] = d
+	}
+	return d
+}
+
+// GreedyDetections returns how many assignments failed the G audit.
+func (p *AssignedPolicy) GreedyDetections() int { return p.greedyDetections }
+
+// Assigned returns the backoff currently assigned for the next packet to
+// dst, or -1 if none has been received yet.
+func (p *AssignedPolicy) Assigned(dst frame.NodeID) int { return p.dest(dst).active }
+
+// InitialBackoff counts the receiver-assigned value; the first packet to
+// a receiver uses an arbitrary (uniform [0, CWmin]) backoff, as the
+// paper allows.
+func (p *AssignedPolicy) InitialBackoff(dst frame.NodeID, _ int) int {
+	d := p.dest(dst)
+	if d.active < 0 {
+		d.counting = p.src.IntRange(0, p.macParams.CWMin)
+	} else {
+		d.counting = d.active
+	}
+	return d.counting
+}
+
+// RetryBackoff derives the retransmission backoff from f, keyed on the
+// backoff the current packet counted.
+func (p *AssignedPolicy) RetryBackoff(dst frame.NodeID, attempt, _ int) int {
+	d := p.dest(dst)
+	base := d.counting
+	if base < 0 {
+		base = 0
+	}
+	return RetrySlots(base, p.self, attempt, p.macParams)
+}
+
+// OnAssigned records an advertised assignment. CTS assignments stay
+// pending; the ACK (final) promotes the pending value for the next
+// packet. Under VerifyReceiver, values below G's floor are clamped up
+// and counted as greedy detections.
+func (p *AssignedPolicy) OnAssigned(dst frame.NodeID, seq uint32, backoff int, final bool) {
+	if p.VerifyReceiver {
+		floor := G(dst, p.self, seq, p.macParams.CWMin)
+		if backoff < floor {
+			p.greedyDetections++
+			backoff = floor
+		}
+	}
+	d := p.dest(dst)
+	d.pending = backoff
+	if final && d.pending >= 0 {
+		d.active = d.pending
+	}
+}
+
+// ReportAttempt reports honestly.
+func (p *AssignedPolicy) ReportAttempt(actual int) int { return actual }

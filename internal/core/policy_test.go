@@ -1,0 +1,348 @@
+package core
+
+import (
+	"testing"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/mac"
+	"dcfguard/internal/medium"
+	"dcfguard/internal/misbehave"
+	"dcfguard/internal/phys"
+	"dcfguard/internal/rng"
+	"dcfguard/internal/sim"
+)
+
+func TestAssignedPolicyFirstPacketArbitrary(t *testing.T) {
+	p := NewAssignedPolicy(1, mac.DefaultParams(), rng.New(1))
+	b := p.InitialBackoff(9, 31)
+	if b < 0 || b > 31 {
+		t.Fatalf("arbitrary first backoff = %d, want [0, 31]", b)
+	}
+	if p.Assigned(9) != -1 {
+		t.Fatalf("Assigned before any advertisement = %d, want -1", p.Assigned(9))
+	}
+}
+
+func TestAssignedPolicyUsesAckAssignment(t *testing.T) {
+	p := NewAssignedPolicy(1, mac.DefaultParams(), rng.New(1))
+	p.InitialBackoff(9, 31)
+	p.OnAssigned(9, 1, 23, false) // CTS: pending only
+	if p.Assigned(9) != -1 {
+		t.Fatal("CTS assignment promoted before ACK")
+	}
+	p.OnAssigned(9, 1, 23, true) // ACK: promoted
+	if p.Assigned(9) != 23 {
+		t.Fatalf("Assigned = %d, want 23", p.Assigned(9))
+	}
+	if got := p.InitialBackoff(9, 31); got != 23 {
+		t.Fatalf("next InitialBackoff = %d, want assigned 23", got)
+	}
+}
+
+func TestAssignedPolicyRetryUsesF(t *testing.T) {
+	mp := mac.DefaultParams()
+	p := NewAssignedPolicy(7, mp, rng.New(1))
+	p.OnAssigned(9, 1, 12, true)
+	counted := p.InitialBackoff(9, 31)
+	if counted != 12 {
+		t.Fatalf("counting base = %d, want 12", counted)
+	}
+	for attempt := 2; attempt <= 5; attempt++ {
+		want := RetrySlots(12, 7, attempt, mp)
+		if got := p.RetryBackoff(9, attempt, mp.CW(attempt)); got != want {
+			t.Fatalf("RetryBackoff(attempt=%d) = %d, want %d", attempt, got, want)
+		}
+	}
+}
+
+func TestAssignedPolicyRetryBeforeAnyAssignment(t *testing.T) {
+	mp := mac.DefaultParams()
+	p := NewAssignedPolicy(7, mp, rng.New(1))
+	first := p.InitialBackoff(9, 31)
+	// Retries key on the arbitrary value that was actually counted.
+	want := RetrySlots(first, 7, 2, mp)
+	if got := p.RetryBackoff(9, 2, mp.CW(2)); got != want {
+		t.Fatalf("RetryBackoff = %d, want %d (keyed on counted value)", got, want)
+	}
+}
+
+func TestAssignedPolicyPerDestinationState(t *testing.T) {
+	p := NewAssignedPolicy(1, mac.DefaultParams(), rng.New(1))
+	p.OnAssigned(9, 1, 5, true)
+	p.OnAssigned(8, 1, 25, true)
+	if p.Assigned(9) != 5 || p.Assigned(8) != 25 {
+		t.Fatalf("per-destination assignments mixed up: %d, %d", p.Assigned(9), p.Assigned(8))
+	}
+}
+
+func TestAssignedPolicyVerifyReceiverClampsGreedy(t *testing.T) {
+	mp := mac.DefaultParams()
+	p := NewAssignedPolicy(1, mp, rng.New(1))
+	p.VerifyReceiver = true
+	// Find a seq where G > 0 so a zero assignment is detectably greedy.
+	var seq uint32
+	for seq = 1; G(9, 1, seq, mp.CWMin) == 0; seq++ {
+	}
+	floor := G(9, 1, seq, mp.CWMin)
+	p.OnAssigned(9, seq, 0, true) // greedy receiver assigns 0
+	if p.GreedyDetections() != 1 {
+		t.Fatalf("greedy detections = %d, want 1", p.GreedyDetections())
+	}
+	if p.Assigned(9) != floor {
+		t.Fatalf("clamped assignment = %d, want G = %d", p.Assigned(9), floor)
+	}
+	// Honest assignment at/above the floor passes untouched.
+	p.OnAssigned(9, seq, floor+3, true)
+	if p.GreedyDetections() != 1 {
+		t.Fatal("honest assignment counted as greedy")
+	}
+	if p.Assigned(9) != floor+3 {
+		t.Fatalf("honest assignment altered: %d", p.Assigned(9))
+	}
+}
+
+func TestAssignedPolicyReportAttemptHonest(t *testing.T) {
+	p := NewAssignedPolicy(1, mac.DefaultParams(), rng.New(1))
+	if got := p.ReportAttempt(4); got != 4 {
+		t.Fatalf("ReportAttempt(4) = %d", got)
+	}
+}
+
+// ---- full-stack integration: scheme over the real MAC and medium ------
+
+type coreFixture struct {
+	sched    *sim.Scheduler
+	med      *medium.Medium
+	monitor  *Monitor
+	receiver *mac.Node
+	senders  map[frame.NodeID]*mac.Node
+	success  map[frame.NodeID]int
+
+	classifiedMis map[frame.NodeID]int
+	classifiedOK  map[frame.NodeID]int
+}
+
+// newCoreFixture builds a receiver running the Monitor at the origin and
+// senders on a 150 m circle, on a deterministic (σ=0) channel.
+func newCoreFixture(t *testing.T, params Params, policies map[frame.NodeID]mac.BackoffPolicy) *coreFixture {
+	t.Helper()
+	var sched sim.Scheduler
+	model := phys.DefaultShadowing()
+	model.SigmaDB = 0
+	radio := phys.CalibratedRadio(model, 24.5, 250, 0.5, 550, 0.5, 2_000_000)
+	med := medium.New(&sched, medium.Config{Model: model}, rng.New(77))
+
+	fx := &coreFixture{
+		sched:         &sched,
+		med:           med,
+		senders:       make(map[frame.NodeID]*mac.Node),
+		success:       make(map[frame.NodeID]int),
+		classifiedMis: make(map[frame.NodeID]int),
+		classifiedOK:  make(map[frame.NodeID]int),
+	}
+	events := Events{
+		OnClassified: func(src frame.NodeID, mis bool, _ float64, _ sim.Time) {
+			if mis {
+				fx.classifiedMis[src]++
+			} else {
+				fx.classifiedOK[src]++
+			}
+		},
+	}
+	const rxID = frame.NodeID(0)
+	fx.monitor = NewMonitor(rxID, params, mac.DefaultParams(), rng.New(5), events)
+	fx.receiver = mac.NewNode(rxID, mac.DefaultParams(), &sched, med,
+		mac.NewStandardPolicy(rng.New(6)), fx.monitor, mac.Callbacks{})
+	med.Attach(rxID, phys.Point{}, radio, fx.receiver)
+
+	// Build and attach in ascending ID order for determinism.
+	for id := frame.NodeID(1); int(id) <= len(policies); id++ {
+		pol, ok := policies[id]
+		if !ok {
+			t.Fatalf("policies must use dense IDs starting at 1; missing %d", id)
+		}
+		id := id
+		var n *mac.Node
+		cb := mac.Callbacks{
+			OnSendSuccess: func(_ frame.NodeID, _ uint32, _, _ int, _, _ sim.Time) {
+				fx.success[id]++
+			},
+			OnQueueSpace: func(sim.Time) { n.Enqueue(0, 512) },
+		}
+		n = mac.NewNode(id, mac.DefaultParams(), &sched, med, pol, nil, cb)
+		fx.senders[id] = n
+		med.Attach(id, phys.OnCircle(phys.Point{}, 150, int(id-1), len(policies)), radio, n)
+		for k := 0; k < 4; k++ {
+			n.Enqueue(0, 512)
+		}
+	}
+	return fx
+}
+
+func TestIntegrationHonestSendersCleanDiagnosis(t *testing.T) {
+	mp := mac.DefaultParams()
+	policies := map[frame.NodeID]mac.BackoffPolicy{
+		1: NewAssignedPolicy(1, mp, rng.New(11)),
+		2: NewAssignedPolicy(2, mp, rng.New(12)),
+		3: NewAssignedPolicy(3, mp, rng.New(13)),
+	}
+	fx := newCoreFixture(t, DefaultParams(), policies)
+	fx.sched.Run(5 * sim.Second)
+
+	for id := frame.NodeID(1); id <= 3; id++ {
+		if fx.success[id] < 100 {
+			t.Errorf("sender %d completed only %d packets", id, fx.success[id])
+		}
+		if fx.classifiedMis[id] != 0 {
+			t.Errorf("honest sender %d misdiagnosed %d times (ok %d)",
+				id, fx.classifiedMis[id], fx.classifiedOK[id])
+		}
+		_, dev, _ := fx.monitor.SenderStats(id)
+		if dev > fx.classifiedOK[id]/10 {
+			t.Errorf("honest sender %d flagged deviating %d times", id, dev)
+		}
+	}
+}
+
+func TestIntegrationMisbehaverDiagnosedOthersClean(t *testing.T) {
+	mp := mac.DefaultParams()
+	policies := map[frame.NodeID]mac.BackoffPolicy{
+		1: NewAssignedPolicy(1, mp, rng.New(11)),
+		2: misbehave.NewPartial(NewAssignedPolicy(2, mp, rng.New(12)), 90),
+		3: NewAssignedPolicy(3, mp, rng.New(13)),
+	}
+	fx := newCoreFixture(t, DefaultParams(), policies)
+	fx.sched.Run(5 * sim.Second)
+
+	// The PM=90 sender must be diagnosed for most of its packets.
+	mis, ok := fx.classifiedMis[2], fx.classifiedOK[2]
+	if mis+ok == 0 {
+		t.Fatal("misbehaver never classified")
+	}
+	if frac := float64(mis) / float64(mis+ok); frac < 0.5 {
+		t.Errorf("misbehaver diagnosed for only %.0f%% of packets", frac*100)
+	}
+	// Honest senders stay clean.
+	for _, id := range []frame.NodeID{1, 3} {
+		total := fx.classifiedMis[id] + fx.classifiedOK[id]
+		if total == 0 {
+			t.Errorf("honest sender %d never classified", id)
+			continue
+		}
+		if frac := float64(fx.classifiedMis[id]) / float64(total); frac > 0.05 {
+			t.Errorf("honest sender %d misdiagnosis rate %.2f", id, frac)
+		}
+	}
+}
+
+func TestIntegrationBasicAccessDetection(t *testing.T) {
+	// Footnote 2 of the paper: the scheme works without RTS/CTS. Run
+	// the scheme end-to-end in basic-access mode with one hard
+	// misbehaver and verify diagnosis still works and honest senders
+	// stay clean.
+	var sched sim.Scheduler
+	model := phys.DefaultShadowing()
+	model.SigmaDB = 0
+	radio := phys.CalibratedRadio(model, 24.5, 250, 0.5, 550, 0.5, 2_000_000)
+	med := medium.New(&sched, medium.Config{Model: model}, rng.New(77))
+	mp := mac.DefaultParams()
+	mp.BasicAccess = true
+
+	classifiedMis := make(map[frame.NodeID]int)
+	classifiedOK := make(map[frame.NodeID]int)
+	events := Events{OnClassified: func(src frame.NodeID, mis bool, _ float64, _ sim.Time) {
+		if mis {
+			classifiedMis[src]++
+		} else {
+			classifiedOK[src]++
+		}
+	}}
+	monitor := NewMonitor(0, DefaultParams(), mp, rng.New(5), events)
+	recv := mac.NewNode(0, mp, &sched, med, mac.NewStandardPolicy(rng.New(6)), monitor, mac.Callbacks{})
+	med.Attach(0, phys.Point{}, radio, recv)
+
+	policies := map[frame.NodeID]mac.BackoffPolicy{
+		1: NewAssignedPolicy(1, mp, rng.New(11)),
+		2: misbehave.NewPartial(NewAssignedPolicy(2, mp, rng.New(12)), 90),
+		3: NewAssignedPolicy(3, mp, rng.New(13)),
+	}
+	for id := frame.NodeID(1); id <= 3; id++ {
+		id := id
+		var n *mac.Node
+		cb := mac.Callbacks{OnQueueSpace: func(sim.Time) { n.Enqueue(0, 512) }}
+		n = mac.NewNode(id, mp, &sched, med, policies[id], nil, cb)
+		med.Attach(id, phys.OnCircle(phys.Point{}, 150, int(id-1), 3), radio, n)
+		for k := 0; k < 4; k++ {
+			n.Enqueue(0, 512)
+		}
+	}
+	sched.Run(5 * sim.Second)
+
+	mis, ok := classifiedMis[2], classifiedOK[2]
+	if mis+ok == 0 {
+		t.Fatal("basic-access misbehaver never classified")
+	}
+	if frac := float64(mis) / float64(mis+ok); frac < 0.5 {
+		t.Fatalf("basic-access misbehaver diagnosed for only %.0f%% of packets", frac*100)
+	}
+	for _, id := range []frame.NodeID{1, 3} {
+		total := classifiedMis[id] + classifiedOK[id]
+		if total == 0 {
+			t.Fatalf("honest sender %d never classified", id)
+		}
+		if frac := float64(classifiedMis[id]) / float64(total); frac > 0.05 {
+			t.Fatalf("honest sender %d misdiagnosis rate %.2f in basic mode", id, frac)
+		}
+	}
+}
+
+func TestIntegrationCorrectionLimitsMisbehaverThroughput(t *testing.T) {
+	mp := mac.DefaultParams()
+	// Three senders, one with PM=90. Baseline: the same misbehavior
+	// against plain 802.11 receivers (random policies, no monitor).
+	runWith := func(correct bool) (honest, mis float64) {
+		var policies map[frame.NodeID]mac.BackoffPolicy
+		if correct {
+			policies = map[frame.NodeID]mac.BackoffPolicy{
+				1: NewAssignedPolicy(1, mp, rng.New(11)),
+				2: misbehave.NewPartial(NewAssignedPolicy(2, mp, rng.New(12)), 90),
+				3: NewAssignedPolicy(3, mp, rng.New(13)),
+			}
+		} else {
+			policies = map[frame.NodeID]mac.BackoffPolicy{
+				1: mac.NewStandardPolicy(rng.New(11)),
+				2: misbehave.NewPartial(mac.NewStandardPolicy(rng.New(12)), 90),
+				3: mac.NewStandardPolicy(rng.New(13)),
+			}
+		}
+		fx := newCoreFixture(t, DefaultParams(), policies)
+		if !correct {
+			// Detach the monitor's influence: plain 802.11 receivers
+			// still answer RTS but assign nothing. Build a fresh
+			// fixture with no hook by zeroing assignments via the
+			// standard policies above; the monitor's assignments are
+			// ignored by StandardPolicy, so only the penalty-free CTS
+			// content differs — acceptable as a baseline.
+			_ = fx
+		}
+		fx.sched.Run(10 * sim.Second)
+		honest = float64(fx.success[1]+fx.success[3]) / 2
+		mis = float64(fx.success[2])
+		return honest, mis
+	}
+
+	honestC, misC := runWith(true)
+	honestB, misB := runWith(false)
+	if honestC == 0 || honestB == 0 {
+		t.Fatal("honest senders starved")
+	}
+	ratioCorrect := misC / honestC
+	ratioBaseline := misB / honestB
+	if ratioCorrect >= ratioBaseline {
+		t.Fatalf("correction did not reduce the misbehaver's advantage: %.2fx vs baseline %.2fx",
+			ratioCorrect, ratioBaseline)
+	}
+	if ratioCorrect > 2 {
+		t.Fatalf("corrected misbehaver still gets %.2fx the honest throughput", ratioCorrect)
+	}
+}

@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one line of an ASCII chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// chartMarkers distinguish overlaid series.
+var chartMarkers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// RenderChart draws series as an ASCII scatter/line chart of the given
+// plot-area size (total output is slightly larger for axes and legend).
+// Degenerate inputs (no points, flat ranges) render without panicking.
+func RenderChart(title string, width, height int, series []Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		marker := chartMarkers[si%len(chartMarkers)]
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			c := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			r := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			grid[r][c] = marker
+		}
+	}
+
+	yLabelW := 8
+	for r := 0; r < height; r++ {
+		var label string
+		switch r {
+		case 0:
+			label = fmtAxis(maxY)
+		case height - 1:
+			label = fmtAxis(minY)
+		case (height - 1) / 2:
+			label = fmtAxis((minY + maxY) / 2)
+		}
+		fmt.Fprintf(&b, "%*s |%s|\n", yLabelW, label, string(grid[r]))
+	}
+	// X axis.
+	fmt.Fprintf(&b, "%*s +%s+\n", yLabelW, "", strings.Repeat("-", width))
+	lo, hi := fmtAxis(minX), fmtAxis(maxX)
+	pad := width - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%*s  %s%s%s\n", yLabelW, "", lo, strings.Repeat(" ", pad), hi)
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "%*s  %c %s\n", yLabelW, "", chartMarkers[si%len(chartMarkers)], s.Name)
+	}
+	return b.String()
+}
+
+func fmtAxis(v float64) string {
+	switch {
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Chart renders a numeric table as an ASCII chart: xCol selects the
+// x-axis column index and yCols the series columns. Cells of the form
+// "mean±ci" contribute their mean; non-numeric cells are skipped.
+func (t *Table) Chart(width, height int, xCol int, yCols ...int) string {
+	series := make([]Series, 0, len(yCols))
+	for _, yc := range yCols {
+		if yc < 0 || yc >= len(t.Columns) {
+			continue
+		}
+		s := Series{Name: t.Columns[yc]}
+		for _, row := range t.Rows {
+			x, okX := parseCell(row[xCol])
+			y, okY := parseCell(row[yc])
+			if okX && okY {
+				s.X = append(s.X, x)
+				s.Y = append(s.Y, y)
+			}
+		}
+		series = append(series, s)
+	}
+	return RenderChart(t.Title, width, height, series)
+}
+
+// parseCell extracts the leading float from a cell ("12.3±4.5" → 12.3).
+func parseCell(cell string) (float64, bool) {
+	if i := strings.Index(cell, "±"); i >= 0 {
+		cell = cell[:i]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderChartBasic(t *testing.T) {
+	out := RenderChart("ramp", 40, 10, []Series{
+		{Name: "up", X: []float64{0, 50, 100}, Y: []float64{0, 50, 100}},
+	})
+	if !strings.Contains(out, "ramp") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("marker missing")
+	}
+	if !strings.Contains(out, "* up") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	// The max label appears on the top row, the min on the bottom.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "100") {
+		t.Fatalf("top row missing max label:\n%s", out)
+	}
+}
+
+func TestRenderChartMonotoneRampGeometry(t *testing.T) {
+	out := RenderChart("ramp", 30, 6, []Series{
+		{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+	})
+	lines := strings.Split(out, "\n")[1:7] // plot rows
+	// The top row's marker must be to the right of the bottom row's.
+	top := strings.IndexByte(lines[0], '*')
+	bottom := strings.IndexByte(lines[5], '*')
+	if top <= bottom {
+		t.Fatalf("ramp not increasing (top marker at %d, bottom at %d):\n%s", top, bottom, out)
+	}
+}
+
+func TestRenderChartMultipleSeriesMarkers(t *testing.T) {
+	out := RenderChart("two", 30, 8, []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("distinct markers missing:\n%s", out)
+	}
+}
+
+func TestRenderChartDegenerate(t *testing.T) {
+	if out := RenderChart("empty", 30, 8, nil); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+	// Flat series must not divide by zero.
+	out := RenderChart("flat", 30, 8, []Series{
+		{Name: "f", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}},
+	})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not rendered:\n%s", out)
+	}
+}
+
+func TestRenderChartClampsTinySizes(t *testing.T) {
+	out := RenderChart("tiny", 1, 1, []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}})
+	if len(out) == 0 {
+		t.Fatal("tiny chart empty")
+	}
+}
+
+func TestTableChart(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"PM%", "MSB", "AVG"}}
+	tb.AddRow("0", "150.0±2.0", "150.0")
+	tb.AddRow("50", "290.0±5.0", "130.0")
+	tb.AddRow("100", "1271.0±0.1", "0.0")
+	out := tb.Chart(40, 10, 0, 1, 2)
+	if !strings.Contains(out, "* MSB") || !strings.Contains(out, "o AVG") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1271") {
+		t.Fatalf("y-axis max missing:\n%s", out)
+	}
+}
+
+func TestTableChartSkipsBadCells(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"x", "y"}}
+	tb.AddRow("0", "1.0")
+	tb.AddRow("-", "oops")
+	tb.AddRow("2", "3.0")
+	out := tb.Chart(30, 6, 0, 1)
+	if strings.Contains(out, "no data") {
+		t.Fatalf("valid cells ignored:\n%s", out)
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"12.5", 12.5, true},
+		{"12.5±3.0", 12.5, true},
+		{" 7 ", 7, true},
+		{"-", 0, false},
+		{"rts/cts", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseCell(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseCell(%q) = (%v, %v), want (%v, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}

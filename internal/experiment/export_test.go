@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"dcfguard/internal/sim"
+)
+
+func TestRunAllAndCSV(t *testing.T) {
+	s := quick()
+	s.Duration = sim.Second
+	s.PM = 80
+	results, err := RunAll(s, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Seed != 1 || results[1].Seed != 2 {
+		t.Fatalf("results = %v", results)
+	}
+
+	csv := ResultsCSV(results)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "scenario,seed,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "zero-flow,1,1,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+
+	per := PerSenderCSV(results)
+	perLines := strings.Split(strings.TrimSpace(per), "\n")
+	if len(perLines) != 1+2*8 {
+		t.Fatalf("per-sender CSV has %d lines, want header + 16", len(perLines))
+	}
+	// Rows are seed-major, sender-ascending.
+	if !strings.HasPrefix(perLines[1], "zero-flow,1,1,") {
+		t.Fatalf("first per-sender row = %q", perLines[1])
+	}
+}
+
+func TestRunAllEmptySeeds(t *testing.T) {
+	if _, err := RunAll(quick(), nil); err == nil {
+		t.Fatal("empty seeds accepted")
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if got := csvEscape("a,b"); got != `"a,b"` {
+		t.Fatalf("csvEscape = %q", got)
+	}
+	if got := csvEscape(`say "hi"`); got != `"say ""hi"""` {
+		t.Fatalf("csvEscape = %q", got)
+	}
+	if got := csvEscape("plain"); got != "plain" {
+		t.Fatalf("csvEscape = %q", got)
+	}
+}

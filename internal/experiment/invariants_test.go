@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"dcfguard/internal/sim"
+	"dcfguard/internal/topo"
+)
+
+// TestRunInvariants checks conservation laws that must hold for every
+// scenario, across a diverse set of topologies and protocols.
+func TestRunInvariants(t *testing.T) {
+	scenarios := map[string]func() Scenario{
+		"star-honest-80211": func() Scenario {
+			s := quick()
+			s.Protocol = Protocol80211
+			s.Topo = StarTopo(6, false)
+			return s
+		},
+		"star-two-flow-correct": func() Scenario {
+			s := quick()
+			s.Topo = StarTopo(8, true, 3)
+			s.PM = 60
+			return s
+		},
+		"line": func() Scenario {
+			s := quick()
+			s.Topo = func(uint64) *topo.Topology { return topo.Line(6, 180) }
+			return s
+		},
+		"grid": func() Scenario {
+			s := quick()
+			s.Topo = func(uint64) *topo.Topology { return topo.Grid(3, 3, 160) }
+			return s
+		},
+		"random-two-ray": func() Scenario {
+			s := quick()
+			s.Topo = RandomTopo(15, 2)
+			s.PM = 70
+			s.Shadowing = twoRay()
+			return s
+		},
+		"coherence": func() Scenario {
+			s := quick()
+			s.CoherenceInterval = 200 * sim.Microsecond
+			s.PM = 50
+			return s
+		},
+	}
+	for name, build := range scenarios {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			s := build()
+			s.Duration = 3 * sim.Second
+			r, err := Run(s, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tp := s.Topo(1)
+
+			// Throughput map covers exactly the measured flows.
+			if len(r.ThroughputBySender) != len(tp.Measured) {
+				t.Errorf("throughput map has %d entries, measured %d",
+					len(r.ThroughputBySender), len(tp.Measured))
+			}
+			// TotalKbps is the sum of per-sender goodputs.
+			sum := 0.0
+			for _, v := range r.ThroughputBySender {
+				if v < 0 {
+					t.Errorf("negative throughput %v", v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-r.TotalKbps) > 1e-6 {
+				t.Errorf("TotalKbps %v != sum %v", r.TotalKbps, sum)
+			}
+			// Fairness within Jain bounds (or 0 with no traffic).
+			n := float64(len(tp.Measured))
+			if r.Fairness != 0 && (r.Fairness < 1/n-1e-9 || r.Fairness > 1+1e-9) {
+				t.Errorf("fairness %v outside [1/%v, 1]", r.Fairness, n)
+			}
+			// Percentages are percentages.
+			for _, p := range []float64{r.CorrectDiagnosisPct, r.MisdiagnosisPct} {
+				if p < 0 || p > 100 {
+					t.Errorf("percentage %v out of range", p)
+				}
+			}
+			// Delays are non-negative and consistent with activity.
+			if r.AvgHonestDelayMs < 0 || r.AvgMisbehaverDelayMs < 0 {
+				t.Errorf("negative delay (%v, %v)", r.AvgHonestDelayMs, r.AvgMisbehaverDelayMs)
+			}
+			// Something must actually have happened.
+			if r.TotalKbps == 0 {
+				t.Error("no traffic carried")
+			}
+			if r.EventsFired == 0 {
+				t.Error("no events fired")
+			}
+		})
+	}
+}
+
+// TestRunInvariantsDeterministicAcrossTopologies re-checks determinism
+// on the less common builders.
+func TestRunInvariantsDeterministicAcrossTopologies(t *testing.T) {
+	s := quick()
+	s.Duration = 2 * sim.Second
+	s.Topo = func(uint64) *topo.Topology { return topo.Grid(3, 2, 150) }
+	a, err := Run(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalKbps != b.TotalKbps || a.EventsFired != b.EventsFired {
+		t.Fatal("grid topology run not deterministic")
+	}
+}

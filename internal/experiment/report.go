@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report combines rendered tables (and optional charts) into a single
+// markdown document — the artifact cmd/figures writes with -report.
+type Report struct {
+	Title    string
+	Preamble string
+	sections []reportSection
+}
+
+type reportSection struct {
+	table *Table
+	chart string
+}
+
+// Add appends a table section; withChart also embeds its ASCII chart
+// when the table has numeric columns.
+func (r *Report) Add(t *Table, withChart bool) {
+	sec := reportSection{table: t}
+	if withChart && len(t.Columns) > 1 {
+		yCols := make([]int, 0, len(t.Columns)-1)
+		for c := 1; c < len(t.Columns); c++ {
+			yCols = append(yCols, c)
+		}
+		if plot := t.Chart(64, 16, 0, yCols...); !strings.Contains(plot, "no data") {
+			sec.chart = plot
+		}
+	}
+	r.sections = append(r.sections, sec)
+}
+
+// Len returns the number of sections added so far.
+func (r *Report) Len() int { return len(r.sections) }
+
+// Markdown renders the report. generatedIn, when positive, is recorded
+// in the footer.
+func (r *Report) Markdown(generatedIn time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n\n", r.Title)
+	if r.Preamble != "" {
+		fmt.Fprintf(&b, "%s\n\n", r.Preamble)
+	}
+	for _, sec := range r.sections {
+		fmt.Fprintf(&b, "## %s\n\n", sec.table.Title)
+		// The Render output is already a markdown-compatible table,
+		// minus its own title line.
+		lines := strings.SplitN(sec.table.Render(), "\n", 2)
+		if len(lines) == 2 {
+			b.WriteString(lines[1])
+		}
+		b.WriteByte('\n')
+		if sec.chart != "" {
+			// Drop the chart's duplicate title line inside the fence.
+			chartLines := strings.SplitN(sec.chart, "\n", 2)
+			body := sec.chart
+			if len(chartLines) == 2 {
+				body = chartLines[1]
+			}
+			fmt.Fprintf(&b, "```\n%s```\n\n", body)
+		}
+	}
+	if generatedIn > 0 {
+		fmt.Fprintf(&b, "---\ngenerated in %v\n", generatedIn.Round(time.Millisecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReportMarkdown(t *testing.T) {
+	tb := &Table{Title: "Figure X", Columns: []string{"PM%", "MSB"}}
+	tb.AddRow("0", "150.0")
+	tb.AddRow("100", "1271.0")
+
+	var r Report
+	r.Title = "report"
+	r.Preamble = "preamble text"
+	r.Add(tb, true)
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+
+	out := r.Markdown(3 * time.Second)
+	for _, want := range []string{
+		"# report", "preamble text", "## Figure X",
+		"| PM% | MSB", "| 100 | 1271.0", "```", "generated in 3s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportWithoutChart(t *testing.T) {
+	tb := &Table{Title: "labels only", Columns: []string{"a", "b"}}
+	tb.AddRow("x", "y") // non-numeric: chart must be omitted
+	var r Report
+	r.Add(tb, true)
+	out := r.Markdown(0)
+	if strings.Contains(out, "```") {
+		t.Fatalf("chart fenced block present for non-numeric table:\n%s", out)
+	}
+	if strings.Contains(out, "generated in") {
+		t.Fatal("footer present without duration")
+	}
+}

@@ -1,0 +1,258 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dcfguard/internal/core"
+	"dcfguard/internal/frame"
+	"dcfguard/internal/mac"
+	"dcfguard/internal/medium"
+	"dcfguard/internal/misbehave"
+	"dcfguard/internal/phys"
+	"dcfguard/internal/rng"
+	"dcfguard/internal/sim"
+	"dcfguard/internal/stats"
+	"dcfguard/internal/trace"
+	"dcfguard/internal/traffic"
+)
+
+// Result holds one run's metrics.
+type Result struct {
+	Scenario string
+	Seed     uint64
+	Duration sim.Time
+
+	// Diagnosis accuracy (§5's first two metrics). Zero for 802.11
+	// runs, which have no monitor.
+	CorrectDiagnosisPct float64
+	MisdiagnosisPct     float64
+
+	// Per-sender average goodput: honest ("AVG") and misbehaving
+	// ("MSB") senders.
+	AvgHonestKbps     float64
+	AvgMisbehaverKbps float64
+	// Mean per-packet MAC delay (enqueue → ACK), split the same way.
+	// Lower delay is the other selfish incentive the paper names (§3.1).
+	AvgHonestDelayMs     float64
+	AvgMisbehaverDelayMs float64
+	// TotalKbps is the summed goodput of all measured flows.
+	TotalKbps float64
+	// Fairness is Jain's index over measured flows.
+	Fairness float64
+
+	// Series is the Figure-8 per-bin diagnosis series (empty unless the
+	// scenario sets BinSize).
+	Series []stats.SeriesPoint
+
+	// ThroughputBySender maps each measured flow source to its goodput.
+	ThroughputBySender map[frame.NodeID]float64
+
+	// ProvenMisbehaviors counts attempt-verification catches.
+	ProvenMisbehaviors int
+	// GreedyDetections counts sender-side G-audit failures.
+	GreedyDetections int
+	// CollusionsDetected counts watchdog collusion verdicts;
+	// ColludingPairs lists the flagged (sender, receiver) pairs.
+	CollusionsDetected int
+	ColludingPairs     [][2]frame.NodeID
+
+	// EventsFired is the simulation kernel's event count (for benches).
+	EventsFired uint64
+
+	// Trace is the frame-level timeline, present when the scenario set
+	// TraceEvents.
+	Trace *trace.Recorder
+}
+
+// Run executes the scenario once with the given seed.
+func Run(s Scenario, seed uint64) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	tp := s.Topo(seed)
+	if err := tp.Validate(); err != nil {
+		return Result{}, fmt.Errorf("experiment: %s: %w", s.Name, err)
+	}
+
+	var sched sim.Scheduler
+	root := rng.New(seed)
+	med := medium.New(&sched, medium.Config{
+		Model:             s.Shadowing,
+		CoherenceInterval: s.CoherenceInterval,
+	}, root.Stream("medium"))
+
+	rxRange, csRange := s.RxRangeM, s.CsRangeM
+	if rxRange == 0 {
+		rxRange = 250
+	}
+	if csRange == 0 {
+		csRange = 550
+	}
+	radio := phys.CalibratedRadio(s.Shadowing, 24.5, rxRange, 0.5, csRange, 0.5, s.BitRate)
+
+	misbehaving := make(map[frame.NodeID]bool, len(tp.Misbehaving))
+	for _, id := range tp.Misbehaving {
+		misbehaving[id] = true
+	}
+	receiverSet := make(map[frame.NodeID]bool, len(tp.Receivers))
+	for _, id := range tp.Receivers {
+		receiverSet[id] = true
+	}
+
+	collector := stats.NewCollector(tp.Misbehaving, s.BinSize)
+	result := Result{Scenario: s.Name, Seed: seed, Duration: s.Duration}
+
+	if s.TraceEvents > 0 {
+		rec := trace.New(s.TraceEvents)
+		result.Trace = rec
+		med.Tap = rec.Tap
+		med.DeliveryTap = func(f frame.Frame, now sim.Time) { rec.MarkDelivered(f, now) }
+	}
+
+	events := core.Events{
+		OnClassified: collector.OnClassified,
+		OnProvenMisbehavior: func(frame.NodeID, sim.Time) {
+			result.ProvenMisbehaviors++
+		},
+	}
+
+	// Build nodes in ascending ID order (determinism).
+	nodes := make([]*mac.Node, len(tp.Positions))
+	monitors := make(map[frame.NodeID]*core.Monitor)
+	policies := make(map[frame.NodeID]mac.BackoffPolicy)
+	senderPolicies := make(map[frame.NodeID]*core.AssignedPolicy)
+
+	for i := range tp.Positions {
+		id := frame.NodeID(i)
+		policies[id] = buildPolicy(s, id, misbehaving[id], root, senderPolicies)
+	}
+
+	greedy := make(map[frame.NodeID]bool, len(s.GreedyReceivers))
+	for _, id := range s.GreedyReceivers {
+		greedy[id] = true
+	}
+	colluding := make(map[frame.NodeID]bool, len(s.ColludingReceivers))
+	for _, id := range s.ColludingReceivers {
+		colluding[id] = true
+	}
+	for i := range tp.Positions {
+		id := frame.NodeID(i)
+		var hook mac.ReceiverHook
+		if s.Protocol == ProtocolCorrect && receiverSet[id] {
+			params := s.Core
+			if greedy[id] {
+				params.AssignMode = core.AssignGreedy
+			}
+			if colluding[id] {
+				params.AssignMode = core.AssignGreedy
+				params.WaivePenalties = true
+			}
+			m := core.NewMonitor(id, params, s.MAC, root.Stream(fmt.Sprintf("monitor-%d", id)), events)
+			monitors[id] = m
+			hook = m
+		}
+		cb := mac.Callbacks{
+			OnDeliver: collector.OnDeliver,
+			OnSendSuccess: func(id frame.NodeID) func(frame.NodeID, uint32, int, int, sim.Time, sim.Time) {
+				return func(_ frame.NodeID, _ uint32, _, _ int, enqueuedAt, now sim.Time) {
+					collector.OnSendComplete(id, now-enqueuedAt)
+				}
+			}(id),
+		}
+		nodes[i] = mac.NewNode(id, s.MAC, &sched, med, policies[id], hook, cb)
+		med.Attach(id, tp.Positions[i], radio, nodes[i])
+	}
+
+	// Optional third-party watchdog at the topology centroid.
+	var dog *core.Watchdog
+	if s.Watchdog {
+		dogParams := s.Core
+		if s.Protocol != ProtocolCorrect {
+			dogParams = core.DefaultParams()
+		}
+		dog = core.NewWatchdog(dogParams, s.MAC, s.BitRate)
+		dog.OnCollusion = func(sender, receiver frame.NodeID, _ sim.Time) {
+			result.CollusionsDetected++
+			result.ColludingPairs = append(result.ColludingPairs,
+				[2]frame.NodeID{sender, receiver})
+		}
+		var cx, cy float64
+		for _, p := range tp.Positions {
+			cx += p.X
+			cy += p.Y
+		}
+		n := float64(len(tp.Positions))
+		med.Attach(frame.NodeID(len(tp.Positions)),
+			phys.Point{X: cx / n, Y: cy / n}, radio, dog)
+	}
+
+	// Wire traffic.
+	for _, f := range tp.Flows {
+		n := nodes[f.Src]
+		if f.RateBps > 0 {
+			traffic.NewCBR(&sched, n, f.Dst, s.PayloadBytes, f.RateBps).Start()
+			continue
+		}
+		src := traffic.NewBacklogged(n, f.Dst, s.PayloadBytes, s.QueueDepth)
+		n.SetQueueSpaceCallback(src.Refill)
+		src.Start()
+	}
+
+	sched.Run(s.Duration)
+	if result.Trace != nil {
+		result.Trace.Finalize(sched.Now())
+	}
+
+	// Collect metrics.
+	result.CorrectDiagnosisPct = collector.CorrectDiagnosisPct()
+	result.MisdiagnosisPct = collector.MisdiagnosisPct()
+	result.AvgHonestKbps, result.AvgMisbehaverKbps =
+		collector.SplitThroughputKbps(tp.Measured, s.Duration)
+	result.AvgHonestDelayMs, result.AvgMisbehaverDelayMs =
+		collector.SplitDelayMs(tp.Measured)
+	result.Fairness = collector.Fairness(tp.Measured, s.Duration)
+	result.Series = collector.DiagnosisSeries()
+	result.ThroughputBySender = make(map[frame.NodeID]float64, len(tp.Measured))
+	for _, id := range tp.Measured {
+		tput := collector.ThroughputKbps(id, s.Duration)
+		result.ThroughputBySender[id] = tput
+		result.TotalKbps += tput
+	}
+	for _, p := range senderPolicies {
+		result.GreedyDetections += p.GreedyDetections()
+	}
+	result.EventsFired = sched.EventsFired()
+	return result, nil
+}
+
+// buildPolicy constructs the sender policy for one node, honest or
+// misbehaving, for the scenario's protocol.
+func buildPolicy(s Scenario, id frame.NodeID, misbehaves bool, root *rng.Source,
+	senderPolicies map[frame.NodeID]*core.AssignedPolicy) mac.BackoffPolicy {
+	stream := root.Stream(fmt.Sprintf("policy-%d", id))
+	var honest mac.BackoffPolicy
+	switch s.Protocol {
+	case Protocol80211:
+		honest = mac.NewStandardPolicy(stream)
+	case ProtocolCorrect:
+		ap := core.NewAssignedPolicy(id, s.MAC, stream)
+		ap.VerifyReceiver = s.VerifyReceiverAtSenders
+		senderPolicies[id] = ap
+		honest = ap
+	}
+	if !misbehaves {
+		return honest
+	}
+	switch s.Strategy {
+	case StrategyPartial:
+		return misbehave.NewPartial(honest, s.PM)
+	case StrategyQuarterWindow:
+		return misbehave.NewQuarterWindow(stream.Stream("quarter"))
+	case StrategyNoDoubling:
+		return misbehave.NewNoDoubling(stream.Stream("nodouble"), s.MAC.CWMin)
+	case StrategyAttemptLiar:
+		return misbehave.NewAttemptLiar(misbehave.NewPartial(honest, s.PM))
+	default:
+		panic(fmt.Sprintf("experiment: unreachable strategy %d", s.Strategy))
+	}
+}

@@ -1,0 +1,201 @@
+// Package experiment assembles full simulation runs from the substrate
+// packages and reproduces the paper's evaluation: scenario definitions,
+// a deterministic single-run executor, parallel multi-seed aggregation,
+// and one generator per paper figure (4 through 9) plus the ablations
+// listed in DESIGN.md.
+package experiment
+
+import (
+	"fmt"
+
+	"dcfguard/internal/core"
+	"dcfguard/internal/frame"
+	"dcfguard/internal/mac"
+	"dcfguard/internal/phys"
+	"dcfguard/internal/sim"
+	"dcfguard/internal/topo"
+)
+
+// Protocol selects the MAC variant under test.
+type Protocol int
+
+const (
+	// Protocol80211 is unmodified IEEE 802.11 DCF (the baseline).
+	Protocol80211 Protocol = iota + 1
+	// ProtocolCorrect is the paper's scheme: receiver-assigned backoff
+	// with detection, correction and diagnosis.
+	ProtocolCorrect
+)
+
+// String returns the protocol's name as used in the paper's figures.
+func (p Protocol) String() string {
+	switch p {
+	case Protocol80211:
+		return "802.11"
+	case ProtocolCorrect:
+		return "CORRECT"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Strategy selects how misbehaving senders cheat.
+type Strategy int
+
+const (
+	// StrategyPartial counts only (100−PM)% of each backoff — the
+	// paper's parameterised misbehavior model.
+	StrategyPartial Strategy = iota + 1
+	// StrategyQuarterWindow draws from [0, CW/4] (the 802.11 example
+	// misbehavior from the introduction).
+	StrategyQuarterWindow
+	// StrategyNoDoubling never doubles the contention window.
+	StrategyNoDoubling
+	// StrategyAttemptLiar counts (100−PM)% like Partial and also lies
+	// in the RTS attempt field (countered by attempt verification).
+	StrategyAttemptLiar
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyPartial:
+		return "partial"
+	case StrategyQuarterWindow:
+		return "quarter-window"
+	case StrategyNoDoubling:
+		return "no-doubling"
+	case StrategyAttemptLiar:
+		return "attempt-liar"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Scenario describes one simulation configuration. Running it with a
+// seed is a pure function: identical (Scenario, seed) pairs produce
+// identical results.
+type Scenario struct {
+	// Name labels result tables.
+	Name string
+	// Topo builds the topology; it receives the run seed so random
+	// topologies differ per run while star topologies ignore it.
+	Topo func(seed uint64) *topo.Topology
+	// Protocol selects baseline 802.11 or the paper's scheme.
+	Protocol Protocol
+	// Strategy and PM configure the misbehaving senders listed in the
+	// topology. PM is the paper's "Percentage of Misbehavior".
+	Strategy Strategy
+	PM       int
+	// Duration is the simulated time (the paper uses 50 s).
+	Duration sim.Time
+	// PayloadBytes is the CBR/backlogged packet size (paper: 512).
+	PayloadBytes int
+	// Core configures the monitor (used when Protocol == ProtocolCorrect).
+	Core core.Params
+	// MAC configures DCF timing and contention.
+	MAC mac.Params
+	// Shadowing configures propagation; Bitrate the channel rate.
+	Shadowing phys.Shadowing
+	BitRate   int64
+	// RxRangeM and CsRangeM are the 50%-probability calibration
+	// distances for reception and carrier sense. Zero selects the
+	// paper's 250 m / 550 m. Shrinking CsRangeM below twice RxRangeM
+	// creates hidden terminals.
+	RxRangeM, CsRangeM float64
+	// CoherenceInterval, when positive, enables sub-frame carrier-sense
+	// re-draws in the medium.
+	CoherenceInterval sim.Time
+	// BinSize enables the Figure-8 diagnosis time series when positive.
+	BinSize sim.Time
+	// QueueDepth is the backlogged-source refill depth.
+	QueueDepth int
+	// VerifyReceiverAtSenders enables the §4.4 sender-side audit of
+	// assignments against G (only meaningful with ProtocolCorrect).
+	VerifyReceiverAtSenders bool
+	// GreedyReceivers lists receivers whose monitor misbehaves by
+	// assigning zero base backoff (§4.4's greedy-receiver threat),
+	// overriding Core.AssignMode for those nodes only.
+	GreedyReceivers []frame.NodeID
+	// ColludingReceivers lists receivers that collude with their
+	// senders: zero base assignments *and* waived penalties (§4.4).
+	// Only a third-party Watchdog can expose them.
+	ColludingReceivers []frame.NodeID
+	// Watchdog places a passive third-party observer at the centroid of
+	// the topology, running §4.4's collusion detection. Results appear
+	// in Result.CollusionsDetected / Result.ColludingPairs.
+	Watchdog bool
+	// TraceEvents, when positive, records up to that many frame
+	// transmissions in Result.Trace (text timeline and pcap export).
+	TraceEvents int
+}
+
+// DefaultScenario returns the paper's base configuration: Figure-3
+// ZERO-FLOW star with 8 senders, node 3 misbehaving with StrategyPartial,
+// 50 s runs, 512 B packets, 2 Mbps channel, shadowing with σ = 1 dB.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Name:         "zero-flow",
+		Topo:         StarTopo(8, false, 3),
+		Protocol:     ProtocolCorrect,
+		Strategy:     StrategyPartial,
+		PM:           0,
+		Duration:     50 * sim.Second,
+		PayloadBytes: 512,
+		Core:         core.DefaultParams(),
+		MAC:          mac.DefaultParams(),
+		Shadowing:    phys.DefaultShadowing(),
+		BitRate:      2_000_000,
+		BinSize:      0,
+		QueueDepth:   8,
+	}
+}
+
+// StarTopo returns a topology builder for the Figure-3 star with the
+// given misbehaving sender IDs (pass no IDs for a fully honest network).
+func StarTopo(nSenders int, twoFlow bool, misbehaving ...int) func(uint64) *topo.Topology {
+	ids := make([]frame.NodeID, 0, len(misbehaving))
+	for _, id := range misbehaving {
+		ids = append(ids, frame.NodeID(id))
+	}
+	return func(uint64) *topo.Topology {
+		return topo.Star(nSenders, twoFlow, ids)
+	}
+}
+
+// Validate reports whether the scenario is runnable.
+func (s Scenario) Validate() error {
+	switch {
+	case s.Topo == nil:
+		return fmt.Errorf("experiment: %s: nil topology builder", s.Name)
+	case s.Duration <= 0:
+		return fmt.Errorf("experiment: %s: duration %v", s.Name, s.Duration)
+	case s.PayloadBytes <= 0:
+		return fmt.Errorf("experiment: %s: payload %d", s.Name, s.PayloadBytes)
+	case s.PM < 0 || s.PM > 100:
+		return fmt.Errorf("experiment: %s: PM %d", s.Name, s.PM)
+	case s.BitRate <= 0:
+		return fmt.Errorf("experiment: %s: bit rate %d", s.Name, s.BitRate)
+	case s.QueueDepth < 1:
+		return fmt.Errorf("experiment: %s: queue depth %d", s.Name, s.QueueDepth)
+	}
+	switch s.Protocol {
+	case Protocol80211, ProtocolCorrect:
+	default:
+		return fmt.Errorf("experiment: %s: invalid protocol %d", s.Name, s.Protocol)
+	}
+	switch s.Strategy {
+	case StrategyPartial, StrategyQuarterWindow, StrategyNoDoubling, StrategyAttemptLiar:
+	default:
+		return fmt.Errorf("experiment: %s: invalid strategy %d", s.Name, s.Strategy)
+	}
+	if err := s.MAC.Validate(); err != nil {
+		return fmt.Errorf("experiment: %s: %w", s.Name, err)
+	}
+	if s.Protocol == ProtocolCorrect {
+		if err := s.Core.Validate(); err != nil {
+			return fmt.Errorf("experiment: %s: %w", s.Name, err)
+		}
+	}
+	return s.Shadowing.Validate()
+}

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dcfguard/internal/sim"
+	"dcfguard/internal/stats"
+)
+
+// Aggregate holds multi-seed summaries of one scenario's metrics.
+type Aggregate struct {
+	Scenario string
+	Runs     int
+
+	CorrectDiagnosisPct  stats.Summary
+	MisdiagnosisPct      stats.Summary
+	AvgHonestKbps        stats.Summary
+	AvgMisbehaverKbps    stats.Summary
+	AvgHonestDelayMs     stats.Summary
+	AvgMisbehaverDelayMs stats.Summary
+	TotalKbps            stats.Summary
+	Fairness             stats.Summary
+
+	// Series is the packet-weighted per-bin diagnosis series pooled
+	// across runs.
+	Series []stats.SeriesPoint
+
+	ProvenMisbehaviors int
+	GreedyDetections   int
+}
+
+// Seeds returns the paper's seed convention: the same fixed set
+// (1..n) for every data point.
+func Seeds(n int) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = uint64(i + 1)
+	}
+	return s
+}
+
+// RunSeeds executes the scenario once per seed, in parallel across
+// GOMAXPROCS workers, and aggregates the results.
+func RunSeeds(s Scenario, seeds []uint64) (Aggregate, error) {
+	if len(seeds) == 0 {
+		return Aggregate{}, fmt.Errorf("experiment: %s: no seeds", s.Name)
+	}
+	results := make([]Result, len(seeds))
+	errs := make([]error, len(seeds))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = Run(s, seeds[i])
+			}
+		}()
+	}
+	for i := range seeds {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return Aggregate{}, fmt.Errorf("experiment: %s seed %d: %w", s.Name, seeds[i], err)
+		}
+	}
+	return aggregate(s.Name, results), nil
+}
+
+func aggregate(name string, results []Result) Aggregate {
+	agg := Aggregate{Scenario: name, Runs: len(results)}
+	var correct, misdiag, honest, mis, hDelay, mDelay, total, fair stats.Welford
+
+	// Pool series bins across runs, weighting by packet counts.
+	type binAcc struct {
+		weighted float64
+		packets  int
+		start    sim.Time
+	}
+	var bins []binAcc
+
+	for _, r := range results {
+		correct.Add(r.CorrectDiagnosisPct)
+		misdiag.Add(r.MisdiagnosisPct)
+		honest.Add(r.AvgHonestKbps)
+		mis.Add(r.AvgMisbehaverKbps)
+		hDelay.Add(r.AvgHonestDelayMs)
+		mDelay.Add(r.AvgMisbehaverDelayMs)
+		total.Add(r.TotalKbps)
+		fair.Add(r.Fairness)
+		agg.ProvenMisbehaviors += r.ProvenMisbehaviors
+		agg.GreedyDetections += r.GreedyDetections
+		for i, p := range r.Series {
+			for len(bins) <= i {
+				bins = append(bins, binAcc{start: p.Start})
+			}
+			bins[i].weighted += p.CorrectPct * float64(p.Packets)
+			bins[i].packets += p.Packets
+		}
+	}
+	agg.CorrectDiagnosisPct = correct.Summarize()
+	agg.MisdiagnosisPct = misdiag.Summarize()
+	agg.AvgHonestKbps = honest.Summarize()
+	agg.AvgMisbehaverKbps = mis.Summarize()
+	agg.AvgHonestDelayMs = hDelay.Summarize()
+	agg.AvgMisbehaverDelayMs = mDelay.Summarize()
+	agg.TotalKbps = total.Summarize()
+	agg.Fairness = fair.Summarize()
+	for _, b := range bins {
+		p := stats.SeriesPoint{Start: b.start, Packets: b.packets}
+		if b.packets > 0 {
+			p.CorrectPct = b.weighted / float64(b.packets)
+		}
+		agg.Series = append(agg.Series, p)
+	}
+	return agg
+}

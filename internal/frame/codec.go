@@ -1,0 +1,49 @@
+package frame
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dcfguard/internal/sim"
+)
+
+// wireSize is the fixed size of the encoded header. The codec exists so
+// tools (traces, conformance tests, a future pcap writer) have a stable
+// byte representation of the modified headers; the simulated airtime
+// uses Bytes(), which models the true 802.11 sizes.
+const wireSize = 1 + 4 + 4 + 4 + 1 + 4 + 8 + 4
+
+// Marshal encodes the frame header into a fixed-width big-endian layout.
+func Marshal(f Frame) []byte {
+	buf := make([]byte, wireSize)
+	buf[0] = byte(f.Type)
+	binary.BigEndian.PutUint32(buf[1:], uint32(int32(f.Src)))
+	binary.BigEndian.PutUint32(buf[5:], uint32(int32(f.Dst)))
+	binary.BigEndian.PutUint32(buf[9:], f.Seq)
+	buf[13] = f.Attempt
+	binary.BigEndian.PutUint32(buf[14:], uint32(f.AssignedBackoff))
+	binary.BigEndian.PutUint64(buf[18:], uint64(f.Duration))
+	binary.BigEndian.PutUint32(buf[26:], uint32(int32(f.PayloadBytes)))
+	return buf
+}
+
+// Unmarshal decodes a header written by Marshal.
+func Unmarshal(buf []byte) (Frame, error) {
+	if len(buf) != wireSize {
+		return Frame{}, fmt.Errorf("frame: wire length %d, want %d", len(buf), wireSize)
+	}
+	f := Frame{
+		Type:            Type(buf[0]),
+		Src:             NodeID(int32(binary.BigEndian.Uint32(buf[1:]))),
+		Dst:             NodeID(int32(binary.BigEndian.Uint32(buf[5:]))),
+		Seq:             binary.BigEndian.Uint32(buf[9:]),
+		Attempt:         buf[13],
+		AssignedBackoff: int32(binary.BigEndian.Uint32(buf[14:])),
+		Duration:        sim.Time(binary.BigEndian.Uint64(buf[18:])),
+		PayloadBytes:    int(int32(binary.BigEndian.Uint32(buf[26:]))),
+	}
+	if err := f.Validate(); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}

@@ -1,0 +1,157 @@
+// Package frame defines the MAC frames exchanged on the simulated
+// channel: the four IEEE 802.11 DCF frame types (RTS, CTS, DATA, ACK)
+// extended with the two header fields the paper adds — an Attempt number
+// in the RTS, and a receiver-assigned backoff in the CTS and ACK.
+package frame
+
+import (
+	"fmt"
+
+	"dcfguard/internal/sim"
+)
+
+// NodeID identifies a node. IDs are small dense integers assigned by the
+// network builder; they double as the nodeId input of the paper's
+// deterministic retransmission function f.
+type NodeID int
+
+// Type is the MAC frame type.
+type Type uint8
+
+// Frame types. Start at 1 so the zero value is invalid and accidental
+// zero-initialised frames are caught by Validate.
+const (
+	RTS Type = iota + 1
+	CTS
+	Data
+	Ack
+)
+
+// String returns the conventional name of the frame type.
+func (t Type) String() string {
+	switch t {
+	case RTS:
+		return "RTS"
+	case CTS:
+		return "CTS"
+	case Data:
+		return "DATA"
+	case Ack:
+		return "ACK"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// MAC-layer frame sizes in bytes, per IEEE 802.11 (1999) §7. The control
+// frames carry the paper's extra fields: +1 byte attempt number on RTS,
+// +2 bytes assigned backoff on CTS and ACK. DATA overhead is the 24-byte
+// MAC header plus 4-byte FCS.
+const (
+	RTSBytes     = 20 + 1
+	CTSBytes     = 14 + 2
+	AckBytes     = 14 + 2
+	DataOverhead = 28
+	// PLCPPreamble is the long-preamble PLCP duration (144 µs preamble
+	// + 48 µs header at 1 Mbps), spent once per frame regardless of the
+	// MAC bit rate.
+	PLCPPreamble = 192 * sim.Microsecond
+)
+
+// Frame is one MAC frame on the air. Frames are immutable once
+// transmitted; the medium hands the same value to every receiver.
+type Frame struct {
+	Type Type
+	// Src and Dst are the transmitter and intended receiver. Control
+	// and data frames in DCF are all unicast; overhearing nodes use
+	// Duration for their NAV.
+	Src, Dst NodeID
+	// Seq numbers DATA transmissions per sender, for duplicate
+	// filtering and tracing.
+	Seq uint32
+	// Attempt is the paper's new RTS header field: 1 after a success,
+	// incremented on every retransmission. Zero on non-RTS frames.
+	Attempt uint8
+	// AssignedBackoff is the backoff (in slots) the receiver assigns to
+	// the sender for its next transmission, carried in CTS and ACK
+	// frames (the paper's protocol). Negative means "not present"
+	// (plain 802.11 operation).
+	AssignedBackoff int32
+	// Duration is the NAV value: how long after this frame ends the
+	// medium remains reserved for the ongoing exchange.
+	Duration sim.Time
+	// PayloadBytes is the application payload length of a DATA frame.
+	PayloadBytes int
+}
+
+// Validate reports whether the frame is well-formed.
+func (f Frame) Validate() error {
+	switch f.Type {
+	case RTS:
+		if f.Attempt == 0 {
+			return fmt.Errorf("frame: RTS with zero attempt number")
+		}
+	case CTS, Ack:
+	case Data:
+		if f.PayloadBytes < 0 {
+			return fmt.Errorf("frame: DATA with negative payload %d", f.PayloadBytes)
+		}
+	default:
+		return fmt.Errorf("frame: invalid type %d", f.Type)
+	}
+	if f.Src == f.Dst {
+		return fmt.Errorf("frame: src == dst == %d", f.Src)
+	}
+	if f.Duration < 0 {
+		return fmt.Errorf("frame: negative duration %v", f.Duration)
+	}
+	return nil
+}
+
+// Bytes returns the frame's on-air MAC size in bytes.
+func (f Frame) Bytes() int {
+	switch f.Type {
+	case RTS:
+		return RTSBytes
+	case CTS:
+		return CTSBytes
+	case Ack:
+		return AckBytes
+	case Data:
+		return DataOverhead + f.PayloadBytes
+	default:
+		panic(fmt.Sprintf("frame: Bytes on invalid type %d", f.Type))
+	}
+}
+
+// Airtime returns the time the frame occupies the channel at the given
+// bit rate, including the fixed-rate PLCP preamble.
+func (f Frame) Airtime(bitRate int64) sim.Time {
+	return Airtime(f.Bytes(), bitRate)
+}
+
+// Airtime returns the on-air duration of a MAC frame of the given size,
+// including the PLCP preamble.
+func Airtime(bytes int, bitRate int64) sim.Time {
+	if bytes < 0 || bitRate <= 0 {
+		panic(fmt.Sprintf("frame: Airtime(%d bytes, %d bps)", bytes, bitRate))
+	}
+	bits := int64(bytes) * 8
+	return PLCPPreamble + sim.Time(bits*int64(sim.Second)/bitRate)
+}
+
+// String renders the frame for traces.
+func (f Frame) String() string {
+	switch f.Type {
+	case RTS:
+		return fmt.Sprintf("RTS %d->%d seq=%d attempt=%d", f.Src, f.Dst, f.Seq, f.Attempt)
+	case CTS:
+		return fmt.Sprintf("CTS %d->%d backoff=%d", f.Src, f.Dst, f.AssignedBackoff)
+	case Data:
+		return fmt.Sprintf("DATA %d->%d seq=%d len=%d", f.Src, f.Dst, f.Seq, f.PayloadBytes)
+	case Ack:
+		return fmt.Sprintf("ACK %d->%d backoff=%d", f.Src, f.Dst, f.AssignedBackoff)
+	default:
+		return fmt.Sprintf("frame type=%d %d->%d", f.Type, f.Src, f.Dst)
+	}
+}

@@ -1,0 +1,209 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcfguard/internal/sim"
+)
+
+func validRTS() Frame {
+	return Frame{Type: RTS, Src: 1, Dst: 2, Seq: 7, Attempt: 1, AssignedBackoff: -1,
+		Duration: 500 * sim.Microsecond}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{RTS: "RTS", CTS: "CTS", Data: "DATA", Ack: "ACK", Type(9): "Type(9)"}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", ty, got, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validRTS().Validate(); err != nil {
+		t.Fatalf("valid RTS rejected: %v", err)
+	}
+
+	f := validRTS()
+	f.Attempt = 0
+	if f.Validate() == nil {
+		t.Error("RTS with attempt 0 passed validation")
+	}
+
+	f = validRTS()
+	f.Dst = f.Src
+	if f.Validate() == nil {
+		t.Error("frame with src == dst passed validation")
+	}
+
+	f = validRTS()
+	f.Duration = -1
+	if f.Validate() == nil {
+		t.Error("frame with negative duration passed validation")
+	}
+
+	f = Frame{Type: Data, Src: 1, Dst: 2, PayloadBytes: -1}
+	if f.Validate() == nil {
+		t.Error("DATA with negative payload passed validation")
+	}
+
+	var zero Frame
+	if zero.Validate() == nil {
+		t.Error("zero frame passed validation")
+	}
+
+	for _, ty := range []Type{CTS, Ack} {
+		f := Frame{Type: ty, Src: 1, Dst: 2, AssignedBackoff: 12}
+		if err := f.Validate(); err != nil {
+			t.Errorf("valid %v rejected: %v", ty, err)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		f    Frame
+		want int
+	}{
+		{Frame{Type: RTS}, RTSBytes},
+		{Frame{Type: CTS}, CTSBytes},
+		{Frame{Type: Ack}, AckBytes},
+		{Frame{Type: Data, PayloadBytes: 512}, 540},
+		{Frame{Type: Data, PayloadBytes: 0}, DataOverhead},
+	}
+	for _, c := range cases {
+		if got := c.f.Bytes(); got != c.want {
+			t.Errorf("%v Bytes() = %d, want %d", c.f.Type, got, c.want)
+		}
+	}
+}
+
+func TestBytesPanicsOnInvalidType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bytes on invalid type did not panic")
+		}
+	}()
+	_ = Frame{}.Bytes()
+}
+
+func TestAirtime(t *testing.T) {
+	// 512-byte payload DATA at 2 Mbps: 540 B · 8 / 2 Mbps = 2160 µs,
+	// plus 192 µs preamble.
+	f := Frame{Type: Data, PayloadBytes: 512}
+	if got, want := f.Airtime(2_000_000), 2352*sim.Microsecond; got != want {
+		t.Errorf("DATA airtime = %v, want %v", got, want)
+	}
+	// RTS with the +1 attempt byte: 21 B · 8 / 2 Mbps = 84 µs + 192 µs.
+	if got, want := (Frame{Type: RTS}).Airtime(2_000_000), 276*sim.Microsecond; got != want {
+		t.Errorf("RTS airtime = %v, want %v", got, want)
+	}
+}
+
+func TestAirtimeScalesWithRate(t *testing.T) {
+	f := Frame{Type: Data, PayloadBytes: 1000}
+	slow := f.Airtime(1_000_000)
+	fast := f.Airtime(2_000_000)
+	// MAC part halves; the preamble does not.
+	macSlow := slow - PLCPPreamble
+	macFast := fast - PLCPPreamble
+	if macSlow != 2*macFast {
+		t.Errorf("MAC airtime did not halve: %v vs %v", macSlow, macFast)
+	}
+}
+
+func TestAirtimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Airtime with zero bit rate did not panic")
+		}
+	}()
+	Airtime(10, 0)
+}
+
+func TestString(t *testing.T) {
+	for _, f := range []Frame{
+		validRTS(),
+		{Type: CTS, Src: 2, Dst: 1, AssignedBackoff: 9},
+		{Type: Data, Src: 1, Dst: 2, Seq: 3, PayloadBytes: 512},
+		{Type: Ack, Src: 2, Dst: 1, AssignedBackoff: 4},
+		{Type: Type(9), Src: 1, Dst: 2},
+	} {
+		if f.String() == "" {
+			t.Errorf("empty String() for %+v", f)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	frames := []Frame{
+		validRTS(),
+		{Type: CTS, Src: 2, Dst: 1, AssignedBackoff: 31, Duration: sim.Millisecond},
+		{Type: Data, Src: 1, Dst: 2, Seq: 99, PayloadBytes: 512, Duration: 400 * sim.Microsecond},
+		{Type: Ack, Src: 2, Dst: 1, AssignedBackoff: 0},
+	}
+	for _, f := range frames {
+		got, err := Unmarshal(Marshal(f))
+		if err != nil {
+			t.Fatalf("roundtrip %v: %v", f, err)
+		}
+		if got != f {
+			t.Errorf("roundtrip changed frame:\n got %+v\nwant %+v", got, f)
+		}
+	}
+}
+
+func TestCodecRejectsBadLength(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 5)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+}
+
+func TestCodecRejectsInvalidFrame(t *testing.T) {
+	f := validRTS()
+	buf := Marshal(f)
+	buf[0] = 0 // invalid type
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("invalid decoded frame accepted")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(src, dst int16, seq uint32, attempt uint8, backoff int32, dur uint32, payload uint16) bool {
+		if src == dst {
+			return true
+		}
+		fr := Frame{
+			Type:            Data,
+			Src:             NodeID(src),
+			Dst:             NodeID(dst),
+			Seq:             seq,
+			AssignedBackoff: backoff,
+			Duration:        sim.Time(dur),
+			PayloadBytes:    int(payload),
+		}
+		got, err := Unmarshal(Marshal(fr))
+		return err == nil && got == fr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAirtimeMonotonicInSize(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return Airtime(x, 2_000_000) <= Airtime(y, 2_000_000)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

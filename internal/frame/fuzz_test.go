@@ -1,0 +1,52 @@
+package frame
+
+import (
+	"testing"
+
+	"dcfguard/internal/sim"
+)
+
+// FuzzUnmarshal ensures the codec never panics on arbitrary input and
+// that anything it accepts round-trips bit-exactly.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(Marshal(Frame{Type: RTS, Src: 1, Dst: 2, Seq: 7, Attempt: 1,
+		AssignedBackoff: -1, Duration: 500 * sim.Microsecond}))
+	f.Add(Marshal(Frame{Type: Data, Src: 3, Dst: 4, Seq: 9, PayloadBytes: 512}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Accepted frames must validate and survive a round trip.
+		if verr := fr.Validate(); verr != nil {
+			t.Fatalf("Unmarshal accepted an invalid frame: %v", verr)
+		}
+		again, err := Unmarshal(Marshal(fr))
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if again != fr {
+			t.Fatalf("round trip changed frame: %+v vs %+v", again, fr)
+		}
+	})
+}
+
+// FuzzAirtime ensures airtime computation is total over its domain.
+func FuzzAirtime(f *testing.F) {
+	f.Add(512, int64(2_000_000))
+	f.Add(0, int64(1))
+	f.Fuzz(func(t *testing.T, bytes int, rate int64) {
+		if bytes < 0 || rate <= 0 {
+			return
+		}
+		if bytes > 1<<20 {
+			bytes %= 1 << 20
+		}
+		if got := Airtime(bytes, rate); got < PLCPPreamble {
+			t.Fatalf("Airtime(%d, %d) = %v below preamble", bytes, rate, got)
+		}
+	})
+}

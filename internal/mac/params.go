@@ -1,0 +1,118 @@
+// Package mac implements the IEEE 802.11 (1999) Distributed
+// Coordination Function: slotted backoff with freeze/resume, virtual
+// carrier sense (NAV), the RTS/CTS/DATA/ACK exchange, contention-window
+// doubling and retry limits.
+//
+// Two seams make the paper's scheme pluggable without forking the state
+// machine:
+//
+//   - BackoffPolicy decides how many slots the *sender* counts before
+//     each transmission attempt. The standard policy draws uniformly
+//     from [0, CW]; the paper's scheme substitutes the receiver-assigned
+//     value and the deterministic retry function f; misbehaving nodes
+//     wrap either policy and shave the count.
+//   - ReceiverHook observes the *receiver* side of every exchange and
+//     chooses the backoff values advertised in CTS/ACK frames. The
+//     paper's detection/correction/diagnosis logic lives behind this
+//     hook (internal/core); plain 802.11 uses no hook.
+package mac
+
+import (
+	"fmt"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/sim"
+)
+
+// frameAckAirtime is a small indirection so Params has no direct frame
+// dependency in its method set beyond this helper.
+func frameAckAirtime(bitRate int64) sim.Time {
+	return frame.Airtime(frame.AckBytes, bitRate)
+}
+
+// Params holds the 802.11 DCF timing and contention constants. The
+// defaults (DefaultParams) are the DSSS PHY values used by the paper's
+// ns-2 setup.
+type Params struct {
+	// SlotTime is the backoff slot duration (DSSS: 20 µs).
+	SlotTime sim.Time
+	// SIFS is the short interframe space (DSSS: 10 µs).
+	SIFS sim.Time
+	// CWMin and CWMax bound the contention window (DSSS: 31, 1023).
+	CWMin, CWMax int
+	// RetryLimit is the maximum number of transmission attempts per
+	// packet before it is dropped (802.11 dot11ShortRetryLimit: 7).
+	RetryLimit int
+	// QueueCap bounds the per-node interface queue.
+	QueueCap int
+	// UseEIFS enables 802.11's extended interframe space: after a
+	// corrupted reception the next countdown resume waits EIFS instead
+	// of DIFS, protecting the (unheard) ACK of the colliding exchange.
+	// Off by default: the paper's results were calibrated without it,
+	// and its effect at this scale is small (see TestEIFSDefersAfterCollision).
+	UseEIFS bool
+	// BasicAccess disables the RTS/CTS exchange: DATA is sent directly
+	// after backoff, carrying the attempt number the paper's scheme
+	// needs (its footnote 2: "the proposed scheme can be applied even
+	// when RTS/CTS exchange is not used"). Assignments then ride only
+	// on ACKs.
+	BasicAccess bool
+}
+
+// DefaultParams returns the IEEE 802.11 DSSS parameter set.
+func DefaultParams() Params {
+	return Params{
+		SlotTime:   20 * sim.Microsecond,
+		SIFS:       10 * sim.Microsecond,
+		CWMin:      31,
+		CWMax:      1023,
+		RetryLimit: 7,
+		QueueCap:   64,
+	}
+}
+
+// DIFS is the distributed interframe space: SIFS + 2 slots.
+func (p Params) DIFS() sim.Time { return p.SIFS + 2*p.SlotTime }
+
+// EIFS is the extended interframe space used after corrupted
+// receptions: SIFS + the airtime of an ACK at the given bit rate + DIFS
+// (802.11 §9.2.3.4).
+func (p Params) EIFS(bitRate int64) sim.Time {
+	return p.SIFS + frameAckAirtime(bitRate) + p.DIFS()
+}
+
+// CW returns the contention window for the i-th transmission attempt
+// (1-based), exactly as the paper specifies:
+// CW_i = min((CWMin+1)·2^(i-1) − 1, CWMax).
+func (p Params) CW(attempt int) int {
+	if attempt < 1 {
+		panic(fmt.Sprintf("mac: CW attempt %d < 1", attempt))
+	}
+	cw := p.CWMin
+	for i := 1; i < attempt; i++ {
+		cw = (cw+1)*2 - 1
+		if cw >= p.CWMax {
+			return p.CWMax
+		}
+	}
+	return cw
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.SlotTime <= 0:
+		return fmt.Errorf("mac: slot time %v must be positive", p.SlotTime)
+	case p.SIFS <= 0:
+		return fmt.Errorf("mac: SIFS %v must be positive", p.SIFS)
+	case p.CWMin < 1:
+		return fmt.Errorf("mac: CWMin %d must be at least 1", p.CWMin)
+	case p.CWMax < p.CWMin:
+		return fmt.Errorf("mac: CWMax %d below CWMin %d", p.CWMax, p.CWMin)
+	case p.RetryLimit < 1:
+		return fmt.Errorf("mac: retry limit %d must be at least 1", p.RetryLimit)
+	case p.QueueCap < 1:
+		return fmt.Errorf("mac: queue capacity %d must be at least 1", p.QueueCap)
+	}
+	return nil
+}

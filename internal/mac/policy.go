@@ -1,0 +1,58 @@
+package mac
+
+import (
+	"dcfguard/internal/frame"
+	"dcfguard/internal/rng"
+)
+
+// BackoffPolicy decides the backoff counts a sender uses. The MAC owns
+// attempt numbering and contention-window doubling; the policy only maps
+// (destination, attempt, cw) to a slot count. Implementations:
+// StandardPolicy (this package), the paper's assigned-backoff policy
+// (internal/core), and misbehaving wrappers (internal/misbehave).
+type BackoffPolicy interface {
+	// InitialBackoff returns the slots to count before attempt 1 of a
+	// new packet to dst, given the current contention window.
+	InitialBackoff(dst frame.NodeID, cw int) int
+	// RetryBackoff returns the slots to count before retransmission
+	// attempt attempt (≥ 2), given that attempt's contention window.
+	RetryBackoff(dst frame.NodeID, attempt, cw int) int
+	// OnAssigned delivers a backoff value advertised by dst in a CTS or
+	// ACK for the exchange with sequence seq. final is true for the ACK
+	// (exchange complete): the value becomes the backoff for the next
+	// packet to dst.
+	OnAssigned(dst frame.NodeID, seq uint32, backoff int, final bool)
+	// ReportAttempt returns the attempt number to advertise in the RTS
+	// header. Honest policies return the actual value; an attempt-lying
+	// misbehaver returns something smaller.
+	ReportAttempt(actual int) int
+}
+
+// StandardPolicy implements plain IEEE 802.11 backoff: every attempt
+// draws uniformly from [0, CW]. Assigned backoff values are ignored.
+type StandardPolicy struct {
+	src *rng.Source
+}
+
+// NewStandardPolicy returns the 802.11 policy drawing from src.
+func NewStandardPolicy(src *rng.Source) *StandardPolicy {
+	return &StandardPolicy{src: src}
+}
+
+var _ BackoffPolicy = (*StandardPolicy)(nil)
+
+// InitialBackoff draws uniformly from [0, cw].
+func (p *StandardPolicy) InitialBackoff(_ frame.NodeID, cw int) int {
+	return p.src.IntRange(0, cw)
+}
+
+// RetryBackoff draws uniformly from [0, cw].
+func (p *StandardPolicy) RetryBackoff(_ frame.NodeID, _ int, cw int) int {
+	return p.src.IntRange(0, cw)
+}
+
+// OnAssigned ignores receiver-advertised values (plain 802.11).
+func (p *StandardPolicy) OnAssigned(frame.NodeID, uint32, int, bool) {}
+
+// ReportAttempt reports honestly.
+func (p *StandardPolicy) ReportAttempt(actual int) int { return actual }

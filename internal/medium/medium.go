@@ -1,0 +1,363 @@
+// Package medium implements the shared wireless channel. It connects
+// node positions and radios (internal/phys) to MAC-layer state machines
+// (internal/mac): when a node transmits, the medium decides — per
+// observer, from a shadowing draw of the received power — whether the
+// transmission is sensed (carrier busy) and whether it is decodable, and
+// resolves collisions between overlapping decodable frames.
+//
+// Modelling notes, relative to the paper's ns-2 setup:
+//
+//   - Propagation delay is ignored (≤ 2 µs at the paper's distances,
+//     a tenth of a slot); all observers see a frame start and end at the
+//     transmitter's instants.
+//   - Each (transmission, observer) pair gets an independent shadowing
+//     draw. An optional coherence interval re-draws the *sensing*
+//     decision within a frame at slot granularity, mirroring the paper's
+//     modification of ns-2's physical carrier sensing.
+//   - Two decodable frames overlapping at an observer destroy each other
+//     unless one exceeds the other by the radio's capture margin.
+//     Sub-receive-threshold energy never corrupts a frame, as in
+//     classic ns-2.
+package medium
+
+import (
+	"fmt"
+	"sort"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/phys"
+	"dcfguard/internal/rng"
+	"dcfguard/internal/sim"
+)
+
+// Listener receives channel events at one node. Implementations are the
+// MAC state machines and the receiver-side idle-slot observer.
+//
+// Ordering guarantees at identical instants: FrameReceived fires before
+// CarrierIdle, so a responder can arm its SIFS response before seeing
+// the channel go idle.
+type Listener interface {
+	// CarrierBusy is called when the node's carrier sense transitions
+	// from idle to busy (including the node's own transmissions).
+	CarrierBusy(now sim.Time)
+	// CarrierIdle is called when the carrier sense transitions from
+	// busy to idle.
+	CarrierIdle(now sim.Time)
+	// FrameReceived is called when a frame addressed to anyone is
+	// successfully decoded at this node (overhearing included; the MAC
+	// filters by destination and handles NAV updates).
+	FrameReceived(f frame.Frame, now sim.Time)
+}
+
+// CorruptionListener is an optional extension of Listener: implementers
+// are told when a decodable frame was destroyed by a collision at their
+// antenna (the trigger for 802.11's EIFS deferral).
+type CorruptionListener interface {
+	FrameCorrupted(now sim.Time)
+}
+
+// Config parameterises a Medium.
+type Config struct {
+	// Model is the propagation model shared by all links.
+	Model phys.Shadowing
+	// CoherenceInterval, when positive, re-draws each observer's
+	// sensing decision for every interval of this length within a
+	// frame, modelling channel variation at sub-frame granularity.
+	// Zero draws once per (frame, observer).
+	CoherenceInterval sim.Time
+}
+
+// Medium is the shared channel. It is bound to one scheduler and one
+// RNG stream; a simulation run owns it exclusively.
+type Medium struct {
+	sched *sim.Scheduler
+	cfg   Config
+	src   *rng.Source
+
+	nodes []*node // attach order == ascending NodeID (enforced)
+	byID  map[frame.NodeID]*node
+	// Tap, if non-nil, observes every transmission (for traces/tests).
+	Tap func(src frame.NodeID, f frame.Frame, start, end sim.Time)
+	// DeliveryTap, if non-nil, observes every frame successfully
+	// decoded at its addressee.
+	DeliveryTap func(f frame.Frame, now sim.Time)
+
+	transmissions uint64
+	deliveries    uint64
+	collisions    uint64
+}
+
+type node struct {
+	id       frame.NodeID
+	pos      phys.Point
+	radio    phys.Radio
+	listener Listener
+
+	busyDepth int
+	txUntil   sim.Time // end of this node's latest own transmission
+	arrivals  []*arrival
+}
+
+type arrival struct {
+	f           frame.Frame
+	start, end  sim.Time
+	powerDBm    float64
+	corrupted   bool
+	selfBlocked bool // overlapped one of the observer's own transmissions
+}
+
+// New returns a medium driven by the given scheduler, using src for all
+// shadowing draws.
+func New(sched *sim.Scheduler, cfg Config, src *rng.Source) *Medium {
+	if err := cfg.Model.Validate(); err != nil {
+		panic(fmt.Sprintf("medium: invalid model: %v", err))
+	}
+	return &Medium{
+		sched: sched,
+		cfg:   cfg,
+		src:   src,
+		byID:  make(map[frame.NodeID]*node),
+	}
+}
+
+// Attach registers a node on the channel. IDs must be unique; attach
+// order fixes the (deterministic) order of per-observer shadowing draws,
+// so builders attach nodes in ascending ID order.
+func (m *Medium) Attach(id frame.NodeID, pos phys.Point, radio phys.Radio, l Listener) {
+	if _, dup := m.byID[id]; dup {
+		panic(fmt.Sprintf("medium: duplicate node id %d", id))
+	}
+	if err := radio.Validate(); err != nil {
+		panic(fmt.Sprintf("medium: node %d: %v", id, err))
+	}
+	n := &node{id: id, pos: pos, radio: radio, listener: l}
+	m.nodes = append(m.nodes, n)
+	m.byID[id] = n
+	sort.Slice(m.nodes, func(i, j int) bool { return m.nodes[i].id < m.nodes[j].id })
+}
+
+// Stats returns cumulative channel counters: transmissions started,
+// frames delivered, and frames lost to collisions at their addressee.
+func (m *Medium) Stats() (transmissions, deliveries, collisions uint64) {
+	return m.transmissions, m.deliveries, m.collisions
+}
+
+// Transmit puts a frame on the air from src at the current instant and
+// returns the instant the transmission ends. The caller (the MAC) must
+// not already be transmitting.
+func (m *Medium) Transmit(srcID frame.NodeID, f frame.Frame) sim.Time {
+	tx, ok := m.byID[srcID]
+	if !ok {
+		panic(fmt.Sprintf("medium: transmit from unattached node %d", srcID))
+	}
+	now := m.sched.Now()
+	if tx.txUntil > now {
+		panic(fmt.Sprintf("medium: node %d transmit at %v while transmitting until %v",
+			srcID, now, tx.txUntil))
+	}
+	if err := f.Validate(); err != nil {
+		panic(fmt.Sprintf("medium: node %d transmitting invalid frame: %v", srcID, err))
+	}
+	end := now + f.Airtime(tx.radio.BitRate)
+	tx.txUntil = end
+	m.transmissions++
+	if m.Tap != nil {
+		m.Tap(srcID, f, now, end)
+	}
+
+	// The transmitter's own carrier goes busy for the duration.
+	m.busyStart(tx, now)
+	// A node that starts transmitting while a frame is arriving
+	// destroys that arrival locally (half-duplex).
+	for _, a := range tx.arrivals {
+		if a.end > now {
+			a.selfBlocked = true
+		}
+	}
+
+	// Per-observer outcomes, in ascending ID order for determinism.
+	for _, obs := range m.nodes {
+		if obs == tx {
+			continue
+		}
+		m.arriveAt(tx, obs, f, now, end)
+	}
+
+	// Self busy-end. Scheduled after arrivals so that, at instant
+	// `end`, deliveries (scheduled inside arriveAt) precede carrier
+	// transitions only per-observer; the transmitter has no delivery.
+	m.sched.At(end, func() { m.busyEnd(tx, end) })
+	return end
+}
+
+// arriveAt computes what observer obs experiences for the transmission.
+func (m *Medium) arriveAt(tx, obs *node, f frame.Frame, start, end sim.Time) {
+	d := tx.pos.Distance(obs.pos)
+	power := m.cfg.Model.SampleRxPowerDBm(tx.radio.TxPowerDBm, d, m.src)
+	decodable := power >= obs.radio.RxThreshDBm
+
+	if decodable {
+		a := &arrival{f: f, start: start, end: end, powerDBm: power}
+		// Half-duplex: if the observer is mid-transmission now, it
+		// cannot lock onto the arriving frame.
+		if obs.txUntil > start {
+			a.selfBlocked = true
+		}
+		// Collision resolution against other decodable overlaps.
+		for _, other := range obs.arrivals {
+			if other.end <= start {
+				continue
+			}
+			switch {
+			case a.powerDBm >= other.powerDBm+obs.radio.CaptureDB && obs.radio.CaptureDB > 0:
+				other.corrupted = true
+			case other.powerDBm >= a.powerDBm+obs.radio.CaptureDB && obs.radio.CaptureDB > 0:
+				a.corrupted = true
+			default:
+				other.corrupted = true
+				a.corrupted = true
+			}
+		}
+		obs.arrivals = append(obs.arrivals, a)
+		m.sched.At(end, func() { m.complete(obs, a) })
+	}
+
+	// Sensing: decodable energy is always sensed (RxThresh ≥ CsThresh
+	// guarantees it for the same draw).
+	if m.cfg.CoherenceInterval <= 0 {
+		if power >= obs.radio.CsThreshDBm {
+			m.busyStart(obs, start)
+			m.sched.At(end, func() { m.busyEnd(obs, end) })
+		}
+		return
+	}
+
+	// Coherence mode: re-draw sensing per interval and merge adjacent
+	// sensed intervals into maximal busy runs (so segment boundaries do
+	// not produce zero-length idle blips). The first interval reuses
+	// the frame-level draw so decodable ⇒ initially sensed.
+	mean := m.cfg.Model.MeanRxPowerDBm(tx.radio.TxPowerDBm, d)
+	segPower := power
+	var runStart sim.Time
+	inRun := false
+	for segStart := start; segStart < end; segStart += m.cfg.CoherenceInterval {
+		sensed := segPower >= obs.radio.CsThreshDBm
+		if sensed && !inRun {
+			runStart, inRun = segStart, true
+		} else if !sensed && inRun {
+			m.scheduleBusyRun(obs, runStart, segStart, start)
+			inRun = false
+		}
+		segPower = mean + m.cfg.Model.SigmaDB*m.src.NormFloat64()
+	}
+	if inRun {
+		m.scheduleBusyRun(obs, runStart, end, start)
+	}
+}
+
+// scheduleBusyRun arms one busy interval [runStart, runEnd) at obs.
+// txStart is the transmission start: a run beginning there transitions
+// synchronously (we are inside the transmit event at that instant).
+func (m *Medium) scheduleBusyRun(obs *node, runStart, runEnd, txStart sim.Time) {
+	if runStart == txStart {
+		m.busyStart(obs, runStart)
+	} else {
+		m.sched.At(runStart, func() { m.busyStart(obs, runStart) })
+	}
+	m.sched.At(runEnd, func() { m.busyEnd(obs, runEnd) })
+}
+
+// complete finishes an arrival at obs: delivers the frame if it survived.
+func (m *Medium) complete(obs *node, a *arrival) {
+	// Drop the arrival from the active list.
+	for i, x := range obs.arrivals {
+		if x == a {
+			last := len(obs.arrivals) - 1
+			obs.arrivals[i] = obs.arrivals[last]
+			obs.arrivals[last] = nil
+			obs.arrivals = obs.arrivals[:last]
+			break
+		}
+	}
+	if a.corrupted || a.selfBlocked {
+		if a.f.Dst == obs.id {
+			m.collisions++
+		}
+		if !a.selfBlocked {
+			if cl, ok := obs.listener.(CorruptionListener); ok {
+				cl.FrameCorrupted(a.end)
+			}
+		}
+		return
+	}
+	m.deliveries++
+	if m.DeliveryTap != nil && a.f.Dst == obs.id {
+		m.DeliveryTap(a.f, a.end)
+	}
+	if obs.listener != nil {
+		obs.listener.FrameReceived(a.f, a.end)
+	}
+}
+
+func (m *Medium) busyStart(n *node, now sim.Time) {
+	n.busyDepth++
+	if n.busyDepth == 1 && n.listener != nil {
+		n.listener.CarrierBusy(now)
+	}
+}
+
+func (m *Medium) busyEnd(n *node, now sim.Time) {
+	if n.busyDepth <= 0 {
+		panic(fmt.Sprintf("medium: node %d busy depth underflow at %v", n.id, now))
+	}
+	n.busyDepth--
+	if n.busyDepth == 0 && n.listener != nil {
+		n.listener.CarrierIdle(now)
+	}
+}
+
+// Transmitting reports whether the given node's own transmission is in
+// progress at the current instant.
+func (m *Medium) Transmitting(id frame.NodeID) bool {
+	n, ok := m.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("medium: Transmitting on unattached node %d", id))
+	}
+	return n.txUntil > m.sched.Now()
+}
+
+// Busy reports whether the given node currently senses the channel busy.
+func (m *Medium) Busy(id frame.NodeID) bool {
+	n, ok := m.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("medium: Busy on unattached node %d", id))
+	}
+	return n.busyDepth > 0
+}
+
+// Position returns the attached node's position.
+func (m *Medium) Position(id frame.NodeID) phys.Point {
+	n, ok := m.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("medium: Position on unattached node %d", id))
+	}
+	return n.pos
+}
+
+// Radio returns the attached node's radio parameters.
+func (m *Medium) Radio(id frame.NodeID) phys.Radio {
+	n, ok := m.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("medium: Radio on unattached node %d", id))
+	}
+	return n.radio
+}
+
+// NodeIDs returns the attached node IDs in ascending order.
+func (m *Medium) NodeIDs() []frame.NodeID {
+	ids := make([]frame.NodeID, len(m.nodes))
+	for i, n := range m.nodes {
+		ids[i] = n.id
+	}
+	return ids
+}

@@ -1,0 +1,166 @@
+// Package misbehave implements the selfish sender strategies the paper
+// studies, as wrappers around any mac.BackoffPolicy:
+//
+//   - Partial: the paper's "Percentage of Misbehavior" model — the node
+//     counts down only (100−PM)% of whatever backoff the wrapped policy
+//     (802.11 random, or the receiver-assigned scheme) prescribes.
+//   - QuarterWindow: the introduction's example — draw backoffs from
+//     [0, CW/4] instead of [0, CW].
+//   - NoDoubling: ignore contention-window doubling after collisions and
+//     always draw from [0, CWMin].
+//   - AttemptLiar: advertise attempt=1 in every RTS to defeat the
+//     receiver's retransmission-backoff estimate (countered by the
+//     attempt-verification extension in internal/core).
+package misbehave
+
+import (
+	"fmt"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/mac"
+	"dcfguard/internal/rng"
+)
+
+// Partial wraps a policy and counts down only a fraction of its
+// backoffs. PM is the paper's "Percentage of Misbehavior": a node with
+// PM=0 is well-behaved, a node with PM=100 never backs off.
+type Partial struct {
+	inner mac.BackoffPolicy
+	pm    int
+}
+
+// NewPartial wraps inner with PM% misbehavior. PM must lie in [0, 100].
+func NewPartial(inner mac.BackoffPolicy, pm int) *Partial {
+	if pm < 0 || pm > 100 {
+		panic(fmt.Sprintf("misbehave: PM %d out of [0, 100]", pm))
+	}
+	if inner == nil {
+		panic("misbehave: nil inner policy")
+	}
+	return &Partial{inner: inner, pm: pm}
+}
+
+var _ mac.BackoffPolicy = (*Partial)(nil)
+
+// PM returns the configured percentage of misbehavior.
+func (p *Partial) PM() int { return p.pm }
+
+func (p *Partial) shave(slots int) int { return slots * (100 - p.pm) / 100 }
+
+// InitialBackoff counts (100−PM)% of the prescribed backoff.
+func (p *Partial) InitialBackoff(dst frame.NodeID, cw int) int {
+	return p.shave(p.inner.InitialBackoff(dst, cw))
+}
+
+// RetryBackoff counts (100−PM)% of the prescribed retry backoff.
+func (p *Partial) RetryBackoff(dst frame.NodeID, attempt, cw int) int {
+	return p.shave(p.inner.RetryBackoff(dst, attempt, cw))
+}
+
+// OnAssigned forwards to the wrapped policy: the misbehaver remembers
+// assignments like an honest node, it just under-counts them.
+func (p *Partial) OnAssigned(dst frame.NodeID, seq uint32, backoff int, final bool) {
+	p.inner.OnAssigned(dst, seq, backoff, final)
+}
+
+// ReportAttempt forwards (Partial misbehaves on counting, not headers).
+func (p *Partial) ReportAttempt(actual int) int { return p.inner.ReportAttempt(actual) }
+
+// QuarterWindow draws every backoff uniformly from [0, CW/4]: the
+// introduction's example of distribution misbehavior against 802.11.
+type QuarterWindow struct {
+	src *rng.Source
+}
+
+// NewQuarterWindow returns the [0, CW/4] policy.
+func NewQuarterWindow(src *rng.Source) *QuarterWindow {
+	return &QuarterWindow{src: src}
+}
+
+var _ mac.BackoffPolicy = (*QuarterWindow)(nil)
+
+// InitialBackoff draws from [0, cw/4].
+func (p *QuarterWindow) InitialBackoff(_ frame.NodeID, cw int) int {
+	return p.src.IntRange(0, cw/4)
+}
+
+// RetryBackoff draws from [0, cw/4].
+func (p *QuarterWindow) RetryBackoff(_ frame.NodeID, _ int, cw int) int {
+	return p.src.IntRange(0, cw/4)
+}
+
+// OnAssigned ignores assignments (an 802.11-style misbehaver).
+func (p *QuarterWindow) OnAssigned(frame.NodeID, uint32, int, bool) {}
+
+// ReportAttempt reports honestly.
+func (p *QuarterWindow) ReportAttempt(actual int) int { return actual }
+
+// NoDoubling ignores contention-window growth: every attempt draws from
+// [0, CWMin], defeating 802.11's collision-avoidance escalation.
+type NoDoubling struct {
+	src   *rng.Source
+	cwMin int
+}
+
+// NewNoDoubling returns the non-doubling policy with the given CWMin.
+func NewNoDoubling(src *rng.Source, cwMin int) *NoDoubling {
+	if cwMin < 1 {
+		panic(fmt.Sprintf("misbehave: CWMin %d must be at least 1", cwMin))
+	}
+	return &NoDoubling{src: src, cwMin: cwMin}
+}
+
+var _ mac.BackoffPolicy = (*NoDoubling)(nil)
+
+// InitialBackoff draws from [0, CWMin].
+func (p *NoDoubling) InitialBackoff(frame.NodeID, int) int {
+	return p.src.IntRange(0, p.cwMin)
+}
+
+// RetryBackoff draws from [0, CWMin], ignoring the doubled window.
+func (p *NoDoubling) RetryBackoff(frame.NodeID, int, int) int {
+	return p.src.IntRange(0, p.cwMin)
+}
+
+// OnAssigned ignores assignments.
+func (p *NoDoubling) OnAssigned(frame.NodeID, uint32, int, bool) {}
+
+// ReportAttempt reports honestly.
+func (p *NoDoubling) ReportAttempt(actual int) int { return actual }
+
+// AttemptLiar wraps a policy and always advertises attempt=1, hiding
+// retransmissions from the receiver's backoff estimator (the estimator
+// then under-computes B_exp, so real retry backoffs look like deviations
+// in the *negative* direction — i.e. the liar evades penalties that the
+// retry chain would otherwise justify).
+type AttemptLiar struct {
+	inner mac.BackoffPolicy
+}
+
+// NewAttemptLiar wraps inner with attempt-header lying.
+func NewAttemptLiar(inner mac.BackoffPolicy) *AttemptLiar {
+	if inner == nil {
+		panic("misbehave: nil inner policy")
+	}
+	return &AttemptLiar{inner: inner}
+}
+
+var _ mac.BackoffPolicy = (*AttemptLiar)(nil)
+
+// InitialBackoff forwards.
+func (p *AttemptLiar) InitialBackoff(dst frame.NodeID, cw int) int {
+	return p.inner.InitialBackoff(dst, cw)
+}
+
+// RetryBackoff forwards.
+func (p *AttemptLiar) RetryBackoff(dst frame.NodeID, attempt, cw int) int {
+	return p.inner.RetryBackoff(dst, attempt, cw)
+}
+
+// OnAssigned forwards.
+func (p *AttemptLiar) OnAssigned(dst frame.NodeID, seq uint32, backoff int, final bool) {
+	p.inner.OnAssigned(dst, seq, backoff, final)
+}
+
+// ReportAttempt always claims the first attempt.
+func (p *AttemptLiar) ReportAttempt(int) int { return 1 }

@@ -1,0 +1,200 @@
+package misbehave
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/mac"
+	"dcfguard/internal/rng"
+)
+
+// constPolicy always prescribes the same backoff.
+type constPolicy struct {
+	value    int
+	assigned []int
+}
+
+func (p *constPolicy) InitialBackoff(frame.NodeID, int) int    { return p.value }
+func (p *constPolicy) RetryBackoff(frame.NodeID, int, int) int { return p.value }
+func (p *constPolicy) OnAssigned(_ frame.NodeID, _ uint32, b int, _ bool) {
+	p.assigned = append(p.assigned, b)
+}
+func (p *constPolicy) ReportAttempt(actual int) int { return actual }
+
+func TestPartialShaving(t *testing.T) {
+	cases := []struct {
+		pm, in, want int
+	}{
+		{0, 20, 20},
+		{25, 20, 15},
+		{50, 20, 10},
+		{50, 9, 4}, // floor
+		{80, 20, 4},
+		{100, 20, 0},
+		{100, 0, 0},
+	}
+	for _, c := range cases {
+		p := NewPartial(&constPolicy{value: c.in}, c.pm)
+		if got := p.InitialBackoff(1, 31); got != c.want {
+			t.Errorf("PM=%d initial(%d) = %d, want %d", c.pm, c.in, got, c.want)
+		}
+		if got := p.RetryBackoff(1, 2, 63); got != c.want {
+			t.Errorf("PM=%d retry(%d) = %d, want %d", c.pm, c.in, got, c.want)
+		}
+	}
+}
+
+func TestPartialPM(t *testing.T) {
+	if got := NewPartial(&constPolicy{}, 40).PM(); got != 40 {
+		t.Fatalf("PM() = %d, want 40", got)
+	}
+}
+
+func TestPartialForwardsAssignments(t *testing.T) {
+	inner := &constPolicy{}
+	p := NewPartial(inner, 50)
+	p.OnAssigned(2, 1, 13, true)
+	if len(inner.assigned) != 1 || inner.assigned[0] != 13 {
+		t.Fatalf("inner assignments = %v, want [13]", inner.assigned)
+	}
+	if got := p.ReportAttempt(3); got != 3 {
+		t.Fatalf("ReportAttempt(3) = %d, want 3", got)
+	}
+}
+
+func TestPartialValidation(t *testing.T) {
+	for _, pm := range []int{-1, 101} {
+		pm := pm
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PM=%d did not panic", pm)
+				}
+			}()
+			NewPartial(&constPolicy{}, pm)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nil inner did not panic")
+		}
+	}()
+	NewPartial(nil, 10)
+}
+
+func TestQuickPartialNeverExceedsInner(t *testing.T) {
+	f := func(pm uint8, v uint16) bool {
+		m := int(pm) % 101
+		inner := int(v) % 1024
+		p := NewPartial(&constPolicy{value: inner}, m)
+		got := p.InitialBackoff(1, 31)
+		return got >= 0 && got <= inner
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuarterWindowRange(t *testing.T) {
+	p := NewQuarterWindow(rng.New(1))
+	for i := 0; i < 2000; i++ {
+		if got := p.InitialBackoff(1, 31); got < 0 || got > 7 {
+			t.Fatalf("InitialBackoff(cw=31) = %d, want [0, 7]", got)
+		}
+		if got := p.RetryBackoff(1, 2, 63); got < 0 || got > 15 {
+			t.Fatalf("RetryBackoff(cw=63) = %d, want [0, 15]", got)
+		}
+	}
+}
+
+func TestQuarterWindowMeanBelowStandard(t *testing.T) {
+	q := NewQuarterWindow(rng.New(1))
+	s := mac.NewStandardPolicy(rng.New(2))
+	const n = 20000
+	var qs, ss int
+	for i := 0; i < n; i++ {
+		qs += q.InitialBackoff(1, 31)
+		ss += s.InitialBackoff(1, 31)
+	}
+	if !(float64(qs) < 0.4*float64(ss)) {
+		t.Fatalf("quarter-window mean %v not well below standard mean %v",
+			float64(qs)/n, float64(ss)/n)
+	}
+}
+
+func TestNoDoublingIgnoresCW(t *testing.T) {
+	p := NewNoDoubling(rng.New(1), 31)
+	for i := 0; i < 2000; i++ {
+		if got := p.RetryBackoff(1, 5, 1023); got < 0 || got > 31 {
+			t.Fatalf("RetryBackoff(cw=1023) = %d, want [0, 31]", got)
+		}
+	}
+}
+
+func TestNoDoublingValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CWMin=0 did not panic")
+		}
+	}()
+	NewNoDoubling(rng.New(1), 0)
+}
+
+func TestAttemptLiar(t *testing.T) {
+	inner := &constPolicy{value: 7}
+	p := NewAttemptLiar(inner)
+	for _, actual := range []int{1, 2, 5, 7} {
+		if got := p.ReportAttempt(actual); got != 1 {
+			t.Errorf("ReportAttempt(%d) = %d, want 1", actual, got)
+		}
+	}
+	if got := p.InitialBackoff(1, 31); got != 7 {
+		t.Errorf("InitialBackoff forwarded %d, want 7", got)
+	}
+	if got := p.RetryBackoff(1, 2, 63); got != 7 {
+		t.Errorf("RetryBackoff forwarded %d, want 7", got)
+	}
+	p.OnAssigned(2, 1, 9, false)
+	if len(inner.assigned) != 1 || inner.assigned[0] != 9 {
+		t.Errorf("assignments not forwarded: %v", inner.assigned)
+	}
+}
+
+func TestSelfContainedPoliciesNoOps(t *testing.T) {
+	q := NewQuarterWindow(rng.New(1))
+	q.OnAssigned(2, 1, 9, true) // must be ignored
+	if got := q.ReportAttempt(4); got != 4 {
+		t.Fatalf("quarter ReportAttempt = %d", got)
+	}
+	nd := NewNoDoubling(rng.New(2), 31)
+	nd.OnAssigned(2, 1, 9, false)
+	if got := nd.ReportAttempt(6); got != 6 {
+		t.Fatalf("no-doubling ReportAttempt = %d", got)
+	}
+}
+
+func TestAttemptLiarNilInnerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil inner did not panic")
+		}
+	}()
+	NewAttemptLiar(nil)
+}
+
+func TestPoliciesImplementInterface(t *testing.T) {
+	// Compile-time checks exist in the package; this exercises the
+	// interface dynamically so coverage tools see it.
+	policies := []mac.BackoffPolicy{
+		NewPartial(&constPolicy{value: 4}, 50),
+		NewQuarterWindow(rng.New(1)),
+		NewNoDoubling(rng.New(2), 31),
+		NewAttemptLiar(&constPolicy{value: 4}),
+	}
+	for i, p := range policies {
+		if got := p.InitialBackoff(1, 31); got < 0 {
+			t.Errorf("policy %d negative backoff %d", i, got)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package phys models the wireless physical layer: node positions,
+// log-distance path loss with log-normal shadowing, and the
+// receive/carrier-sense threshold calibration used by the paper
+// (50% reception probability at 250 m, 50% carrier-sense probability at
+// 550 m, path-loss exponent β = 2, shadowing deviation σ = 1 dB).
+package phys
+
+import "math"
+
+// Point is a node position in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance in metres between p and q.
+func (p Point) Distance(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// OnCircle returns the i-th of n points evenly spaced on a circle of
+// the given radius centred at c, starting at angle zero.
+func OnCircle(c Point, radius float64, i, n int) Point {
+	theta := 2 * math.Pi * float64(i) / float64(n)
+	return Point{
+		X: c.X + radius*math.Cos(theta),
+		Y: c.Y + radius*math.Sin(theta),
+	}
+}

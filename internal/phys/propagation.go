@@ -1,0 +1,228 @@
+package phys
+
+import (
+	"fmt"
+	"math"
+
+	"dcfguard/internal/rng"
+)
+
+// PathLossMode selects the deterministic part of the Shadowing model.
+type PathLossMode int
+
+const (
+	// LogDistance is the paper's model: Friis at d0, then distance^β.
+	LogDistance PathLossMode = iota
+	// TwoRayGround is ns-2's other classic model: Friis up to the
+	// crossover distance dc = 4π·ht·hr/λ, then the two-ray ground
+	// reflection law Pr = Pt·ht²·hr²/d⁴ beyond it.
+	TwoRayGround
+)
+
+// String returns the mode name.
+func (m PathLossMode) String() string {
+	switch m {
+	case LogDistance:
+		return "log-distance"
+	case TwoRayGround:
+		return "two-ray-ground"
+	default:
+		return fmt.Sprintf("PathLossMode(%d)", int(m))
+	}
+}
+
+// Shadowing is the log-normal shadowing propagation model used by the
+// paper (and by ns-2):
+//
+//	[Pr(d) / Pr(d0)]_dB = -10 β log10(d / d0) + X_dB
+//
+// where β is the path-loss exponent, d0 a close-in reference distance,
+// and X_dB a zero-mean Gaussian with standard deviation σ_dB. The
+// deterministic part of Pr(d0) comes from the Friis free-space
+// equation; with Mode == TwoRayGround it instead follows ns-2's
+// two-ray ground-reflection law (d⁻² near, d⁻⁴ far).
+type Shadowing struct {
+	// Mode selects the deterministic path-loss law (default LogDistance).
+	Mode PathLossMode
+	// Beta is the path-loss exponent β. The paper uses 2 (free space).
+	// Ignored by TwoRayGround, whose exponents are fixed by physics.
+	Beta float64
+	// SigmaDB is the shadowing standard deviation σ_dB. The paper uses 1.
+	SigmaDB float64
+	// RefDistance is the close-in reference distance d0 in metres.
+	RefDistance float64
+	// WavelengthM is the carrier wavelength λ in metres.
+	WavelengthM float64
+	// AntennaHeightM is the antenna height above ground used by
+	// TwoRayGround (ns-2 default: 1.5 m for both ends).
+	AntennaHeightM float64
+}
+
+// DefaultShadowing returns the model with the paper's parameters:
+// β = 2, σ = 1 dB, d0 = 1 m, and the 914 MHz carrier ns-2 defaults to
+// (λ ≈ 0.328 m). The carrier frequency only shifts all powers by a
+// constant, so it has no effect once thresholds are calibrated.
+func DefaultShadowing() Shadowing {
+	return Shadowing{
+		Mode:        LogDistance,
+		Beta:        2,
+		SigmaDB:     1,
+		RefDistance: 1,
+		WavelengthM: 0.328,
+	}
+}
+
+// DefaultTwoRay returns the two-ray ground variant with ns-2's default
+// 1.5 m antennas and the paper's σ = 1 dB shadowing.
+func DefaultTwoRay() Shadowing {
+	m := DefaultShadowing()
+	m.Mode = TwoRayGround
+	m.AntennaHeightM = 1.5
+	return m
+}
+
+// Validate reports whether the model parameters are physically sensible.
+func (m Shadowing) Validate() error {
+	switch {
+	case m.SigmaDB < 0:
+		return fmt.Errorf("phys: shadowing deviation %v must be non-negative", m.SigmaDB)
+	case m.RefDistance <= 0:
+		return fmt.Errorf("phys: reference distance %v must be positive", m.RefDistance)
+	case m.WavelengthM <= 0:
+		return fmt.Errorf("phys: wavelength %v must be positive", m.WavelengthM)
+	}
+	switch m.Mode {
+	case LogDistance:
+		if m.Beta <= 0 {
+			return fmt.Errorf("phys: path-loss exponent %v must be positive", m.Beta)
+		}
+	case TwoRayGround:
+		if m.AntennaHeightM <= 0 {
+			return fmt.Errorf("phys: antenna height %v must be positive", m.AntennaHeightM)
+		}
+	default:
+		return fmt.Errorf("phys: invalid path-loss mode %d", m.Mode)
+	}
+	return nil
+}
+
+// crossoverDistance is the two-ray model's transition point
+// dc = 4π·ht·hr/λ; Friis applies below, d⁻⁴ above.
+func (m Shadowing) crossoverDistance() float64 {
+	return 4 * math.Pi * m.AntennaHeightM * m.AntennaHeightM / m.WavelengthM
+}
+
+// refLossDB returns the Friis free-space path loss in dB at the
+// reference distance d0 (unity antenna gains, no system loss).
+func (m Shadowing) refLossDB() float64 {
+	return 20 * math.Log10(4*math.Pi*m.RefDistance/m.WavelengthM)
+}
+
+// MeanRxPowerDBm returns the mean (and, because shadowing is symmetric,
+// median) received power in dBm at distance d metres for the given
+// transmit power.
+func (m Shadowing) MeanRxPowerDBm(txPowerDBm, d float64) float64 {
+	if d < m.RefDistance {
+		d = m.RefDistance
+	}
+	if m.Mode == TwoRayGround {
+		dc := m.crossoverDistance()
+		if d <= dc {
+			// Friis free space: loss = 20·log10(4πd/λ).
+			return txPowerDBm - 20*math.Log10(4*math.Pi*d/m.WavelengthM)
+		}
+		// Pr = Pt·ht²·hr²/d⁴ with unity gains.
+		h2 := m.AntennaHeightM * m.AntennaHeightM
+		return txPowerDBm + 10*math.Log10(h2*h2) - 40*math.Log10(d)
+	}
+	return txPowerDBm - m.refLossDB() - 10*m.Beta*math.Log10(d/m.RefDistance)
+}
+
+// SampleRxPowerDBm draws one shadowing realisation of the received power
+// in dBm at distance d.
+func (m Shadowing) SampleRxPowerDBm(txPowerDBm, d float64, src *rng.Source) float64 {
+	return m.MeanRxPowerDBm(txPowerDBm, d) + m.SigmaDB*src.NormFloat64()
+}
+
+// ProbAbove returns the probability that the received power at distance
+// d exceeds threshDBm, using the Gaussian shadowing distribution. Used
+// to verify calibration and in tests.
+func (m Shadowing) ProbAbove(txPowerDBm, d, threshDBm float64) float64 {
+	mean := m.MeanRxPowerDBm(txPowerDBm, d)
+	if m.SigmaDB == 0 {
+		if mean >= threshDBm {
+			return 1
+		}
+		return 0
+	}
+	z := (threshDBm - mean) / m.SigmaDB
+	// P(X > z) for standard normal.
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// ThresholdFor returns the threshold in dBm such that a transmission at
+// txPowerDBm is above the threshold with probability p at distance d.
+// With p = 0.5 this is simply the mean received power at d, which is how
+// the paper calibrates both the receive threshold (d = 250 m) and the
+// carrier-sense threshold (d = 550 m).
+func (m Shadowing) ThresholdFor(txPowerDBm, d, p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("phys: ThresholdFor probability %v out of (0,1)", p))
+	}
+	mean := m.MeanRxPowerDBm(txPowerDBm, d)
+	// P(mean + σZ > T) = p  ⇒  T = mean + σ·Φ⁻¹(1-p).
+	return mean + m.SigmaDB*inverseNormalCDF(1-p)
+}
+
+// inverseNormalCDF returns Φ⁻¹(p) for the standard normal distribution
+// using the Acklam rational approximation (relative error < 1.15e-9),
+// which is ample for threshold calibration.
+func inverseNormalCDF(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("phys: inverseNormalCDF(%v) out of (0,1)", p))
+	}
+	const (
+		a1 = -39.69683028665376
+		a2 = 220.9460984245205
+		a3 = -275.9285104469687
+		a4 = 138.3577518672690
+		a5 = -30.66479806614716
+		a6 = 2.506628277459239
+
+		b1 = -54.47609879822406
+		b2 = 161.5858368580409
+		b3 = -155.6989798598866
+		b4 = 66.80131188771972
+		b5 = -13.28068155288572
+
+		c1 = -0.007784894002430293
+		c2 = -0.3223964580411365
+		c3 = -2.400758277161838
+		c4 = -2.549732539343734
+		c5 = 4.374664141464968
+		c6 = 2.938163982698783
+
+		d1 = 0.007784695709041462
+		d2 = 0.3224671290700398
+		d3 = 2.445134137142996
+		d4 = 3.754408661907416
+
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	}
+}

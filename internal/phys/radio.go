@@ -1,0 +1,60 @@
+package phys
+
+import "fmt"
+
+// Radio holds a node's radio parameters. All nodes in the paper's
+// experiments use identical radios; heterogeneous radios are supported
+// for extensions.
+type Radio struct {
+	// TxPowerDBm is the transmit power. The absolute value is
+	// irrelevant once thresholds are calibrated against it; we default
+	// to ns-2's 24.5 dBm (281.8 mW).
+	TxPowerDBm float64
+	// RxThreshDBm is the minimum received power for successful frame
+	// decoding (absent collisions).
+	RxThreshDBm float64
+	// CsThreshDBm is the minimum received power for the channel to be
+	// sensed busy. CsThresh < RxThresh: transmissions can be sensed
+	// without being decodable.
+	CsThreshDBm float64
+	// CaptureDB is the power margin by which the strongest of two
+	// overlapping frames must exceed the other to be captured
+	// (decoded despite the collision). Zero disables capture, which is
+	// the configuration used for the paper reproduction.
+	CaptureDB float64
+	// BitRate is the channel bit rate in bits per second (paper: 2 Mbps).
+	BitRate int64
+}
+
+// CalibratedRadio builds the paper's radio: thresholds chosen so a frame
+// is received with probability rxProb at rxDist metres and sensed with
+// probability csProb at csDist metres under the given shadowing model.
+func CalibratedRadio(m Shadowing, txPowerDBm, rxDist, rxProb, csDist, csProb float64, bitRate int64) Radio {
+	return Radio{
+		TxPowerDBm:  txPowerDBm,
+		RxThreshDBm: m.ThresholdFor(txPowerDBm, rxDist, rxProb),
+		CsThreshDBm: m.ThresholdFor(txPowerDBm, csDist, csProb),
+		BitRate:     bitRate,
+	}
+}
+
+// DefaultRadio returns the paper's configuration: 2 Mbps channel, 50%
+// reception at 250 m and 50% carrier sense at 550 m under
+// DefaultShadowing.
+func DefaultRadio() Radio {
+	return CalibratedRadio(DefaultShadowing(), 24.5, 250, 0.5, 550, 0.5, 2_000_000)
+}
+
+// Validate reports whether the radio parameters are consistent.
+func (r Radio) Validate() error {
+	switch {
+	case r.BitRate <= 0:
+		return fmt.Errorf("phys: bit rate %d must be positive", r.BitRate)
+	case r.CsThreshDBm > r.RxThreshDBm:
+		return fmt.Errorf("phys: carrier-sense threshold %.1f dBm above receive threshold %.1f dBm",
+			r.CsThreshDBm, r.RxThreshDBm)
+	case r.CaptureDB < 0:
+		return fmt.Errorf("phys: capture margin %v must be non-negative", r.CaptureDB)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package phys
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTwoRayValidate(t *testing.T) {
+	if err := DefaultTwoRay().Validate(); err != nil {
+		t.Fatalf("default two-ray invalid: %v", err)
+	}
+	m := DefaultTwoRay()
+	m.AntennaHeightM = 0
+	if m.Validate() == nil {
+		t.Error("zero antenna height accepted")
+	}
+	m = DefaultShadowing()
+	m.Mode = PathLossMode(9)
+	if m.Validate() == nil {
+		t.Error("invalid mode accepted")
+	}
+}
+
+func TestTwoRayCrossover(t *testing.T) {
+	m := DefaultTwoRay()
+	// dc = 4π·1.5²/0.328 ≈ 86.2 m.
+	dc := m.crossoverDistance()
+	if math.Abs(dc-4*math.Pi*2.25/0.328) > 1e-9 {
+		t.Fatalf("crossover = %v", dc)
+	}
+	// Continuity at the crossover within a fraction of a dB (the two
+	// laws intersect there by construction).
+	below := m.MeanRxPowerDBm(24.5, dc*0.999)
+	above := m.MeanRxPowerDBm(24.5, dc*1.001)
+	if math.Abs(below-above) > 0.1 {
+		t.Fatalf("discontinuity at crossover: %v vs %v", below, above)
+	}
+}
+
+func TestTwoRayExponents(t *testing.T) {
+	m := DefaultTwoRay()
+	dc := m.crossoverDistance()
+	// Below crossover: doubling distance costs 6 dB (free space).
+	drop := m.MeanRxPowerDBm(24.5, dc/8) - m.MeanRxPowerDBm(24.5, dc/4)
+	if math.Abs(drop-20*math.Log10(2)) > 1e-9 {
+		t.Fatalf("near-field drop = %v dB, want 6.02", drop)
+	}
+	// Above crossover: doubling distance costs 12 dB (d⁻⁴).
+	drop = m.MeanRxPowerDBm(24.5, 4*dc) - m.MeanRxPowerDBm(24.5, 8*dc)
+	if math.Abs(drop-40*math.Log10(2)) > 1e-9 {
+		t.Fatalf("far-field drop = %v dB, want 12.04", drop)
+	}
+}
+
+func TestTwoRayAttenuatesFasterThanFreeSpace(t *testing.T) {
+	tr := DefaultTwoRay()
+	fs := DefaultShadowing()
+	// At 500 m (well past the ~86 m crossover) the two-ray model is
+	// far weaker than free space.
+	if tr.MeanRxPowerDBm(24.5, 500) >= fs.MeanRxPowerDBm(24.5, 500) {
+		t.Fatal("two-ray not weaker than free space at 500 m")
+	}
+}
+
+func TestTwoRayCalibration(t *testing.T) {
+	m := DefaultTwoRay()
+	r := CalibratedRadio(m, 24.5, 250, 0.5, 550, 0.5, 2_000_000)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("two-ray calibrated radio invalid: %v", err)
+	}
+	if p := m.ProbAbove(24.5, 250, r.RxThreshDBm); math.Abs(p-0.5) > 1e-6 {
+		t.Fatalf("P(receive at 250m) = %v", p)
+	}
+	if p := m.ProbAbove(24.5, 550, r.CsThreshDBm); math.Abs(p-0.5) > 1e-6 {
+		t.Fatalf("P(sense at 550m) = %v", p)
+	}
+	// The d⁻⁴ law makes the receive/sense transition *sharper* than
+	// log-distance β=2: at 300 m reception is already hopeless.
+	if p := m.ProbAbove(24.5, 300, r.RxThreshDBm); p > 1e-3 {
+		t.Fatalf("two-ray P(receive at 300m) = %v, want ≈0", p)
+	}
+}
+
+func TestPathLossModeString(t *testing.T) {
+	if LogDistance.String() != "log-distance" || TwoRayGround.String() != "two-ray-ground" {
+		t.Fatal("mode names wrong")
+	}
+	if PathLossMode(9).String() == "" {
+		t.Fatal("unknown mode must render")
+	}
+}
+
+func TestTwoRayBelowReferenceClamped(t *testing.T) {
+	m := DefaultTwoRay()
+	if m.MeanRxPowerDBm(24.5, 0.01) != m.MeanRxPowerDBm(24.5, m.RefDistance) {
+		t.Fatal("sub-reference distances must clamp")
+	}
+}

@@ -1,0 +1,197 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// The simulator cannot use math/rand's global source: results must be a
+// pure function of (scenario, seed) so that every paper figure is
+// reproducible run-to-run and platform-to-platform, and so that
+// independent components (each node's backoff draws, each link's
+// shadowing draws) consume independent streams that do not perturb each
+// other when one component draws more numbers than before.
+//
+// The generator is xoshiro256**, seeded through SplitMix64. Streams are
+// derived from a parent generator by hashing a string label into the
+// SplitMix64 seeding path, which keeps streams stable under code changes
+// that reorder stream creation.
+package rng
+
+import "math"
+
+// Source is a deterministic xoshiro256** pseudo-random number generator.
+// The zero value is not usable; construct with New or Source.Stream.
+type Source struct {
+	s [4]uint64
+
+	// cachedNorm holds the second Box-Muller variate between calls to
+	// NormFloat64.
+	cachedNorm    float64
+	hasCachedNorm bool
+}
+
+// New returns a Source seeded from the given seed. Two Sources created
+// with the same seed produce identical output sequences.
+func New(seed uint64) *Source {
+	var src Source
+	src.reseed(seed)
+	return &src
+}
+
+func (s *Source) reseed(seed uint64) {
+	// SplitMix64 expansion as recommended by the xoshiro authors: it
+	// guarantees the state is not all-zero and decorrelates nearby seeds.
+	sm := seed
+	for i := range s.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		s.s[i] = z ^ (z >> 31)
+	}
+	s.hasCachedNorm = false
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	x := s.s[1] * 5
+	result := ((x << 7) | (x >> 57)) * 9
+
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = (s.s[3] << 45) | (s.s[3] >> 19)
+
+	return result
+}
+
+// Stream derives an independent child generator identified by label.
+// The child's sequence depends only on the parent's original seed and the
+// label, not on how many values the parent has produced, as long as the
+// parent's state at call time is deterministic. Callers should create all
+// streams up front (e.g. one per node) from a fresh parent.
+func (s *Source) Stream(label string) *Source {
+	// Mix the label into a 64-bit value with FNV-1a, then combine with
+	// a draw from the parent so distinct parents give distinct children.
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= fnvPrime
+	}
+	return New(h ^ s.Uint64())
+}
+
+// Float64 returns a uniform float64 in the half-open interval [0, 1).
+func (s *Source) Float64() float64 {
+	// 53 high bits give a uniformly spaced dyadic rational in [0,1).
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and avoids
+	// a modulo in the common case.
+	un := uint64(n)
+	v := s.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		threshold := -un % un
+		for lo < threshold {
+			v = s.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	_ = lo
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+
+	t := aLo * bLo
+	lo = t & mask32
+	carry := t >> 32
+
+	t = aHi*bLo + carry
+	mid1 := t & mask32
+	hi = t >> 32
+
+	t = aLo*bHi + mid1
+	lo |= (t & mask32) << 32
+	hi += t >> 32
+
+	hi += aHi * bHi
+	return hi, lo
+}
+
+// IntRange returns a uniform int in the closed interval [lo, hi].
+// It panics if hi < lo.
+func (s *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange called with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// NormFloat64 returns a standard normally distributed float64
+// (mean 0, standard deviation 1) using the Box-Muller transform.
+func (s *Source) NormFloat64() float64 {
+	if s.hasCachedNorm {
+		s.hasCachedNorm = false
+		return s.cachedNorm
+	}
+	var u float64
+	for u == 0 {
+		u = s.Float64()
+	}
+	v := s.Float64()
+	r := math.Sqrt(-2 * math.Log(u))
+	theta := 2 * math.Pi * v
+	s.cachedNorm = r * math.Sin(theta)
+	s.hasCachedNorm = true
+	return r * math.Cos(theta)
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided
+// swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, s.Intn(i+1))
+	}
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1
+// (mean 1). Scale by 1/λ for other rates.
+func (s *Source) ExpFloat64() float64 {
+	var u float64
+	for u == 0 {
+		u = s.Float64()
+	}
+	return -math.Log(u)
+}

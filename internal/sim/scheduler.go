@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are ordered by time; events with
+// equal times fire in scheduling order (FIFO), which keeps runs
+// deterministic.
+type Event struct {
+	when Time
+	seq  uint64
+	fn   func()
+
+	// index is the event's position in the heap, or -1 once fired or
+	// cancelled. Maintained by eventHeap.
+	index int
+}
+
+// When returns the simulated instant the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether the event has been cancelled or has fired.
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is the discrete-event executor. The zero value is ready to
+// use. Scheduler is not safe for concurrent use; a run owns its
+// scheduler exclusively.
+type Scheduler struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	fired   uint64
+	stopped bool
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// EventsFired returns the number of events executed so far.
+func (s *Scheduler) EventsFired() uint64 { return s.fired }
+
+// Pending returns the number of events currently queued.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at the absolute simulated instant when.
+// Scheduling in the past panics: it always indicates a model bug, and
+// silently reordering time would corrupt every downstream measurement.
+func (s *Scheduler) At(when Time, fn func()) *Event {
+	if when < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", when, s.now))
+	}
+	ev := &Event{when: when, seq: s.nextSeq, fn: fn}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current instant.
+func (s *Scheduler) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event with negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op, so callers can cancel
+// unconditionally.
+func (s *Scheduler) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, ev.index)
+	ev.index = -1
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events in time order until the queue is empty, Stop is
+// called, or the next event lies strictly after until. The clock is left
+// at until (or at the last fired event if the queue drained first, never
+// beyond until).
+func (s *Scheduler) Run(until Time) {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.when > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.when
+		s.fired++
+		next.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Drain executes all remaining events regardless of time. Intended for
+// tests; experiment runs use Run with a horizon.
+func (s *Scheduler) Drain() {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		next := heap.Pop(&s.queue).(*Event)
+		s.now = next.when
+		s.fired++
+		next.fn()
+	}
+}

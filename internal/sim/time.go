@@ -1,0 +1,44 @@
+// Package sim implements the discrete-event simulation kernel that
+// drives the wireless network model: simulated time, a stable
+// priority-ordered event queue, and cancellable timers.
+//
+// The kernel is deliberately single-threaded: a simulation run is a pure
+// function of its inputs, and parallelism is applied across runs (seeds,
+// sweep points) by the experiment harness, never within a run.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant of simulated time, measured in nanoseconds since
+// the start of the run. It is a distinct type from time.Duration so
+// instants and intervals cannot be confused.
+type Time int64
+
+// Common simulated-time unit helpers.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the interval t-u as a time.Duration.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns the instant expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts the instant (interpreted as an interval since zero)
+// to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the instant with microsecond precision, e.g. "1.234567s".
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}

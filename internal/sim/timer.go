@@ -1,0 +1,55 @@
+package sim
+
+// Timer is a restartable one-shot timer bound to a scheduler. It wraps
+// the schedule/cancel pattern the MAC layer uses for CTS/ACK timeouts:
+// arm it when the frame is sent, stop it when the response arrives.
+// The zero value is not usable; construct with NewTimer.
+type Timer struct {
+	sched *Scheduler
+	fn    func()
+	ev    *Event
+}
+
+// NewTimer returns a timer that invokes fn when it expires. The timer is
+// created unarmed.
+func NewTimer(sched *Scheduler, fn func()) *Timer {
+	return &Timer{sched: sched, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, cancelling any pending
+// expiry first.
+func (t *Timer) Reset(d Time) {
+	t.Stop()
+	t.ev = t.sched.After(d, t.fire)
+}
+
+// ResetAt (re)arms the timer to fire at the absolute instant when.
+func (t *Timer) ResetAt(when Time) {
+	t.Stop()
+	t.ev = t.sched.At(when, t.fire)
+}
+
+func (t *Timer) fire() {
+	t.ev = nil
+	t.fn()
+}
+
+// Stop cancels a pending expiry. Stopping an unarmed timer is a no-op.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.sched.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer has a pending expiry.
+func (t *Timer) Armed() bool { return t.ev != nil }
+
+// Deadline returns the pending expiry instant. It panics if the timer is
+// unarmed; check Armed first.
+func (t *Timer) Deadline() Time {
+	if t.ev == nil {
+		panic("sim: Deadline on unarmed timer")
+	}
+	return t.ev.When()
+}

@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/sim"
+)
+
+// Collector gathers one run's raw events — deliveries at receivers and
+// per-packet classifications at monitors — and computes the paper's
+// metrics. Wire OnDeliver into mac.Callbacks and OnClassified into
+// core.Events.
+type Collector struct {
+	misbehaving map[frame.NodeID]bool
+	binSize     sim.Time
+
+	bytesBySender   map[frame.NodeID]int64
+	packetsBySender map[frame.NodeID]int64
+	delayBySender   map[frame.NodeID]*Welford
+
+	// Classification counts split by ground truth.
+	misFromMis    int // misbehaving sender, classified misbehaving (correct)
+	okFromMis     int // misbehaving sender, classified well-behaved (miss)
+	misFromHonest int // honest sender, classified misbehaving (misdiagnosis)
+	okFromHonest  int // honest sender, classified well-behaved (correct)
+
+	bins []binCount
+}
+
+type binCount struct {
+	mis, total int // classifications of misbehaving senders' packets
+}
+
+// NewCollector builds a collector. misbehaving lists the ground-truth
+// misbehaving senders; binSize sets the Figure-8 time-series resolution
+// (0 disables the series).
+func NewCollector(misbehaving []frame.NodeID, binSize sim.Time) *Collector {
+	m := make(map[frame.NodeID]bool, len(misbehaving))
+	for _, id := range misbehaving {
+		m[id] = true
+	}
+	return &Collector{
+		misbehaving:     m,
+		binSize:         binSize,
+		bytesBySender:   make(map[frame.NodeID]int64),
+		packetsBySender: make(map[frame.NodeID]int64),
+		delayBySender:   make(map[frame.NodeID]*Welford),
+	}
+}
+
+// OnDeliver records a delivered packet from src.
+func (c *Collector) OnDeliver(src frame.NodeID, _ uint32, payloadBytes int, _ sim.Time) {
+	c.bytesBySender[src] += int64(payloadBytes)
+	c.packetsBySender[src]++
+}
+
+// OnSendComplete records a packet's total MAC delay (enqueue → ACK) at
+// the sender src.
+func (c *Collector) OnSendComplete(src frame.NodeID, delay sim.Time) {
+	w, ok := c.delayBySender[src]
+	if !ok {
+		w = &Welford{}
+		c.delayBySender[src] = w
+	}
+	w.Add(delay.Seconds() * 1000) // milliseconds
+}
+
+// MeanDelayMs returns sender src's mean packet delay in milliseconds
+// (0 when no packets completed).
+func (c *Collector) MeanDelayMs(src frame.NodeID) float64 {
+	if w, ok := c.delayBySender[src]; ok {
+		return w.Mean()
+	}
+	return 0
+}
+
+// SplitDelayMs returns the mean per-packet delay of honest and of
+// misbehaving senders, averaged over senders with completed packets.
+func (c *Collector) SplitDelayMs(senders []frame.NodeID) (avgHonest, avgMis float64) {
+	var hSum, mSum float64
+	var hN, mN int
+	for _, id := range senders {
+		w, ok := c.delayBySender[id]
+		if !ok || w.N() == 0 {
+			continue
+		}
+		if c.misbehaving[id] {
+			mSum += w.Mean()
+			mN++
+		} else {
+			hSum += w.Mean()
+			hN++
+		}
+	}
+	if hN > 0 {
+		avgHonest = hSum / float64(hN)
+	}
+	if mN > 0 {
+		avgMis = mSum / float64(mN)
+	}
+	return avgHonest, avgMis
+}
+
+// OnClassified records one diagnosis-scheme verdict.
+func (c *Collector) OnClassified(src frame.NodeID, mis bool, _ float64, now sim.Time) {
+	truth := c.misbehaving[src]
+	switch {
+	case truth && mis:
+		c.misFromMis++
+	case truth && !mis:
+		c.okFromMis++
+	case !truth && mis:
+		c.misFromHonest++
+	default:
+		c.okFromHonest++
+	}
+	if truth && c.binSize > 0 {
+		idx := int(now / c.binSize)
+		for len(c.bins) <= idx {
+			c.bins = append(c.bins, binCount{})
+		}
+		c.bins[idx].total++
+		if mis {
+			c.bins[idx].mis++
+		}
+	}
+}
+
+// CorrectDiagnosisPct returns the percentage of misbehaving senders'
+// packets that were classified as misbehaving (Figure 4's first metric).
+// NaN-free: returns 0 when no such packets exist.
+func (c *Collector) CorrectDiagnosisPct() float64 {
+	total := c.misFromMis + c.okFromMis
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(c.misFromMis) / float64(total)
+}
+
+// MisdiagnosisPct returns the percentage of well-behaved senders'
+// packets wrongly classified as misbehaving (Figure 4's second metric).
+func (c *Collector) MisdiagnosisPct() float64 {
+	total := c.misFromHonest + c.okFromHonest
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(c.misFromHonest) / float64(total)
+}
+
+// ThroughputKbps returns sender src's delivered goodput over duration.
+func (c *Collector) ThroughputKbps(src frame.NodeID, duration sim.Time) float64 {
+	if duration <= 0 {
+		panic(fmt.Sprintf("stats: ThroughputKbps duration %v", duration))
+	}
+	return float64(c.bytesBySender[src]) * 8 / duration.Seconds() / 1000
+}
+
+// Packets returns the number of delivered packets from src.
+func (c *Collector) Packets(src frame.NodeID) int64 { return c.packetsBySender[src] }
+
+// Senders returns all senders with delivered packets, ascending.
+func (c *Collector) Senders() []frame.NodeID {
+	ids := make([]frame.NodeID, 0, len(c.bytesBySender))
+	for id := range c.bytesBySender {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SplitThroughputKbps returns the average per-sender goodput of honest
+// senders and of misbehaving senders (the paper's AVG and MSB curves).
+// senders lists every flow source that should count, including starved
+// ones with zero deliveries.
+func (c *Collector) SplitThroughputKbps(senders []frame.NodeID, duration sim.Time) (avgHonest, avgMis float64) {
+	var hSum, mSum float64
+	var hN, mN int
+	for _, id := range senders {
+		tp := c.ThroughputKbps(id, duration)
+		if c.misbehaving[id] {
+			mSum += tp
+			mN++
+		} else {
+			hSum += tp
+			hN++
+		}
+	}
+	if hN > 0 {
+		avgHonest = hSum / float64(hN)
+	}
+	if mN > 0 {
+		avgMis = mSum / float64(mN)
+	}
+	return avgHonest, avgMis
+}
+
+// Fairness returns Jain's index over the listed flows' throughputs.
+func (c *Collector) Fairness(senders []frame.NodeID, duration sim.Time) float64 {
+	tps := make([]float64, len(senders))
+	for i, id := range senders {
+		tps[i] = c.ThroughputKbps(id, duration)
+	}
+	return Jain(tps)
+}
+
+// SeriesPoint is one Figure-8 time bin.
+type SeriesPoint struct {
+	// Start is the bin's start time.
+	Start sim.Time
+	// CorrectPct is the correct-diagnosis percentage within the bin;
+	// Packets the number of classified packets it is based on.
+	CorrectPct float64
+	Packets    int
+}
+
+// DiagnosisSeries returns the per-bin correct-diagnosis percentages for
+// misbehaving senders' packets.
+func (c *Collector) DiagnosisSeries() []SeriesPoint {
+	out := make([]SeriesPoint, len(c.bins))
+	for i, b := range c.bins {
+		p := SeriesPoint{Start: sim.Time(i) * c.binSize, Packets: b.total}
+		if b.total > 0 {
+			p.CorrectPct = 100 * float64(b.mis) / float64(b.total)
+		}
+		out[i] = p
+	}
+	return out
+}

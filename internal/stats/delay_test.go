@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/sim"
+)
+
+func TestDelayAccounting(t *testing.T) {
+	c := NewCollector([]frame.NodeID{2}, 0)
+	c.OnSendComplete(1, 10*sim.Millisecond)
+	c.OnSendComplete(1, 30*sim.Millisecond)
+	c.OnSendComplete(2, 5*sim.Millisecond)
+
+	if got := c.MeanDelayMs(1); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("MeanDelayMs(1) = %v, want 20", got)
+	}
+	if got := c.MeanDelayMs(2); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("MeanDelayMs(2) = %v, want 5", got)
+	}
+	if got := c.MeanDelayMs(9); got != 0 {
+		t.Fatalf("MeanDelayMs(unknown) = %v, want 0", got)
+	}
+}
+
+func TestSplitDelay(t *testing.T) {
+	c := NewCollector([]frame.NodeID{3}, 0)
+	c.OnSendComplete(1, 10*sim.Millisecond)
+	c.OnSendComplete(2, 20*sim.Millisecond)
+	c.OnSendComplete(3, 4*sim.Millisecond)
+
+	honest, mis := c.SplitDelayMs([]frame.NodeID{1, 2, 3})
+	if math.Abs(honest-15) > 1e-9 {
+		t.Fatalf("honest delay = %v, want 15", honest)
+	}
+	if math.Abs(mis-4) > 1e-9 {
+		t.Fatalf("misbehaver delay = %v, want 4", mis)
+	}
+}
+
+func TestSplitDelaySkipsIdleSenders(t *testing.T) {
+	c := NewCollector(nil, 0)
+	c.OnSendComplete(1, 10*sim.Millisecond)
+	// Sender 2 never completed a packet: it must not drag the honest
+	// average toward zero (unlike throughput, where zero is the truth).
+	honest, _ := c.SplitDelayMs([]frame.NodeID{1, 2})
+	if math.Abs(honest-10) > 1e-9 {
+		t.Fatalf("honest delay = %v, want 10 (idle sender skipped)", honest)
+	}
+}
+
+func TestSplitDelayEmpty(t *testing.T) {
+	c := NewCollector(nil, 0)
+	honest, mis := c.SplitDelayMs([]frame.NodeID{1, 2})
+	if honest != 0 || mis != 0 {
+		t.Fatalf("empty split = (%v, %v)", honest, mis)
+	}
+}

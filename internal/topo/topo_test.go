@@ -1,0 +1,262 @@
+package topo
+
+import (
+	"math"
+	"testing"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/rng"
+)
+
+func TestStarGeometry(t *testing.T) {
+	tp := Star(8, false, []frame.NodeID{3})
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("Star invalid: %v", err)
+	}
+	if len(tp.Positions) != 9 {
+		t.Fatalf("positions = %d, want 9 (R + 8 senders)", len(tp.Positions))
+	}
+	// Every sender sits 150 m from the receiver.
+	for id := 1; id <= 8; id++ {
+		d := tp.Positions[id].Distance(tp.Positions[StarReceiver])
+		if math.Abs(d-150) > 1e-9 {
+			t.Errorf("sender %d at %v m from R, want 150", id, d)
+		}
+	}
+	if len(tp.Flows) != 8 {
+		t.Fatalf("flows = %d, want 8", len(tp.Flows))
+	}
+	for _, f := range tp.Flows {
+		if f.Dst != StarReceiver || f.RateBps != 0 {
+			t.Errorf("flow %+v: want backlogged flow to R", f)
+		}
+	}
+	if len(tp.Misbehaving) != 1 || tp.Misbehaving[0] != 3 {
+		t.Fatalf("misbehaving = %v", tp.Misbehaving)
+	}
+	if len(tp.Receivers) != 1 || tp.Receivers[0] != StarReceiver {
+		t.Fatalf("receivers = %v", tp.Receivers)
+	}
+}
+
+func TestStarTwoFlow(t *testing.T) {
+	tp := Star(8, true, nil)
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if len(tp.Positions) != 13 {
+		t.Fatalf("positions = %d, want 13", len(tp.Positions))
+	}
+	if len(tp.Flows) != 10 {
+		t.Fatalf("flows = %d, want 10", len(tp.Flows))
+	}
+	// The two interferer flows run at 500 Kbps between nearby endpoints
+	// that both sit ≈500 m from R.
+	for _, f := range tp.Flows[8:] {
+		if f.RateBps != 500_000 {
+			t.Errorf("interferer flow rate = %d", f.RateBps)
+		}
+		link := tp.Positions[f.Src].Distance(tp.Positions[f.Dst])
+		if link > 250 {
+			t.Errorf("interferer link %d→%d spans %v m; endpoints must be in range", f.Src, f.Dst, link)
+		}
+		for _, end := range []frame.NodeID{f.Src, f.Dst} {
+			d := tp.Positions[end].Distance(tp.Positions[StarReceiver])
+			if d < 450 || d < 250 || d > 600 {
+				t.Errorf("interferer endpoint %d at %v m from R, want ≈500", end, d)
+			}
+		}
+	}
+	// Interferer flows are not measured.
+	if len(tp.Measured) != 8 {
+		t.Fatalf("measured = %v", tp.Measured)
+	}
+}
+
+func TestStarInterfererAsymmetry(t *testing.T) {
+	// The far-side sender must be meaningfully farther from interferer A
+	// than the receiver is — the mechanism behind TWO-FLOW misdiagnosis.
+	tp := Star(8, true, nil)
+	a := tp.Positions[9] // first interferer endpoint
+	dR := tp.Positions[StarReceiver].Distance(a)
+	dFar := 0.0
+	for id := 1; id <= 8; id++ {
+		if d := tp.Positions[id].Distance(a); d > dFar {
+			dFar = d
+		}
+	}
+	if dFar < dR+100 {
+		t.Fatalf("far sender at %v m vs receiver at %v m from A: no asymmetry", dFar, dR)
+	}
+}
+
+func TestStarValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misbehaving id 9 of 8 did not panic")
+		}
+	}()
+	Star(8, false, []frame.NodeID{9})
+}
+
+func TestStarSingleSender(t *testing.T) {
+	tp := Star(1, false, nil)
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if len(tp.Flows) != 1 {
+		t.Fatalf("flows = %d", len(tp.Flows))
+	}
+}
+
+func TestRandomTopology(t *testing.T) {
+	tp := Random(40, 1500, 700, 200, 5, rng.New(1))
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if len(tp.Positions) != 40 || len(tp.Flows) != 40 {
+		t.Fatalf("positions=%d flows=%d", len(tp.Positions), len(tp.Flows))
+	}
+	for i, p := range tp.Positions {
+		if p.X < 0 || p.X > 1500 || p.Y < 0 || p.Y > 700 {
+			t.Errorf("node %d at %v outside the area", i, p)
+		}
+	}
+	if len(tp.Misbehaving) != 5 {
+		t.Fatalf("misbehaving = %v", tp.Misbehaving)
+	}
+	seen := make(map[frame.NodeID]bool)
+	for _, id := range tp.Misbehaving {
+		if seen[id] {
+			t.Fatalf("duplicate misbehaving id %d", id)
+		}
+		seen[id] = true
+	}
+	if len(tp.Receivers) == 0 {
+		t.Fatal("no receivers")
+	}
+}
+
+func TestRandomFlowsPreferNeighbors(t *testing.T) {
+	tp := Random(40, 1500, 700, 200, 0, rng.New(7))
+	within := 0
+	for _, f := range tp.Flows {
+		if tp.Positions[f.Src].Distance(tp.Positions[f.Dst]) <= 200 {
+			within++
+		}
+	}
+	// With 40 nodes in 1.05 km², most nodes have an in-range neighbor.
+	if within < len(tp.Flows)/2 {
+		t.Fatalf("only %d of %d flows within link range", within, len(tp.Flows))
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a := Random(20, 1500, 700, 200, 3, rng.New(5))
+	b := Random(20, 1500, 700, 200, 3, rng.New(5))
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] {
+			t.Fatal("positions differ across identical seeds")
+		}
+	}
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatal("flows differ across identical seeds")
+		}
+	}
+	c := Random(20, 1500, 700, 200, 3, rng.New(6))
+	samePos := 0
+	for i := range a.Positions {
+		if a.Positions[i] == c.Positions[i] {
+			samePos++
+		}
+	}
+	if samePos == len(a.Positions) {
+		t.Fatal("different seeds produced identical topology")
+	}
+}
+
+func TestLineTopology(t *testing.T) {
+	tp := Line(5, 200)
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Positions) != 5 || len(tp.Flows) != 4 {
+		t.Fatalf("positions=%d flows=%d", len(tp.Positions), len(tp.Flows))
+	}
+	for i, f := range tp.Flows {
+		if f.Src != frame.NodeID(i) || f.Dst != frame.NodeID(i+1) {
+			t.Fatalf("flow %d = %+v", i, f)
+		}
+		d := tp.Positions[f.Src].Distance(tp.Positions[f.Dst])
+		if math.Abs(d-200) > 1e-9 {
+			t.Fatalf("link %d spans %v m", i, d)
+		}
+	}
+	if len(tp.Receivers) != 4 {
+		t.Fatalf("receivers = %v", tp.Receivers)
+	}
+}
+
+func TestLineValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Line(1, ...) did not panic")
+		}
+	}()
+	Line(1, 100)
+}
+
+func TestGridTopology(t *testing.T) {
+	tp := Grid(3, 2, 150)
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Positions) != 6 || len(tp.Flows) != 6 {
+		t.Fatalf("positions=%d flows=%d", len(tp.Positions), len(tp.Flows))
+	}
+	// Last column sends left; everyone else sends right.
+	for _, f := range tp.Flows {
+		d := tp.Positions[f.Src].Distance(tp.Positions[f.Dst])
+		if math.Abs(d-150) > 1e-9 {
+			t.Fatalf("flow %+v spans %v m, want one lattice step", f, d)
+		}
+	}
+	// Corner checks: node 2 (last col, row 0) sends to node 1.
+	if tp.Flows[2].Dst != 1 {
+		t.Fatalf("last-column flow = %+v, want wrap to the left", tp.Flows[2])
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Grid(1, 1, ...) did not panic")
+		}
+	}()
+	Grid(1, 1, 100)
+}
+
+func TestValidateCatchesBadFlows(t *testing.T) {
+	bad := &Topology{
+		Positions: Star(2, false, nil).Positions,
+		Flows:     []Flow{{Src: 1, Dst: 1}},
+	}
+	if bad.Validate() == nil {
+		t.Fatal("self flow passed validation")
+	}
+	bad = &Topology{
+		Positions: Star(2, false, nil).Positions,
+		Flows:     []Flow{{Src: 1, Dst: 99}},
+	}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range flow passed validation")
+	}
+	bad = &Topology{
+		Positions:   Star(2, false, nil).Positions,
+		Misbehaving: []frame.NodeID{1},
+	}
+	if bad.Validate() == nil {
+		t.Fatal("misbehaving non-sender passed validation")
+	}
+}

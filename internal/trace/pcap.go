@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dcfguard/internal/sim"
+
+	"dcfguard/internal/frame"
+)
+
+// pcap constants: classic (non-ng) pcap with microsecond timestamps.
+const (
+	pcapMagic   = 0xa1b2c3d4
+	pcapMajor   = 2
+	pcapMinor   = 4
+	pcapSnapLen = 65535
+	// LINKTYPE_USER0: private link type; packets carry the frame codec
+	// bytes from internal/frame (see frame.Marshal).
+	pcapLinkType = 147
+)
+
+// WritePcap exports the recorded transmissions as a pcap capture whose
+// packet bodies are the internal/frame codec encoding. The capture can
+// be inspected with tcpdump/Wireshark (as raw USER0 frames) or decoded
+// programmatically with frame.Unmarshal.
+func (r *Recorder) WritePcap(w io.Writer) error {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], pcapMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], pcapMinor)
+	// Bytes 8..16: thiszone and sigfigs, both zero.
+	binary.LittleEndian.PutUint32(hdr[16:], pcapSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], pcapLinkType)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("trace: pcap header: %w", err)
+	}
+
+	rec := make([]byte, 16)
+	for i, ev := range r.events {
+		body := frame.Marshal(ev.Frame)
+		usec := int64(ev.Start) / int64(sim.Microsecond)
+		binary.LittleEndian.PutUint32(rec[0:], uint32(usec/1e6))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(usec%1e6))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(len(body)))
+		binary.LittleEndian.PutUint32(rec[12:], uint32(len(body)))
+		if _, err := w.Write(rec); err != nil {
+			return fmt.Errorf("trace: pcap record %d: %w", i, err)
+		}
+		if _, err := w.Write(body); err != nil {
+			return fmt.Errorf("trace: pcap record %d body: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadPcap parses a capture written by WritePcap back into events
+// (timestamps at microsecond resolution; outcomes are not stored in the
+// capture and come back as OutcomePending).
+func ReadPcap(rd io.Reader) ([]Event, error) {
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(rd, hdr); err != nil {
+		return nil, fmt.Errorf("trace: pcap header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != pcapMagic {
+		return nil, fmt.Errorf("trace: bad pcap magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:]); lt != pcapLinkType {
+		return nil, fmt.Errorf("trace: unexpected link type %d", lt)
+	}
+	var events []Event
+	rec := make([]byte, 16)
+	for {
+		if _, err := io.ReadFull(rd, rec); err != nil {
+			if err == io.EOF {
+				return events, nil
+			}
+			return nil, fmt.Errorf("trace: pcap record header: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(rec[8:])
+		if n > pcapSnapLen {
+			return nil, fmt.Errorf("trace: pcap record length %d exceeds snaplen", n)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(rd, body); err != nil {
+			return nil, fmt.Errorf("trace: pcap record body: %w", err)
+		}
+		f, err := frame.Unmarshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("trace: pcap frame: %w", err)
+		}
+		sec := binary.LittleEndian.Uint32(rec[0:])
+		usec := binary.LittleEndian.Uint32(rec[4:])
+		start := sim.Time(sec)*sim.Second + sim.Time(usec)*sim.Microsecond
+		events = append(events, Event{Start: start, Src: f.Src, Frame: f})
+	}
+}

@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/mac"
+	"dcfguard/internal/medium"
+	"dcfguard/internal/phys"
+	"dcfguard/internal/rng"
+	"dcfguard/internal/sim"
+)
+
+func rts(src, dst frame.NodeID, seq uint32) frame.Frame {
+	return frame.Frame{Type: frame.RTS, Src: src, Dst: dst, Seq: seq, Attempt: 1, AssignedBackoff: -1}
+}
+
+func TestRecorderTapAndOutcomes(t *testing.T) {
+	r := New(0)
+	f := rts(1, 2, 7)
+	r.Tap(1, f, 0, 276*sim.Microsecond)
+	g := rts(3, 2, 9)
+	r.Tap(3, g, sim.Millisecond, sim.Millisecond+276*sim.Microsecond)
+
+	r.MarkDelivered(f, 276*sim.Microsecond)
+	r.Finalize(sim.Second)
+
+	ev := r.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	if ev[0].Outcome != OutcomeDelivered {
+		t.Fatalf("first outcome = %v, want delivered", ev[0].Outcome)
+	}
+	if ev[1].Outcome != OutcomeLost {
+		t.Fatalf("second outcome = %v, want lost", ev[1].Outcome)
+	}
+}
+
+func TestRecorderFinalizeSkipsInFlight(t *testing.T) {
+	r := New(0)
+	f := rts(1, 2, 7)
+	r.Tap(1, f, 0, sim.Millisecond)
+	r.Finalize(500 * sim.Microsecond) // frame still on the air
+	if got := r.Events()[0].Outcome; got != OutcomePending {
+		t.Fatalf("in-flight frame outcome = %v, want pending", got)
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Tap(1, rts(1, 2, uint32(i)), sim.Time(i)*sim.Millisecond, sim.Time(i)*sim.Millisecond+1)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("capped recorder holds %d events, want 2", r.Len())
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	r := New(0)
+	f := rts(1, 2, 7)
+	r.Tap(1, f, 0, 276*sim.Microsecond)
+	r.MarkDelivered(f, 276*sim.Microsecond)
+	out := r.Text()
+	for _, want := range []string{"RTS 1->2", "seq=7", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text %q missing %q", out, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := New(0)
+	frames := []frame.Frame{
+		rts(1, 2, 1),
+		{Type: frame.CTS, Src: 2, Dst: 1, Seq: 1, AssignedBackoff: 5},
+		{Type: frame.Data, Src: 1, Dst: 2, Seq: 1, PayloadBytes: 512},
+		{Type: frame.Ack, Src: 2, Dst: 1, Seq: 1, AssignedBackoff: 5},
+	}
+	for i, f := range frames {
+		end := sim.Time(i+1) * sim.Millisecond
+		r.Tap(f.Src, f, sim.Time(i)*sim.Millisecond, end)
+		r.MarkDelivered(f, end)
+	}
+	r.Finalize(sim.Second)
+	s := r.Summarize()
+	if s.RTS != 1 || s.CTS != 1 || s.Data != 1 || s.Ack != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Delivered != 4 || s.Lost != 0 {
+		t.Fatalf("summary outcomes = %+v", s)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if OutcomeDelivered.String() != "ok" || OutcomeLost.String() != "LOST" ||
+		OutcomePending.String() != "?" {
+		t.Fatal("outcome strings wrong")
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > 30 {
+		return 0, errWriteFailed
+	}
+	return len(p), nil
+}
+
+var errWriteFailed = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "write failed" }
+
+func TestWriteTextPropagatesErrors(t *testing.T) {
+	r := New(0)
+	r.Tap(1, rts(1, 2, 1), 0, sim.Millisecond)
+	r.Tap(1, rts(1, 2, 2), 2*sim.Millisecond, 3*sim.Millisecond)
+	if err := r.WriteText(&failingWriter{}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+func TestWritePcapPropagatesErrors(t *testing.T) {
+	r := New(0)
+	r.Tap(1, rts(1, 2, 1), 0, sim.Millisecond)
+	if err := r.WritePcap(&failingWriter{}); err == nil {
+		t.Fatal("pcap write error swallowed")
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	r := New(0)
+	frames := []frame.Frame{
+		rts(1, 2, 1),
+		{Type: frame.CTS, Src: 2, Dst: 1, Seq: 1, AssignedBackoff: 12},
+		{Type: frame.Data, Src: 1, Dst: 2, Seq: 1, PayloadBytes: 512},
+	}
+	for i, f := range frames {
+		start := sim.Time(i) * 3 * sim.Millisecond
+		r.Tap(f.Src, f, start, start+sim.Millisecond)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("read %d frames, want %d", len(got), len(frames))
+	}
+	for i, ev := range got {
+		if ev.Frame != frames[i] {
+			t.Fatalf("frame %d changed: %+v vs %+v", i, ev.Frame, frames[i])
+		}
+		if want := sim.Time(i) * 3 * sim.Millisecond; ev.Start != want {
+			t.Fatalf("frame %d start %v, want %v", i, ev.Start, want)
+		}
+	}
+}
+
+func TestPcapHeaderFields(t *testing.T) {
+	r := New(0)
+	var buf bytes.Buffer
+	if err := r.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hdr := buf.Bytes()
+	if len(hdr) != 24 {
+		t.Fatalf("empty capture length %d, want 24", len(hdr))
+	}
+	if hdr[0] != 0xd4 || hdr[1] != 0xc3 || hdr[2] != 0xb2 || hdr[3] != 0xa1 {
+		t.Fatalf("magic bytes %x", hdr[:4])
+	}
+}
+
+func TestReadPcapRejectsGarbage(t *testing.T) {
+	if _, err := ReadPcap(bytes.NewReader([]byte("not a pcap file at all!!"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadPcap(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestRecorderOnLiveSimulation(t *testing.T) {
+	// Attach the recorder to a real exchange and check the timeline:
+	// RTS, CTS, DATA, ACK all delivered.
+	var sched sim.Scheduler
+	model := phys.DefaultShadowing()
+	model.SigmaDB = 0
+	med := medium.New(&sched, medium.Config{Model: model}, rng.New(1))
+	rec := New(0)
+	med.Tap = rec.Tap
+
+	radio := phys.CalibratedRadio(model, 24.5, 250, 0.5, 550, 0.5, 2_000_000)
+	mkNode := func(id frame.NodeID, x float64) *mac.Node {
+		n := mac.NewNode(id, mac.DefaultParams(), &sched, med,
+			mac.NewStandardPolicy(rng.New(uint64(id)+10)), nil, mac.Callbacks{})
+		med.Attach(id, phys.Point{X: x}, radio, n)
+		return n
+	}
+	sender := mkNode(1, 0)
+	mkNode(2, 100)
+
+	sender.Enqueue(2, 512)
+	sched.Run(sim.Second)
+	rec.Finalize(sched.Now())
+
+	s := rec.Summarize()
+	if s.RTS != 1 || s.CTS != 1 || s.Data != 1 || s.Ack != 1 {
+		t.Fatalf("live trace summary = %+v\n%s", s, rec.Text())
+	}
+	// Events are in start order and non-overlapping.
+	ev := rec.Events()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Start < ev[i-1].End {
+			t.Fatalf("overlapping frames in trace:\n%s", rec.Text())
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package traffic provides the application-layer load generators used
+// by the paper's experiments: backlogged sources (the contending
+// senders, which always have a packet queued) and constant-bit-rate
+// sources (the interferer flows A→B and C→D, 500 Kbps).
+package traffic
+
+import (
+	"fmt"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/mac"
+	"dcfguard/internal/sim"
+)
+
+// Backlogged keeps a node's interface queue topped up so the sender
+// always contends, as in all of the paper's throughput experiments.
+// Wire Refill into the node's OnQueueSpace callback and call Start once.
+type Backlogged struct {
+	node  *mac.Node
+	dst   frame.NodeID
+	bytes int
+	depth int
+}
+
+// NewBacklogged builds a backlogged source sending packets of the given
+// payload size to dst, keeping up to depth packets queued.
+func NewBacklogged(node *mac.Node, dst frame.NodeID, bytes, depth int) *Backlogged {
+	if bytes <= 0 || depth < 1 {
+		panic(fmt.Sprintf("traffic: Backlogged(bytes=%d, depth=%d)", bytes, depth))
+	}
+	return &Backlogged{node: node, dst: dst, bytes: bytes, depth: depth}
+}
+
+// Start fills the queue to the configured depth.
+func (b *Backlogged) Start() {
+	for i := 0; i < b.depth; i++ {
+		if !b.node.Enqueue(b.dst, b.bytes) {
+			return
+		}
+	}
+}
+
+// Refill tops the queue back up; call it from mac.Callbacks.OnQueueSpace.
+func (b *Backlogged) Refill(sim.Time) {
+	for b.node.QueueLen() < b.depth {
+		if !b.node.Enqueue(b.dst, b.bytes) {
+			return
+		}
+	}
+}
+
+// CBR enqueues fixed-size packets at a constant bit rate, dropping at
+// the interface queue when the MAC cannot drain fast enough (standard
+// CBR-over-UDP semantics).
+type CBR struct {
+	sched    *sim.Scheduler
+	node     *mac.Node
+	dst      frame.NodeID
+	bytes    int
+	interval sim.Time
+
+	generated uint64
+	refused   uint64
+}
+
+// NewCBR builds a CBR source with the given payload size and rate in
+// bits per second. The inter-packet interval is bytes·8 / rate.
+func NewCBR(sched *sim.Scheduler, node *mac.Node, dst frame.NodeID, bytes int, rateBps int64) *CBR {
+	if bytes <= 0 || rateBps <= 0 {
+		panic(fmt.Sprintf("traffic: CBR(bytes=%d, rate=%d)", bytes, rateBps))
+	}
+	interval := sim.Time(int64(bytes) * 8 * int64(sim.Second) / rateBps)
+	return &CBR{sched: sched, node: node, dst: dst, bytes: bytes, interval: interval}
+}
+
+// Interval returns the inter-packet interval.
+func (c *CBR) Interval() sim.Time { return c.interval }
+
+// Counters returns (packets generated, packets refused by a full queue).
+func (c *CBR) Counters() (generated, refused uint64) { return c.generated, c.refused }
+
+// Start begins generation at the current instant and continues until the
+// scheduler's horizon ends the run.
+func (c *CBR) Start() {
+	c.tick()
+}
+
+func (c *CBR) tick() {
+	c.generated++
+	if !c.node.Enqueue(c.dst, c.bytes) {
+		c.refused++
+	}
+	c.sched.After(c.interval, c.tick)
+}

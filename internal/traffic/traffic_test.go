@@ -1,0 +1,151 @@
+package traffic
+
+import (
+	"testing"
+
+	"dcfguard/internal/mac"
+	"dcfguard/internal/medium"
+	"dcfguard/internal/phys"
+	"dcfguard/internal/rng"
+	"dcfguard/internal/sim"
+)
+
+func detRadio() phys.Radio {
+	m := phys.DefaultShadowing()
+	m.SigmaDB = 0
+	return phys.CalibratedRadio(m, 24.5, 250, 0.5, 550, 0.5, 2_000_000)
+}
+
+func TestBackloggedKeepsQueueFull(t *testing.T) {
+	var sched sim.Scheduler
+	m := phys.DefaultShadowing()
+	m.SigmaDB = 0
+	med := medium.New(&sched, medium.Config{Model: m}, rng.New(1))
+
+	var src *Backlogged
+	var sender *mac.Node
+	cb := mac.Callbacks{OnQueueSpace: func(now sim.Time) { src.Refill(now) }}
+	sender = mac.NewNode(1, mac.DefaultParams(), &sched, med, mac.NewStandardPolicy(rng.New(2)), nil, cb)
+	med.Attach(1, phys.Point{}, detRadio(), sender)
+	recv := mac.NewNode(2, mac.DefaultParams(), &sched, med, mac.NewStandardPolicy(rng.New(3)), nil, mac.Callbacks{})
+	med.Attach(2, phys.Point{X: 100}, detRadio(), recv)
+
+	src = NewBacklogged(sender, 2, 512, 8)
+	src.Start()
+	if sender.QueueLen() != 8 {
+		t.Fatalf("queue depth after Start = %d, want 8", sender.QueueLen())
+	}
+	sched.Run(5 * sim.Second)
+	succ, _, _ := sender.Counters()
+	if succ < 1000 {
+		t.Fatalf("backlogged sender completed %d packets in 5 s, want saturation (>1000)", succ)
+	}
+	if sender.QueueLen() == 0 {
+		t.Fatal("queue drained; source failed to stay backlogged")
+	}
+}
+
+func TestCBRInterval(t *testing.T) {
+	var sched sim.Scheduler
+	m := phys.DefaultShadowing()
+	m.SigmaDB = 0
+	med := medium.New(&sched, medium.Config{Model: m}, rng.New(1))
+	n := mac.NewNode(1, mac.DefaultParams(), &sched, med, mac.NewStandardPolicy(rng.New(2)), nil, mac.Callbacks{})
+	med.Attach(1, phys.Point{}, detRadio(), n)
+
+	// 512 B at 500 Kbps: 512·8/500000 s = 8.192 ms.
+	c := NewCBR(&sched, n, 2, 512, 500_000)
+	if got, want := c.Interval(), sim.Time(8192)*sim.Microsecond; got != want {
+		t.Fatalf("interval = %v, want %v", got, want)
+	}
+}
+
+func TestCBRGeneratesAtRate(t *testing.T) {
+	var sched sim.Scheduler
+	m := phys.DefaultShadowing()
+	m.SigmaDB = 0
+	med := medium.New(&sched, medium.Config{Model: m}, rng.New(1))
+	sender := mac.NewNode(1, mac.DefaultParams(), &sched, med, mac.NewStandardPolicy(rng.New(2)), nil, mac.Callbacks{})
+	med.Attach(1, phys.Point{}, detRadio(), sender)
+	recv := mac.NewNode(2, mac.DefaultParams(), &sched, med, mac.NewStandardPolicy(rng.New(3)), nil, mac.Callbacks{})
+	med.Attach(2, phys.Point{X: 100}, detRadio(), recv)
+
+	c := NewCBR(&sched, sender, 2, 512, 500_000)
+	c.Start()
+	sched.Run(10 * sim.Second)
+
+	gen, refused := c.Counters()
+	// 10 s / 8.192 ms ≈ 1220 packets.
+	if gen < 1200 || gen > 1240 {
+		t.Fatalf("generated %d packets, want ≈1220", gen)
+	}
+	// 500 Kbps offered on a 2 Mbps channel with one flow: no refusals.
+	if refused != 0 {
+		t.Fatalf("refused %d packets at an undersubscribed queue", refused)
+	}
+	succ, _, _ := sender.Counters()
+	if succ < 1150 {
+		t.Fatalf("delivered %d of %d generated", succ, gen)
+	}
+}
+
+func TestCBROverloadRefusesAtQueue(t *testing.T) {
+	var sched sim.Scheduler
+	m := phys.DefaultShadowing()
+	m.SigmaDB = 0
+	med := medium.New(&sched, medium.Config{Model: m}, rng.New(1))
+	sender := mac.NewNode(1, mac.DefaultParams(), &sched, med, mac.NewStandardPolicy(rng.New(2)), nil, mac.Callbacks{})
+	med.Attach(1, phys.Point{}, detRadio(), sender)
+	recv := mac.NewNode(2, mac.DefaultParams(), &sched, med, mac.NewStandardPolicy(rng.New(3)), nil, mac.Callbacks{})
+	med.Attach(2, phys.Point{X: 100}, detRadio(), recv)
+
+	// 2 Mbps offered: far beyond the ~1.2 Mbps the exchange overheads allow.
+	c := NewCBR(&sched, sender, 2, 512, 2_000_000)
+	c.Start()
+	sched.Run(5 * sim.Second)
+	_, refused := c.Counters()
+	if refused == 0 {
+		t.Fatal("oversubscribed CBR never hit the queue cap")
+	}
+}
+
+func TestBackloggedDepthBeyondQueueCap(t *testing.T) {
+	// A refill depth above the MAC queue capacity must stop at the cap
+	// rather than loop forever.
+	var sched sim.Scheduler
+	m := phys.DefaultShadowing()
+	m.SigmaDB = 0
+	med := medium.New(&sched, medium.Config{Model: m}, rng.New(1))
+	params := mac.DefaultParams()
+	params.QueueCap = 4
+	sender := mac.NewNode(1, params, &sched, med, mac.NewStandardPolicy(rng.New(2)), nil, mac.Callbacks{})
+	med.Attach(1, phys.Point{}, detRadio(), sender)
+
+	src := NewBacklogged(sender, 2, 512, 100)
+	src.Start()
+	if sender.QueueLen() != 4 {
+		t.Fatalf("queue length %d, want capped at 4", sender.QueueLen())
+	}
+	src.Refill(0)
+	if sender.QueueLen() != 4 {
+		t.Fatalf("refill overfilled to %d", sender.QueueLen())
+	}
+}
+
+func TestBackloggedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid Backlogged did not panic")
+		}
+	}()
+	NewBacklogged(nil, 2, 0, 1)
+}
+
+func TestCBRValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid CBR did not panic")
+		}
+	}()
+	NewCBR(nil, nil, 2, 512, 0)
+}
