@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test vet race bench bench-quick check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# One iteration of every benchmark: catches bench-harness rot and gross
+# regressions without the minutes-long auto-scaled run.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
+
+# Single hand-timed iteration per canonical target; writes BENCH.json.
+bench-quick:
+	$(GO) run ./cmd/macsim bench -quick
+
+# Full auto-scaled suite; refreshes the committed BENCH.json.
+bench-full:
+	$(GO) run ./cmd/macsim bench -out BENCH.json
+
+# The pre-merge gate (see README "Pre-merge gate"): vet, build, the race
+# detector over the short suite, and one pass over every benchmark.
+check: vet build race bench
+
+clean:
+	$(GO) clean ./...

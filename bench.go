@@ -1,0 +1,117 @@
+package dcfguard
+
+import "fmt"
+
+// This file defines the canonical benchmark suite in one place, so the
+// in-repo benchmarks (bench_test.go) and the `macsim bench` subcommand
+// measure exactly the same workloads. BENCH.json entries and the
+// numbers recorded in README must always come from these definitions.
+
+// BenchFigConfig is the reduced per-iteration figure configuration used
+// by the BenchmarkFig* suite: short runs, two seeds, two network sizes.
+func BenchFigConfig() Config {
+	cfg := QuickConfig()
+	cfg.Duration = 2 * Second
+	cfg.Seeds = Seeds(2)
+	cfg.PMs = []int{0, 80}
+	cfg.NetworkSizes = []int{2, 8}
+	cfg.Fig8PMs = []int{80}
+	return cfg
+}
+
+// BenchScenario80211Star is the raw-kernel baseline: the 8-sender star
+// under plain 802.11, 2 simulated seconds.
+func BenchScenario80211Star() Scenario {
+	s := DefaultScenario()
+	s.Duration = 2 * Second
+	s.Protocol = Protocol80211
+	return s
+}
+
+// BenchScenarioCorrectStar is the star with the full monitor pipeline
+// active and the PM-80 misbehaver.
+func BenchScenarioCorrectStar() Scenario {
+	s := DefaultScenario()
+	s.Duration = 2 * Second
+	s.Protocol = ProtocolCorrect
+	s.PM = 80
+	return s
+}
+
+// BenchScenarioRandom40 is the Figure-9 40-node random topology with
+// 5 misbehaving senders at PM 80.
+func BenchScenarioRandom40() Scenario {
+	s := DefaultScenario()
+	s.Duration = 2 * Second
+	s.Topo = RandomTopo(40, 5)
+	s.PM = 80
+	return s
+}
+
+// BenchTarget is one workload of the canonical suite. Run executes a
+// single iteration and returns the kernel events it fired (zero when
+// the workload has no single meaningful event count, e.g. figure
+// sweeps aggregate many runs).
+type BenchTarget struct {
+	Name string
+	Run  func(iter int) (events uint64, err error)
+}
+
+// scenarioTarget builds a target that runs one scenario per iteration,
+// cycling the seed exactly like benchScenario in bench_test.go.
+func scenarioTarget(name string, s Scenario) BenchTarget {
+	return BenchTarget{Name: name, Run: func(iter int) (uint64, error) {
+		r, err := Run(s, uint64(iter+1))
+		if err != nil {
+			return 0, err
+		}
+		return r.EventsFired, nil
+	}}
+}
+
+// BenchTargets returns the canonical suite: the three kernel-throughput
+// scenarios plus the figure generators, mirroring the BenchmarkRun* and
+// BenchmarkFig* benchmarks.
+func BenchTargets() []BenchTarget {
+	cfg := BenchFigConfig()
+	fig := func(name string, f func(Config) (*Table, error)) BenchTarget {
+		return BenchTarget{Name: name, Run: func(int) (uint64, error) {
+			_, err := f(cfg)
+			return 0, err
+		}}
+	}
+	return []BenchTarget{
+		scenarioTarget("Run80211Star", BenchScenario80211Star()),
+		scenarioTarget("RunCorrectStar", BenchScenarioCorrectStar()),
+		scenarioTarget("RunRandom40", BenchScenarioRandom40()),
+		fig("Fig4DiagnosisAccuracy", Fig4),
+		fig("Fig5Throughput", Fig5),
+		fig("Fig7Fairness", Fig7),
+		fig("Fig8Responsiveness", Fig8),
+		{Name: "Fig6NoMisbehavior", Run: func(int) (uint64, error) {
+			_, _, err := Fig6And7(cfg)
+			return 0, err
+		}},
+		{Name: "Fig9RandomTopology", Run: func(int) (uint64, error) {
+			c := cfg
+			c.PMs = []int{80}
+			_, err := Fig9(c)
+			return 0, err
+		}},
+	}
+}
+
+// FindBenchTarget returns the named target, or an error listing the
+// valid names.
+func FindBenchTarget(name string) (BenchTarget, error) {
+	for _, t := range BenchTargets() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	names := make([]string, 0, len(BenchTargets()))
+	for _, t := range BenchTargets() {
+		names = append(names, t.Name)
+	}
+	return BenchTarget{}, fmt.Errorf("unknown bench target %q (have %v)", name, names)
+}

@@ -12,16 +12,9 @@ import (
 // Reported custom metrics: sim_s/op is simulated seconds per wall
 // iteration's scenario-run; events/op the kernel events executed.
 
-// benchConfig is the per-iteration figure configuration.
-func benchConfig() Config {
-	cfg := QuickConfig()
-	cfg.Duration = 2 * Second
-	cfg.Seeds = Seeds(2)
-	cfg.PMs = []int{0, 80}
-	cfg.NetworkSizes = []int{2, 8}
-	cfg.Fig8PMs = []int{80}
-	return cfg
-}
+// benchConfig is the per-iteration figure configuration, shared with
+// the `macsim bench` subcommand via BenchFigConfig.
+func benchConfig() Config { return BenchFigConfig() }
 
 // benchScenario runs one scenario per iteration and reports kernel
 // throughput, for benches that measure a single simulation.
@@ -184,28 +177,17 @@ func BenchmarkAblationBasicAccess(b *testing.B) {
 // BenchmarkRun80211Star measures raw kernel throughput on the baseline
 // 8-sender star (802.11).
 func BenchmarkRun80211Star(b *testing.B) {
-	s := DefaultScenario()
-	s.Duration = 2 * Second
-	s.Protocol = Protocol80211
-	benchScenario(b, s)
+	benchScenario(b, BenchScenario80211Star())
 }
 
 // BenchmarkRunCorrectStar measures kernel throughput with the full
 // monitor pipeline active.
 func BenchmarkRunCorrectStar(b *testing.B) {
-	s := DefaultScenario()
-	s.Duration = 2 * Second
-	s.Protocol = ProtocolCorrect
-	s.PM = 80
-	benchScenario(b, s)
+	benchScenario(b, BenchScenarioCorrectStar())
 }
 
 // BenchmarkRunRandom40 measures kernel throughput on the Figure-9
 // 40-node random topology.
 func BenchmarkRunRandom40(b *testing.B) {
-	s := DefaultScenario()
-	s.Duration = 2 * Second
-	s.Topo = RandomTopo(40, 5)
-	s.PM = 80
-	benchScenario(b, s)
+	benchScenario(b, BenchScenarioRandom40())
 }

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"dcfguard"
+)
+
+// benchEntry is one BENCH.json record. Field names follow benchstat's
+// vocabulary (ns/op, allocs/op, B/op) so the file can be consumed by
+// perf-tracking tooling across PRs; the subcommand additionally prints
+// standard `BenchmarkName N ... ns/op` lines to stdout, which benchstat
+// parses directly (`macsim bench | tee bench.txt; benchstat bench.txt`).
+type benchEntry struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerOp  float64 `json:"events_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// benchFile is the BENCH.json schema.
+type benchFile struct {
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	Quick       bool         `json:"quick,omitempty"`
+	Results     []benchEntry `json:"results"`
+}
+
+// runBench executes the canonical suite (see BenchTargets) and writes
+// BENCH.json.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH.json", "output path for the JSON results")
+	filter := fs.String("filter", "", "regexp selecting target names (default all)")
+	quick := fs.Bool("quick", false, "one timed iteration per target instead of testing.Benchmark (CI gate)")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	execTr := fs.String("trace", "", "write a Go execution trace to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			return fmt.Errorf("bad -filter: %w", err)
+		}
+	}
+	stopProf, err := startProfiling(*cpuProf, *memProf, *execTr)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	file := benchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Quick:       *quick,
+	}
+	for _, target := range dcfguard.BenchTargets() {
+		if re != nil && !re.MatchString(target.Name) {
+			continue
+		}
+		entry, err := measure(target, *quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", target.Name, err)
+		}
+		file.Results = append(file.Results, entry)
+		line := fmt.Sprintf("Benchmark%s\t%8d\t%12.0f ns/op\t%8d B/op\t%8d allocs/op",
+			entry.Name, entry.Iterations, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp)
+		if entry.EventsPerOp > 0 {
+			line += fmt.Sprintf("\t%12.0f events/op\t%12.0f events/sec",
+				entry.EventsPerOp, entry.EventsPerSec)
+		}
+		fmt.Println(line)
+	}
+	if len(file.Results) == 0 {
+		return fmt.Errorf("no targets match filter %q", *filter)
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d targets)\n", *out, len(file.Results))
+	return nil
+}
+
+// measure times one target: a single hand-timed iteration in quick
+// mode, testing.Benchmark (auto-scaled to ~1 s) otherwise.
+func measure(target dcfguard.BenchTarget, quick bool) (benchEntry, error) {
+	if quick {
+		return measureQuick(target)
+	}
+	var runErr error
+	var events uint64
+	var iters int
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		events, iters = 0, b.N
+		for i := 0; i < b.N; i++ {
+			ev, err := target.Run(i)
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			events += ev
+		}
+	})
+	if runErr != nil {
+		return benchEntry{}, runErr
+	}
+	entry := benchEntry{
+		Name:        target.Name,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if events > 0 && iters > 0 {
+		entry.EventsPerOp = float64(events) / float64(iters)
+		if entry.NsPerOp > 0 {
+			entry.EventsPerSec = entry.EventsPerOp / entry.NsPerOp * 1e9
+		}
+	}
+	return entry, nil
+}
+
+// measureQuick runs the target exactly once, timing wall clock and
+// reading alloc deltas from runtime.MemStats. Coarser than
+// testing.Benchmark but fast enough for a pre-merge gate.
+func measureQuick(target dcfguard.BenchTarget) (benchEntry, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	events, err := target.Run(0)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return benchEntry{}, err
+	}
+	entry := benchEntry{
+		Name:        target.Name,
+		Iterations:  1,
+		NsPerOp:     float64(elapsed.Nanoseconds()),
+		AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+		BytesPerOp:  int64(after.TotalAlloc - before.TotalAlloc),
+	}
+	if events > 0 {
+		entry.EventsPerOp = float64(events)
+		if entry.NsPerOp > 0 {
+			entry.EventsPerSec = entry.EventsPerOp / entry.NsPerOp * 1e9
+		}
+	}
+	return entry, nil
+}

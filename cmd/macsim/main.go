@@ -7,12 +7,27 @@
 //	macsim -protocol 802.11 -pm 80 -two-flow
 //	macsim -random 40 -mis 5 -pm 60 -seeds 5
 //	macsim -protocol correct -pm 80 -series
+//
+// Profiling a run (written when the run completes):
+//
+//	macsim -random 40 -pm 80 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	macsim -protocol correct -trace exec.trace
+//
+// The bench subcommand runs the canonical benchmark suite (the same
+// workloads as `go test -bench .`) and records BENCH.json:
+//
+//	macsim bench                  # full suite, testing.Benchmark timing
+//	macsim bench -quick           # one iteration per target (CI gate)
+//	macsim bench -filter 'Run.*'  # kernel-throughput targets only
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"time"
 
@@ -20,10 +35,72 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		if err := runBench(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "macsim bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "macsim:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiling arms the requested profilers and returns a stop
+// function that flushes them. Empty paths disable the corresponding
+// profiler.
+func startProfiling(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	var stops []func() error
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if memPath != "" {
+		stops = append(stops, func() error {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialise the final live heap
+			return pprof.WriteHeapProfile(f)
+		})
+	}
+	return func() error {
+		var first error
+		for _, s := range stops {
+			if err := s(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
 }
 
 func run() error {
@@ -41,8 +118,11 @@ func run() error {
 		seeds    = flag.Int("seeds", 0, "run this many seeds (1..n) and aggregate instead of one run")
 		series   = flag.Bool("series", false, "print the per-second diagnosis series")
 		perNode  = flag.Bool("per-node", false, "print per-sender throughputs")
-		traceN   = flag.Int("trace", 0, "print the first N frame transmissions as a timeline")
-		pcapPath = flag.String("pcap", "", "write the traced frames to this pcap file (requires -trace)")
+		traceN   = flag.Int("timeline", 0, "print the first N frame transmissions as a timeline")
+		pcapPath = flag.String("pcap", "", "write the traced frames to this pcap file (requires -timeline)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		execTr   = flag.String("trace", "", "write a Go execution trace to this file")
 		csvPath  = flag.String("csv", "", "with -seeds: write raw per-run metrics to this CSV file")
 		basic    = flag.Bool("basic", false, "basic access: no RTS/CTS handshake")
 		adaptive = flag.Bool("adaptive", false, "adaptive THRESH selection (CORRECT only)")
@@ -89,14 +169,23 @@ func run() error {
 	s.Core.AdaptiveThresh = *adaptive
 	s.Core.BlockDiagnosed = *block
 	if *pcapPath != "" && *traceN == 0 {
-		return fmt.Errorf("-pcap requires -trace N")
+		return fmt.Errorf("-pcap requires -timeline N")
 	}
 	s.TraceEvents = *traceN
 
-	if *seeds > 0 {
-		return runAggregate(s, *seeds, *series, *csvPath)
+	stopProf, err := startProfiling(*cpuProf, *memProf, *execTr)
+	if err != nil {
+		return err
 	}
-	return runSingle(s, *seed, *series, *perNode, *pcapPath)
+	if *seeds > 0 {
+		err = runAggregate(s, *seeds, *series, *csvPath)
+	} else {
+		err = runSingle(s, *seed, *series, *perNode, *pcapPath)
+	}
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	return err
 }
 
 func runSingle(s dcfguard.Scenario, seed uint64, series, perNode bool, pcapPath string) error {

@@ -147,7 +147,7 @@ func Run(s Scenario, seed uint64) (Result, error) {
 				params.AssignMode = core.AssignGreedy
 				params.WaivePenalties = true
 			}
-			m := core.NewMonitor(id, params, s.MAC, root.Stream(fmt.Sprintf("monitor-%d", id)), events)
+			m := core.NewMonitor(id, params, s.MAC, root.StreamN("monitor-", uint64(id)), events)
 			monitors[id] = m
 			hook = m
 		}
@@ -229,7 +229,7 @@ func Run(s Scenario, seed uint64) (Result, error) {
 // misbehaving, for the scenario's protocol.
 func buildPolicy(s Scenario, id frame.NodeID, misbehaves bool, root *rng.Source,
 	senderPolicies map[frame.NodeID]*core.AssignedPolicy) mac.BackoffPolicy {
-	stream := root.Stream(fmt.Sprintf("policy-%d", id))
+	stream := root.StreamN("policy-", uint64(id))
 	var honest mac.BackoffPolicy
 	switch s.Protocol {
 	case Protocol80211:

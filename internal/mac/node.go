@@ -138,8 +138,65 @@ type Node struct {
 	// Receiver side.
 	lastSeq map[frame.NodeID]uint32 // highest delivered seq per sender
 
+	// sendDataFn is n.sendData bound once, so arming the post-CTS SIFS
+	// wait does not allocate a fresh method value per exchange.
+	sendDataFn func()
+	// freeResponses pools the SIFS-deferred CTS/ACK response records.
+	freeResponses []*pendingTx
+
 	// Counters.
 	txSuccess, txDrop, rxDeliver uint64
+}
+
+// pendingTx is a SIFS-deferred response (CTS or ACK) waiting to go on
+// the air. Records are pooled per node: one is taken when the response
+// is armed and recycled when it fires, so steady-state responses
+// allocate nothing. Responses are never cancelled, which is what makes
+// the single-owner recycle safe.
+type pendingTx struct {
+	n   *Node
+	f   frame.Frame
+	ack bool // fire OnAckSent after an ACK transmit
+}
+
+// sendResponseEvent is the pooled-event trampoline transmitting a
+// deferred CTS/ACK response.
+func sendResponseEvent(arg any, _ sim.Time) {
+	p := arg.(*pendingTx)
+	n, f, isAck := p.n, p.f, p.ack
+	*p = pendingTx{}
+	n.freeResponses = append(n.freeResponses, p)
+	if n.med.Transmitting(n.id) {
+		return // half-duplex conflict with our own exchange; the sender retries
+	}
+	end := n.med.Transmit(n.id, f)
+	if isAck && n.hook != nil {
+		n.hook.OnAckSent(f.Dst, f.Seq, end)
+	}
+}
+
+// scheduleResponse arms f to be transmitted one SIFS from now.
+func (n *Node) scheduleResponse(f frame.Frame, isAck bool) {
+	var p *pendingTx
+	if k := len(n.freeResponses); k > 0 {
+		p = n.freeResponses[k-1]
+		n.freeResponses[k-1] = nil
+		n.freeResponses = n.freeResponses[:k-1]
+	} else {
+		p = &pendingTx{}
+	}
+	*p = pendingTx{n: n, f: f, ack: isAck}
+	n.sched.AfterArg(n.params.SIFS, sendResponseEvent, p)
+}
+
+// navProbeEvent re-checks an overheard-RTS NAV one CTS turnaround after
+// the RTS ended (802.11 §9.2.5.4). The RTS end instant is recovered from
+// the fire time, so the event needs no capturing closure.
+func navProbeEvent(arg any, when sim.Time) {
+	n := arg.(*Node)
+	bitRate := n.med.Radio(n.id).BitRate
+	probe := n.params.SIFS + frame.Airtime(frame.CTSBytes, bitRate) + 2*n.params.SlotTime
+	n.maybeResetNAV(when - probe)
 }
 
 var (
@@ -171,6 +228,7 @@ func NewNode(id frame.NodeID, params Params, sched *sim.Scheduler, med *medium.M
 	n.doneTimer = sim.NewTimer(sched, n.backoffDone)
 	n.navTimer = sim.NewTimer(sched, n.navExpired)
 	n.respTimer = sim.NewTimer(sched, n.responseTimeout)
+	n.sendDataFn = n.sendData
 	return n
 }
 
@@ -464,7 +522,7 @@ func (n *Node) onCTS(cts frame.Frame) {
 		n.policy.OnAssigned(cts.Src, cts.Seq, int(cts.AssignedBackoff), false)
 	}
 	n.state = stateSIFSData
-	n.sched.After(n.params.SIFS, n.sendData)
+	n.sched.After(n.params.SIFS, n.sendDataFn)
 }
 
 func (n *Node) onAck(ack frame.Frame) {
@@ -521,7 +579,7 @@ func (n *Node) FrameReceived(f frame.Frame, now sim.Time) {
 				// reservation never materialised — release the NAV.
 				bitRate := n.med.Radio(n.id).BitRate
 				probe := n.params.SIFS + frame.Airtime(frame.CTSBytes, bitRate) + 2*n.params.SlotTime
-				n.sched.After(probe, func() { n.maybeResetNAV(now) })
+				n.sched.AfterArg(probe, navProbeEvent, n)
 			}
 		}
 		return
@@ -568,12 +626,7 @@ func (n *Node) onRTS(rts frame.Frame, end sim.Time) {
 	if cts.Duration < 0 {
 		cts.Duration = 0
 	}
-	n.sched.After(n.params.SIFS, func() {
-		if n.med.Transmitting(n.id) {
-			return // half-duplex conflict with our own exchange; let the sender retry
-		}
-		n.med.Transmit(n.id, cts)
-	})
+	n.scheduleResponse(cts, false)
 }
 
 func (n *Node) onData(data frame.Frame, end sim.Time) {
@@ -600,13 +653,5 @@ func (n *Node) onData(data frame.Frame, end sim.Time) {
 		AssignedBackoff: int32(assigned),
 		Duration:        0,
 	}
-	n.sched.After(n.params.SIFS, func() {
-		if n.med.Transmitting(n.id) {
-			return // half-duplex conflict; the sender will retransmit
-		}
-		ackEnd := n.med.Transmit(n.id, ackFrame)
-		if n.hook != nil {
-			n.hook.OnAckSent(ackFrame.Dst, ackFrame.Seq, ackEnd)
-		}
-	})
+	n.scheduleResponse(ackFrame, true)
 }

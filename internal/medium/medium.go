@@ -18,6 +18,19 @@
 //     unless one exceeds the other by the radio's capture margin.
 //     Sub-receive-threshold energy never corrupts a frame, as in
 //     classic ns-2.
+//
+// Hot-path design: the deterministic part of every link budget — the
+// mean received power MeanRxPowerDBm(txPower, distance) — depends only
+// on the attached topology, so it is precomputed once into a dense
+// matrix the first time Transmit runs after the last Attach. The
+// per-frame work is then one Gaussian draw plus an add-multiply per
+// observer. Pairs whose mean plus the hard draw bound (rng.NormBound·σ)
+// still falls below both the carrier-sense and receive thresholds can
+// never be sensed nor decoded by any realisable draw; for those the
+// draw is still consumed (the RNG sequence is part of the reproducible
+// result) but all allocation and event scheduling is skipped. Arrival
+// records and scheduler events are pooled, so a steady-state run
+// allocates nothing per frame.
 package medium
 
 import (
@@ -74,13 +87,24 @@ type Medium struct {
 	cfg   Config
 	src   *rng.Source
 
-	nodes []*node // attach order == ascending NodeID (enforced)
+	nodes []*node // ascending NodeID (binary-inserted on Attach)
 	byID  map[frame.NodeID]*node
 	// Tap, if non-nil, observes every transmission (for traces/tests).
 	Tap func(src frame.NodeID, f frame.Frame, start, end sim.Time)
 	// DeliveryTap, if non-nil, observes every frame successfully
 	// decoded at its addressee.
 	DeliveryTap func(f frame.Frame, now sim.Time)
+
+	// Propagation cache, rebuilt lazily at the first Transmit after the
+	// last Attach. meanDBm[tx.idx*len(nodes)+obs.idx] is the
+	// deterministic mean RX power for the pair; outOfRange is true when
+	// no realisable shadowing draw can reach either threshold.
+	cacheDirty bool
+	meanDBm    []float64
+	outOfRange []bool
+
+	// freeArrivals pools arrival records (recycled in complete).
+	freeArrivals []*arrival
 
 	transmissions uint64
 	deliveries    uint64
@@ -89,6 +113,8 @@ type Medium struct {
 
 type node struct {
 	id       frame.NodeID
+	idx      int // position in Medium.nodes, fixed at cache build
+	m        *Medium
 	pos      phys.Point
 	radio    phys.Radio
 	listener Listener
@@ -99,11 +125,29 @@ type node struct {
 }
 
 type arrival struct {
+	obs         *node
 	f           frame.Frame
 	start, end  sim.Time
 	powerDBm    float64
 	corrupted   bool
 	selfBlocked bool // overlapped one of the observer's own transmissions
+}
+
+// Pooled-event trampolines: package-level funcs passed to AtArg/AfterArg
+// so the busy-transition and arrival-completion events allocate nothing.
+func busyEndEvent(arg any, when sim.Time) {
+	n := arg.(*node)
+	n.m.busyEnd(n, when)
+}
+
+func busyStartEvent(arg any, when sim.Time) {
+	n := arg.(*node)
+	n.m.busyStart(n, when)
+}
+
+func completeEvent(arg any, _ sim.Time) {
+	a := arg.(*arrival)
+	a.obs.m.complete(a.obs, a)
 }
 
 // New returns a medium driven by the given scheduler, using src for all
@@ -120,9 +164,9 @@ func New(sched *sim.Scheduler, cfg Config, src *rng.Source) *Medium {
 	}
 }
 
-// Attach registers a node on the channel. IDs must be unique; attach
-// order fixes the (deterministic) order of per-observer shadowing draws,
-// so builders attach nodes in ascending ID order.
+// Attach registers a node on the channel. IDs must be unique; the node
+// list is kept in ascending ID order (binary insertion, not a re-sort),
+// which fixes the (deterministic) order of per-observer shadowing draws.
 func (m *Medium) Attach(id frame.NodeID, pos phys.Point, radio phys.Radio, l Listener) {
 	if _, dup := m.byID[id]; dup {
 		panic(fmt.Sprintf("medium: duplicate node id %d", id))
@@ -130,16 +174,56 @@ func (m *Medium) Attach(id frame.NodeID, pos phys.Point, radio phys.Radio, l Lis
 	if err := radio.Validate(); err != nil {
 		panic(fmt.Sprintf("medium: node %d: %v", id, err))
 	}
-	n := &node{id: id, pos: pos, radio: radio, listener: l}
-	m.nodes = append(m.nodes, n)
+	n := &node{id: id, m: m, pos: pos, radio: radio, listener: l}
+	i := sort.Search(len(m.nodes), func(i int) bool { return m.nodes[i].id > id })
+	m.nodes = append(m.nodes, nil)
+	copy(m.nodes[i+1:], m.nodes[i:])
+	m.nodes[i] = n
 	m.byID[id] = n
-	sort.Slice(m.nodes, func(i, j int) bool { return m.nodes[i].id < m.nodes[j].id })
+	m.cacheDirty = true
+}
+
+// buildCache precomputes the mean RX power and the out-of-range proof
+// for every ordered (transmitter, observer) pair. A pair is out of range
+// when mean + NormBound·σ — an upper bound no Box-Muller draw can beat —
+// stays below both the observer's carrier-sense and receive thresholds.
+func (m *Medium) buildCache() {
+	n := len(m.nodes)
+	m.meanDBm = make([]float64, n*n)
+	m.outOfRange = make([]bool, n*n)
+	sigma := m.cfg.Model.SigmaDB
+	for i, tx := range m.nodes {
+		tx.idx = i
+		for j, obs := range m.nodes {
+			if i == j {
+				continue
+			}
+			d := tx.pos.Distance(obs.pos)
+			mean := m.cfg.Model.MeanRxPowerDBm(tx.radio.TxPowerDBm, d)
+			bound := mean + rng.NormBound*sigma
+			k := i*n + j
+			m.meanDBm[k] = mean
+			m.outOfRange[k] = bound < obs.radio.CsThreshDBm && bound < obs.radio.RxThreshDBm
+		}
+	}
+	m.cacheDirty = false
 }
 
 // Stats returns cumulative channel counters: transmissions started,
 // frames delivered, and frames lost to collisions at their addressee.
 func (m *Medium) Stats() (transmissions, deliveries, collisions uint64) {
 	return m.transmissions, m.deliveries, m.collisions
+}
+
+// newArrival takes an arrival record from the pool, or allocates one.
+func (m *Medium) newArrival() *arrival {
+	if n := len(m.freeArrivals); n > 0 {
+		a := m.freeArrivals[n-1]
+		m.freeArrivals[n-1] = nil
+		m.freeArrivals = m.freeArrivals[:n-1]
+		return a
+	}
+	return &arrival{}
 }
 
 // Transmit puts a frame on the air from src at the current instant and
@@ -149,6 +233,9 @@ func (m *Medium) Transmit(srcID frame.NodeID, f frame.Frame) sim.Time {
 	tx, ok := m.byID[srcID]
 	if !ok {
 		panic(fmt.Sprintf("medium: transmit from unattached node %d", srcID))
+	}
+	if m.cacheDirty {
+		m.buildCache()
 	}
 	now := m.sched.Now()
 	if tx.txUntil > now {
@@ -168,42 +255,69 @@ func (m *Medium) Transmit(srcID frame.NodeID, f frame.Frame) sim.Time {
 	// The transmitter's own carrier goes busy for the duration.
 	m.busyStart(tx, now)
 	// A node that starts transmitting while a frame is arriving
-	// destroys that arrival locally (half-duplex).
+	// destroys that arrival locally (half-duplex). Compact dead entries
+	// (already completed at this instant) out of the list as we go.
+	live := tx.arrivals[:0]
 	for _, a := range tx.arrivals {
-		if a.end > now {
-			a.selfBlocked = true
+		if a.end <= now {
+			continue
 		}
+		a.selfBlocked = true
+		live = append(live, a)
 	}
+	clearTail(tx.arrivals, len(live))
+	tx.arrivals = live
 
 	// Per-observer outcomes, in ascending ID order for determinism.
+	// The shadowing draw is consumed for every observer — the RNG
+	// sequence is part of the reproducible result — but pairs the cache
+	// proves out of range skip all further work.
+	nn := len(m.nodes)
+	base := tx.idx * nn
+	sigma := m.cfg.Model.SigmaDB
+	fast := m.cfg.CoherenceInterval <= 0
 	for _, obs := range m.nodes {
 		if obs == tx {
 			continue
 		}
-		m.arriveAt(tx, obs, f, now, end)
+		draw := m.src.NormFloat64()
+		if fast && m.outOfRange[base+obs.idx] {
+			continue
+		}
+		m.arriveAt(tx, obs, f, m.meanDBm[base+obs.idx]+sigma*draw, now, end)
 	}
 
 	// Self busy-end. Scheduled after arrivals so that, at instant
 	// `end`, deliveries (scheduled inside arriveAt) precede carrier
 	// transitions only per-observer; the transmitter has no delivery.
-	m.sched.At(end, func() { m.busyEnd(tx, end) })
+	m.sched.AtArg(end, busyEndEvent, tx)
 	return end
 }
 
-// arriveAt computes what observer obs experiences for the transmission.
-func (m *Medium) arriveAt(tx, obs *node, f frame.Frame, start, end sim.Time) {
-	d := tx.pos.Distance(obs.pos)
-	power := m.cfg.Model.SampleRxPowerDBm(tx.radio.TxPowerDBm, d, m.src)
+// clearTail nils the slice entries from i on, so the shrunken arrivals
+// list does not retain pooled records.
+func clearTail(s []*arrival, i int) {
+	for ; i < len(s); i++ {
+		s[i] = nil
+	}
+}
+
+// arriveAt computes what observer obs experiences for the transmission,
+// given the already-drawn received power for this (frame, observer) pair.
+func (m *Medium) arriveAt(tx, obs *node, f frame.Frame, power float64, start, end sim.Time) {
 	decodable := power >= obs.radio.RxThreshDBm
 
 	if decodable {
-		a := &arrival{f: f, start: start, end: end, powerDBm: power}
+		a := m.newArrival()
+		*a = arrival{obs: obs, f: f, start: start, end: end, powerDBm: power}
 		// Half-duplex: if the observer is mid-transmission now, it
 		// cannot lock onto the arriving frame.
 		if obs.txUntil > start {
 			a.selfBlocked = true
 		}
-		// Collision resolution against other decodable overlaps.
+		// Collision resolution against other decodable overlaps; dead
+		// entries are compacted out in the same pass.
+		live := obs.arrivals[:0]
 		for _, other := range obs.arrivals {
 			if other.end <= start {
 				continue
@@ -217,9 +331,11 @@ func (m *Medium) arriveAt(tx, obs *node, f frame.Frame, start, end sim.Time) {
 				other.corrupted = true
 				a.corrupted = true
 			}
+			live = append(live, other)
 		}
-		obs.arrivals = append(obs.arrivals, a)
-		m.sched.At(end, func() { m.complete(obs, a) })
+		clearTail(obs.arrivals, len(live))
+		obs.arrivals = append(live, a)
+		m.sched.AtArg(end, completeEvent, a)
 	}
 
 	// Sensing: decodable energy is always sensed (RxThresh ≥ CsThresh
@@ -227,7 +343,7 @@ func (m *Medium) arriveAt(tx, obs *node, f frame.Frame, start, end sim.Time) {
 	if m.cfg.CoherenceInterval <= 0 {
 		if power >= obs.radio.CsThreshDBm {
 			m.busyStart(obs, start)
-			m.sched.At(end, func() { m.busyEnd(obs, end) })
+			m.sched.AtArg(end, busyEndEvent, obs)
 		}
 		return
 	}
@@ -236,7 +352,7 @@ func (m *Medium) arriveAt(tx, obs *node, f frame.Frame, start, end sim.Time) {
 	// sensed intervals into maximal busy runs (so segment boundaries do
 	// not produce zero-length idle blips). The first interval reuses
 	// the frame-level draw so decodable ⇒ initially sensed.
-	mean := m.cfg.Model.MeanRxPowerDBm(tx.radio.TxPowerDBm, d)
+	mean := m.meanDBm[tx.idx*len(m.nodes)+obs.idx]
 	segPower := power
 	var runStart sim.Time
 	inRun := false
@@ -262,14 +378,16 @@ func (m *Medium) scheduleBusyRun(obs *node, runStart, runEnd, txStart sim.Time) 
 	if runStart == txStart {
 		m.busyStart(obs, runStart)
 	} else {
-		m.sched.At(runStart, func() { m.busyStart(obs, runStart) })
+		m.sched.AtArg(runStart, busyStartEvent, obs)
 	}
-	m.sched.At(runEnd, func() { m.busyEnd(obs, runEnd) })
+	m.sched.AtArg(runEnd, busyEndEvent, obs)
 }
 
-// complete finishes an arrival at obs: delivers the frame if it survived.
+// complete finishes an arrival at obs: delivers the frame if it
+// survived, then recycles the record.
 func (m *Medium) complete(obs *node, a *arrival) {
-	// Drop the arrival from the active list.
+	// Drop the arrival from the active list (it may already have been
+	// compacted out as a dead entry by a later transmission).
 	for i, x := range obs.arrivals {
 		if x == a {
 			last := len(obs.arrivals) - 1
@@ -279,23 +397,27 @@ func (m *Medium) complete(obs *node, a *arrival) {
 			break
 		}
 	}
-	if a.corrupted || a.selfBlocked {
-		if a.f.Dst == obs.id {
+	corrupted, selfBlocked, f, end := a.corrupted, a.selfBlocked, a.f, a.end
+	*a = arrival{}
+	m.freeArrivals = append(m.freeArrivals, a)
+
+	if corrupted || selfBlocked {
+		if f.Dst == obs.id {
 			m.collisions++
 		}
-		if !a.selfBlocked {
+		if !selfBlocked {
 			if cl, ok := obs.listener.(CorruptionListener); ok {
-				cl.FrameCorrupted(a.end)
+				cl.FrameCorrupted(end)
 			}
 		}
 		return
 	}
 	m.deliveries++
-	if m.DeliveryTap != nil && a.f.Dst == obs.id {
-		m.DeliveryTap(a.f, a.end)
+	if m.DeliveryTap != nil && f.Dst == obs.id {
+		m.DeliveryTap(f, end)
 	}
 	if obs.listener != nil {
-		obs.listener.FrameReceived(a.f, a.end)
+		obs.listener.FrameReceived(f, end)
 	}
 }
 

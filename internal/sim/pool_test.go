@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPoolReusesFiredEvents verifies that firing recycles event storage:
+// after the first event fires, scheduling again must reuse its Event
+// rather than allocate.
+func TestPoolReusesFiredEvents(t *testing.T) {
+	var s Scheduler
+	r1 := s.After(Microsecond, func() {})
+	ev1 := r1.ev
+	s.Run(Second)
+	if s.PoolSize() != 1 {
+		t.Fatalf("PoolSize = %d after fire, want 1", s.PoolSize())
+	}
+	r2 := s.After(Microsecond, func() {})
+	if r2.ev != ev1 {
+		t.Fatal("second schedule did not reuse the fired event's storage")
+	}
+	if s.PoolSize() != 0 {
+		t.Fatalf("PoolSize = %d after reuse, want 0", s.PoolSize())
+	}
+}
+
+// TestPoolReusesCancelledEvents verifies the cancel path recycles too.
+func TestPoolReusesCancelledEvents(t *testing.T) {
+	var s Scheduler
+	r := s.After(Millisecond, func() { t.Fatal("cancelled event fired") })
+	ev := r.ev
+	s.Cancel(r)
+	if s.PoolSize() != 1 {
+		t.Fatalf("PoolSize = %d after cancel, want 1", s.PoolSize())
+	}
+	r2 := s.After(Microsecond, func() {})
+	if r2.ev != ev {
+		t.Fatal("schedule after cancel did not reuse the cancelled event's storage")
+	}
+	s.Run(Second)
+}
+
+// TestStaleRefCannotCancelReusedEvent is the aliasing guard: a ref to a
+// fired event whose storage was recycled for a new event must be inert —
+// cancelling it must not cancel the new occupant.
+func TestStaleRefCannotCancelReusedEvent(t *testing.T) {
+	var s Scheduler
+	stale := s.After(Microsecond, func() {})
+	s.Run(2 * Microsecond) // fires; storage recycled to the pool
+
+	fired := false
+	fresh := s.After(Microsecond, func() { fired = true })
+	if fresh.ev != stale.ev {
+		t.Fatal("test premise broken: storage was not reused")
+	}
+	if !stale.Cancelled() {
+		t.Fatal("stale ref does not report Cancelled after its event fired")
+	}
+	s.Cancel(stale) // must be a no-op on the new occupant
+	if fresh.Cancelled() {
+		t.Fatal("stale ref cancelled the event that reused its storage")
+	}
+	s.Run(Second)
+	if !fired {
+		t.Fatal("reused event did not fire after a stale cancel")
+	}
+}
+
+// TestStaleRefAcrossReschedule covers the timer-shaped interleaving:
+// arm, fire, rearm (reusing storage), stop — repeated — with a held
+// stale ref poked at every step.
+func TestStaleRefAcrossReschedule(t *testing.T) {
+	var s Scheduler
+	var stale EventRef
+	fired := 0
+	for i := 0; i < 100; i++ {
+		r := s.After(Microsecond, func() { fired++ })
+		if !stale.Cancelled() {
+			t.Fatalf("iteration %d: ref from a previous cycle still live", i)
+		}
+		s.Cancel(stale) // stale: must not disturb r
+		if r.Cancelled() {
+			t.Fatalf("iteration %d: stale cancel killed the live event", i)
+		}
+		if i%3 == 2 {
+			s.Cancel(r) // exercise the cancel-recycle path too
+		} else {
+			s.Run(s.Now() + Microsecond)
+		}
+		stale = r
+	}
+	if want := 100 - 100/3; fired != want {
+		t.Fatalf("fired %d events, want %d", fired, want)
+	}
+}
+
+// TestScheduleAndFireDoesNotAllocate pins the pool's purpose: the
+// steady-state schedule/fire cycle allocates nothing (closure-free
+// AtArg form).
+func TestScheduleAndFireDoesNotAllocate(t *testing.T) {
+	var s Scheduler
+	fn := func(any, Time) {}
+	// Warm the pool.
+	s.AtArg(s.Now()+Microsecond, fn, nil)
+	s.Run(s.Now() + Microsecond)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.AtArg(s.Now()+Microsecond, fn, nil)
+		s.Run(s.Now() + Microsecond)
+	})
+	if allocs != 0 {
+		t.Errorf("schedule/fire cycle allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestTimerReuseNoAlias drives two timers sharing one scheduler through
+// reset/stop/fire interleavings; pooled events must never leak a firing
+// across timers.
+func TestTimerReuseNoAlias(t *testing.T) {
+	var s Scheduler
+	var aFired, bFired int
+	a := NewTimer(&s, func() { aFired++ })
+	b := NewTimer(&s, func() { bFired++ })
+	for i := 0; i < 50; i++ {
+		a.Reset(Microsecond)
+		b.Reset(2 * Microsecond)
+		a.Reset(3 * Microsecond) // re-arm recycles a's first event
+		s.Run(s.Now() + 2*Microsecond)
+		if bFired != i+1 {
+			t.Fatalf("iteration %d: b fired %d times, want %d", i, bFired, i+1)
+		}
+		if aFired != 0 {
+			t.Fatal("a fired despite pending re-arm")
+		}
+		a.Stop()
+	}
+}
+
+// TestQuickPoolInterleavings is the randomized guard: a fuzzed sequence
+// of schedule/cancel/stale-cancel/run operations must fire exactly the
+// never-cancelled events, exactly once each, in time order.
+func TestQuickPoolInterleavings(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var s Scheduler
+		type tracked struct {
+			ref       EventRef
+			fired     *int
+			cancelled bool
+		}
+		var live []tracked
+		var stale []EventRef
+		wantFired := 0
+		countFired := func() int {
+			n := 0
+			for _, tr := range live {
+				n += *tr.fired
+			}
+			return n
+		}
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // schedule
+				fired := new(int)
+				d := Time(op/4%64) * Microsecond
+				r := s.After(d, func() { *fired++ })
+				live = append(live, tracked{ref: r, fired: fired})
+				wantFired++
+			case 2: // cancel a pending event (if any)
+				for i := range live {
+					if !live[i].cancelled && *live[i].fired == 0 && !live[i].ref.Cancelled() {
+						s.Cancel(live[i].ref)
+						live[i].cancelled = true
+						stale = append(stale, live[i].ref)
+						wantFired--
+						break
+					}
+				}
+			case 3: // run forward a little, then poke stale refs
+				s.Run(s.Now() + Time(op/4%16)*Microsecond)
+				for _, r := range stale {
+					s.Cancel(r) // must all be inert
+				}
+			}
+		}
+		s.Drain()
+		if countFired() != wantFired {
+			return false
+		}
+		for _, tr := range live {
+			if tr.cancelled && *tr.fired != 0 {
+				return false // a cancelled event fired
+			}
+			if *tr.fired > 1 {
+				return false // an event fired more than once
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

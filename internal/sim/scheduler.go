@@ -1,71 +1,74 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Event is a scheduled callback. Events are ordered by time; events with
 // equal times fire in scheduling order (FIFO), which keeps runs
 // deterministic.
+//
+// Events are pooled: when an event fires or is cancelled, the Scheduler
+// recycles its storage for a later schedule and bumps the generation
+// counter. User code therefore never holds a *Event directly — it holds
+// an EventRef, whose generation check makes stale handles inert.
 type Event struct {
 	when Time
 	seq  uint64
-	fn   func()
+	// fn is the closure form of the callback; afn+arg the allocation-free
+	// form (exactly one of fn and afn is set while scheduled).
+	fn  func()
+	afn func(arg any, when Time)
+	arg any
 
-	// index is the event's position in the heap, or -1 once fired or
-	// cancelled. Maintained by eventHeap.
-	index int
+	// gen is incremented every time the event is recycled, invalidating
+	// outstanding EventRefs.
+	gen uint32
+	// index is the event's position in the heap, or -1 while pooled.
+	index int32
 }
 
-// When returns the simulated instant the event is scheduled for.
-func (e *Event) When() Time { return e.when }
+// EventRef is a by-value handle to a scheduled event. The zero value is
+// a valid "no event" reference: Cancelled reports true and Cancel is a
+// no-op. A ref becomes stale the moment its event fires or is cancelled;
+// every operation on a stale ref is safe (the generation check detects
+// recycling), so callers can cancel unconditionally.
+type EventRef struct {
+	ev  *Event
+	gen uint32
+}
 
-// Cancelled reports whether the event has been cancelled or has fired.
-func (e *Event) Cancelled() bool { return e.index < 0 }
+// Cancelled reports whether the event has fired, been cancelled, or was
+// never scheduled.
+func (r EventRef) Cancelled() bool {
+	return r.ev == nil || r.ev.gen != r.gen || r.ev.index < 0
+}
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// When returns the simulated instant the event is scheduled for. It
+// panics on a stale or zero ref; check Cancelled first.
+func (r EventRef) When() Time {
+	if r.Cancelled() {
+		panic("sim: When on a fired, cancelled, or zero EventRef")
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return r.ev.when
 }
 
 // Scheduler is the discrete-event executor. The zero value is ready to
 // use. Scheduler is not safe for concurrent use; a run owns its
 // scheduler exclusively.
+//
+// The queue is a 4-ary min-heap ordered by (when, seq): shallower than a
+// binary heap (fewer cache-missing levels per sift) at the cost of more
+// comparisons per level, which is the right trade for the simulator's
+// queue sizes (tens to a few thousand pending events).
 type Scheduler struct {
 	now     Time
-	queue   eventHeap
+	queue   []*Event
 	nextSeq uint64
 	fired   uint64
 	stopped bool
+
+	// free is the event pool: storage recycled from fired/cancelled
+	// events, reused by the next schedule.
+	free []*Event
 }
 
 // Now returns the current simulated time.
@@ -77,36 +80,91 @@ func (s *Scheduler) EventsFired() uint64 { return s.fired }
 // Pending returns the number of events currently queued.
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
-// At schedules fn to run at the absolute simulated instant when.
-// Scheduling in the past panics: it always indicates a model bug, and
-// silently reordering time would corrupt every downstream measurement.
-func (s *Scheduler) At(when Time, fn func()) *Event {
-	if when < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", when, s.now))
+// PoolSize returns the number of recycled events currently in the free
+// list (observability for pool tests and benchmarks).
+func (s *Scheduler) PoolSize() int { return len(s.free) }
+
+// alloc takes an event from the pool, or allocates a fresh one.
+func (s *Scheduler) alloc(when Time) *Event {
+	var ev *Event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &Event{}
 	}
-	ev := &Event{when: when, seq: s.nextSeq, fn: fn}
+	ev.when = when
+	ev.seq = s.nextSeq
 	s.nextSeq++
-	heap.Push(&s.queue, ev)
 	return ev
 }
 
+// release returns a popped or removed event to the pool. The generation
+// bump is what makes every outstanding EventRef to it stale.
+func (s *Scheduler) release(ev *Event) {
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.gen++
+	ev.index = -1
+	s.free = append(s.free, ev)
+}
+
+// At schedules fn to run at the absolute simulated instant when.
+// Scheduling in the past panics: it always indicates a model bug, and
+// silently reordering time would corrupt every downstream measurement.
+func (s *Scheduler) At(when Time, fn func()) EventRef {
+	if when < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", when, s.now))
+	}
+	ev := s.alloc(when)
+	ev.fn = fn
+	s.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// AtArg schedules fn(arg, when) at the absolute instant when. It exists
+// for hot paths: passing a package-level func plus a pointer argument
+// allocates nothing, where an equivalent capturing closure would heap-
+// allocate per call.
+func (s *Scheduler) AtArg(when Time, fn func(arg any, when Time), arg any) EventRef {
+	if when < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", when, s.now))
+	}
+	ev := s.alloc(when)
+	ev.afn = fn
+	ev.arg = arg
+	s.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
 // After schedules fn to run d after the current instant.
-func (s *Scheduler) After(d Time, fn func()) *Event {
+func (s *Scheduler) After(d Time, fn func()) EventRef {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: scheduling event with negative delay %v", d))
 	}
 	return s.At(s.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op, so callers can cancel
-// unconditionally.
-func (s *Scheduler) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// AfterArg schedules fn(arg, when) to run d after the current instant.
+func (s *Scheduler) AfterArg(d Time, fn func(arg any, when Time), arg any) EventRef {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event with negative delay %v", d))
+	}
+	return s.AtArg(s.now+d, fn, arg)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired,
+// already-cancelled, or zero ref is a no-op, so callers can cancel
+// unconditionally; the generation check guarantees a stale ref can never
+// cancel an event that reused the same storage.
+func (s *Scheduler) Cancel(r EventRef) {
+	if r.Cancelled() {
 		return
 	}
-	heap.Remove(&s.queue, ev.index)
-	ev.index = -1
+	s.remove(int(r.ev.index))
+	s.release(r.ev)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -123,10 +181,7 @@ func (s *Scheduler) Run(until Time) {
 		if next.when > until {
 			break
 		}
-		heap.Pop(&s.queue)
-		s.now = next.when
-		s.fired++
-		next.fn()
+		s.fire(next)
 	}
 	if s.now < until {
 		s.now = until
@@ -138,9 +193,124 @@ func (s *Scheduler) Run(until Time) {
 func (s *Scheduler) Drain() {
 	s.stopped = false
 	for len(s.queue) > 0 && !s.stopped {
-		next := heap.Pop(&s.queue).(*Event)
-		s.now = next.when
-		s.fired++
-		next.fn()
+		s.fire(s.queue[0])
 	}
+}
+
+// fire pops the root event, recycles its storage, and runs its callback.
+// The callback state is copied out first, so the callback is free to
+// schedule new events that reuse this very Event.
+func (s *Scheduler) fire(ev *Event) {
+	s.popRoot()
+	s.now = ev.when
+	s.fired++
+	fn, afn, arg, when := ev.fn, ev.afn, ev.arg, ev.when
+	s.release(ev)
+	if afn != nil {
+		afn(arg, when)
+	} else {
+		fn()
+	}
+}
+
+// ---- 4-ary min-heap ----------------------------------------------------
+
+// less orders events by (when, seq): time first, FIFO within a time.
+func less(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// push appends ev and restores the heap property upward.
+func (s *Scheduler) push(ev *Event) {
+	ev.index = int32(len(s.queue))
+	s.queue = append(s.queue, ev)
+	s.siftUp(len(s.queue) - 1)
+}
+
+// popRoot removes the minimum event (queue[0]) from the heap.
+func (s *Scheduler) popRoot() {
+	last := len(s.queue) - 1
+	root := s.queue[0]
+	s.queue[0] = s.queue[last]
+	s.queue[0].index = 0
+	s.queue[last] = nil
+	s.queue = s.queue[:last]
+	root.index = -1
+	if last > 0 {
+		s.siftDown(0)
+	}
+}
+
+// remove deletes the event at heap position i.
+func (s *Scheduler) remove(i int) {
+	last := len(s.queue) - 1
+	removed := s.queue[i]
+	removed.index = -1
+	if i == last {
+		s.queue[last] = nil
+		s.queue = s.queue[:last]
+		return
+	}
+	s.queue[i] = s.queue[last]
+	s.queue[i].index = int32(i)
+	s.queue[last] = nil
+	s.queue = s.queue[:last]
+	// The moved element may violate the property in either direction.
+	if !s.siftDown(i) {
+		s.siftUp(i)
+	}
+}
+
+// siftUp moves queue[i] toward the root until ordered.
+func (s *Scheduler) siftUp(i int) {
+	ev := s.queue[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := s.queue[parent]
+		if !less(ev, p) {
+			break
+		}
+		s.queue[i] = p
+		p.index = int32(i)
+		i = parent
+	}
+	s.queue[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown moves queue[i] toward the leaves until ordered, reporting
+// whether it moved.
+func (s *Scheduler) siftDown(i int) bool {
+	ev := s.queue[i]
+	n := len(s.queue)
+	start := i
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		// Find the smallest of the up-to-four children.
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if less(s.queue[c], s.queue[min]) {
+				min = c
+			}
+		}
+		if !less(s.queue[min], ev) {
+			break
+		}
+		s.queue[i] = s.queue[min]
+		s.queue[i].index = int32(i)
+		i = min
+	}
+	s.queue[i] = ev
+	ev.index = int32(i)
+	return i != start
 }

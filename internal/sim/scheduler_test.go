@@ -52,15 +52,15 @@ func TestCancel(t *testing.T) {
 	if !ev.Cancelled() {
 		t.Fatal("Cancelled() = false after Cancel")
 	}
-	// Cancelling again must be a no-op.
+	// Cancelling again must be a no-op, as must a zero ref.
 	s.Cancel(ev)
-	s.Cancel(nil)
+	s.Cancel(EventRef{})
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	var s Scheduler
 	var fired []int
-	events := make([]*Event, 20)
+	events := make([]EventRef, 20)
 	for i := range events {
 		i := i
 		events[i] = s.At(Time(i)*Microsecond, func() { fired = append(fired, i) })

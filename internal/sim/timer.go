@@ -4,10 +4,15 @@ package sim
 // the schedule/cancel pattern the MAC layer uses for CTS/ACK timeouts:
 // arm it when the frame is sent, stop it when the response arrives.
 // The zero value is not usable; construct with NewTimer.
+//
+// Arming a timer allocates nothing: the expiry event comes from the
+// scheduler's pool and the callback is the package-level timerFire bound
+// to the timer pointer.
 type Timer struct {
 	sched *Scheduler
 	fn    func()
-	ev    *Event
+	ref   EventRef
+	armed bool
 }
 
 // NewTimer returns a timer that invokes fn when it expires. The timer is
@@ -16,40 +21,46 @@ func NewTimer(sched *Scheduler, fn func()) *Timer {
 	return &Timer{sched: sched, fn: fn}
 }
 
+// timerFire is the pooled-event trampoline for all timers.
+func timerFire(arg any, _ Time) {
+	t := arg.(*Timer)
+	t.armed = false
+	t.ref = EventRef{}
+	t.fn()
+}
+
 // Reset (re)arms the timer to fire d from now, cancelling any pending
 // expiry first.
 func (t *Timer) Reset(d Time) {
 	t.Stop()
-	t.ev = t.sched.After(d, t.fire)
+	t.ref = t.sched.AfterArg(d, timerFire, t)
+	t.armed = true
 }
 
 // ResetAt (re)arms the timer to fire at the absolute instant when.
 func (t *Timer) ResetAt(when Time) {
 	t.Stop()
-	t.ev = t.sched.At(when, t.fire)
-}
-
-func (t *Timer) fire() {
-	t.ev = nil
-	t.fn()
+	t.ref = t.sched.AtArg(when, timerFire, t)
+	t.armed = true
 }
 
 // Stop cancels a pending expiry. Stopping an unarmed timer is a no-op.
 func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.sched.Cancel(t.ev)
-		t.ev = nil
+	if t.armed {
+		t.sched.Cancel(t.ref)
+		t.armed = false
+		t.ref = EventRef{}
 	}
 }
 
 // Armed reports whether the timer has a pending expiry.
-func (t *Timer) Armed() bool { return t.ev != nil }
+func (t *Timer) Armed() bool { return t.armed }
 
 // Deadline returns the pending expiry instant. It panics if the timer is
 // unarmed; check Armed first.
 func (t *Timer) Deadline() Time {
-	if t.ev == nil {
+	if !t.armed {
 		panic("sim: Deadline on unarmed timer")
 	}
-	return t.ev.When()
+	return t.ref.When()
 }

@@ -82,13 +82,16 @@ func (c *CBR) Counters() (generated, refused uint64) { return c.generated, c.ref
 // Start begins generation at the current instant and continues until the
 // scheduler's horizon ends the run.
 func (c *CBR) Start() {
-	c.tick()
+	tickEvent(c, c.sched.Now())
 }
 
-func (c *CBR) tick() {
+// tickEvent generates one packet and re-arms itself; as a package-level
+// func driven through AfterArg it allocates nothing per packet.
+func tickEvent(arg any, _ sim.Time) {
+	c := arg.(*CBR)
 	c.generated++
 	if !c.node.Enqueue(c.dst, c.bytes) {
 		c.refused++
 	}
-	c.sched.After(c.interval, c.tick)
+	c.sched.AfterArg(c.interval, tickEvent, c)
 }
