@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-quick check clean
+.PHONY: all build test vet race bench bench-quick bench-full bench-large check check-v2 clean
 
 all: build
 
@@ -29,9 +29,20 @@ bench-quick:
 bench-full:
 	$(GO) run ./cmd/macsim bench -out BENCH.json
 
+# One iteration of the large-topology scaling benchmarks (channel model
+# v2 at 200/400 nodes plus the v1 400-node baseline).
+bench-large:
+	$(GO) test -run '^$$' -bench 'RunRandom[24]00' -benchtime=1x -benchmem .
+
+# Channel-model-v2 correctness gate: the v2 golden checksums and the
+# grid-vs-brute-force equivalence quickcheck, under the race detector.
+check-v2:
+	$(GO) test -race -run 'V2|Equivalence' ./internal/experiment ./internal/medium
+
 # The pre-merge gate (see README "Pre-merge gate"): vet, build, the race
-# detector over the short suite, and one pass over every benchmark.
-check: vet build race bench
+# detector over the short suite, the v2 correctness gate, and one pass
+# over every benchmark.
+check: vet build race check-v2 bench
 
 clean:
 	$(GO) clean ./...

@@ -48,6 +48,53 @@ func BenchScenarioRandom40() Scenario {
 	return s
 }
 
+// BenchScenarioRandom40V2 is BenchScenarioRandom40 under channel model
+// v2 — the like-for-like comparison that bounds the small-topology
+// overhead of the counter RNG and spatial index.
+func BenchScenarioRandom40V2() Scenario {
+	s := BenchScenarioRandom40()
+	s.Name = "random-40-v2"
+	s.Channel = ChannelV2
+	return s
+}
+
+// BenchScenarioRandom200 is a 200-node sparse random topology under
+// plain 802.11 and channel model v2 — a pure kernel-scaling workload
+// (no monitor pipeline), where runtime is dominated by the scheduler
+// and channel fan-out the v2 index is meant to prune.
+func BenchScenarioRandom200() Scenario {
+	s := DefaultScenario()
+	s.Name = "random-200-v2"
+	s.Duration = 1 * Second
+	s.Protocol = Protocol80211
+	s.Topo = ScaledRandomTopo(200, 25)
+	s.PM = 80
+	s.Channel = ChannelV2
+	return s
+}
+
+// BenchScenarioRandom400 is the 400-node kernel-scaling workload under
+// channel model v2; BenchScenarioRandom400V1 is the same workload on
+// the v1 channel, the baseline for the v2 speedup claim.
+func BenchScenarioRandom400() Scenario {
+	s := DefaultScenario()
+	s.Name = "random-400-v2"
+	s.Duration = 1 * Second
+	s.Protocol = Protocol80211
+	s.Topo = ScaledRandomTopo(400, 50)
+	s.PM = 80
+	s.Channel = ChannelV2
+	return s
+}
+
+// BenchScenarioRandom400V1 is BenchScenarioRandom400 on the v1 channel.
+func BenchScenarioRandom400V1() Scenario {
+	s := BenchScenarioRandom400()
+	s.Name = "random-400-v1"
+	s.Channel = ChannelV1
+	return s
+}
+
 // BenchTarget is one workload of the canonical suite. Run executes a
 // single iteration and returns the kernel events it fired (zero when
 // the workload has no single meaningful event count, e.g. figure
@@ -84,6 +131,10 @@ func BenchTargets() []BenchTarget {
 		scenarioTarget("Run80211Star", BenchScenario80211Star()),
 		scenarioTarget("RunCorrectStar", BenchScenarioCorrectStar()),
 		scenarioTarget("RunRandom40", BenchScenarioRandom40()),
+		scenarioTarget("RunRandom40V2", BenchScenarioRandom40V2()),
+		scenarioTarget("RunRandom200", BenchScenarioRandom200()),
+		scenarioTarget("RunRandom400", BenchScenarioRandom400()),
+		scenarioTarget("RunRandom400V1", BenchScenarioRandom400V1()),
 		fig("Fig4DiagnosisAccuracy", Fig4),
 		fig("Fig5Throughput", Fig5),
 		fig("Fig7Fairness", Fig7),

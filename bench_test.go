@@ -191,3 +191,26 @@ func BenchmarkRunCorrectStar(b *testing.B) {
 func BenchmarkRunRandom40(b *testing.B) {
 	benchScenario(b, BenchScenarioRandom40())
 }
+
+// BenchmarkRunRandom40V2 is RunRandom40 under channel model v2 — it
+// bounds the v2 overhead at paper scale.
+func BenchmarkRunRandom40V2(b *testing.B) {
+	benchScenario(b, BenchScenarioRandom40V2())
+}
+
+// BenchmarkRunRandom200 measures v2 scaling at 200 nodes (constant
+// Figure-9 density).
+func BenchmarkRunRandom200(b *testing.B) {
+	benchScenario(b, BenchScenarioRandom200())
+}
+
+// BenchmarkRunRandom400 measures v2 scaling at 400 nodes.
+func BenchmarkRunRandom400(b *testing.B) {
+	benchScenario(b, BenchScenarioRandom400())
+}
+
+// BenchmarkRunRandom400V1 is the v1 baseline for the 400-node workload;
+// the RunRandom400 / RunRandom400V1 ratio is the v2 speedup.
+func BenchmarkRunRandom400V1(b *testing.B) {
+	benchScenario(b, BenchScenarioRandom400V1())
+}

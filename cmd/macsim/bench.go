@@ -64,6 +64,7 @@ func runBench(args []string) error {
 	}
 	defer stopProf()
 
+	baseline := loadBaseline(*out)
 	file := benchFile{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -87,6 +88,9 @@ func runBench(args []string) error {
 				entry.EventsPerOp, entry.EventsPerSec)
 		}
 		fmt.Println(line)
+		if base, ok := baseline[entry.Name]; ok {
+			fmt.Println(deltaLine(base, entry))
+		}
 	}
 	if len(file.Results) == 0 {
 		return fmt.Errorf("no targets match filter %q", *filter)
@@ -101,6 +105,46 @@ func runBench(args []string) error {
 	}
 	fmt.Printf("wrote %s (%d targets)\n", *out, len(file.Results))
 	return nil
+}
+
+// loadBaseline reads the committed results at path (normally the same
+// BENCH.json the run is about to overwrite) so each fresh measurement
+// can be printed with deltas against the previous recording. A missing
+// or malformed file just disables the deltas.
+func loadBaseline(path string) map[string]benchEntry {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var prev benchFile
+	if err := json.Unmarshal(data, &prev); err != nil {
+		fmt.Fprintf(os.Stderr, "macsim bench: ignoring baseline %s: %v\n", path, err)
+		return nil
+	}
+	base := make(map[string]benchEntry, len(prev.Results))
+	for _, e := range prev.Results {
+		base[e.Name] = e
+	}
+	return base
+}
+
+// deltaLine renders one comparison row against the baseline entry.
+func deltaLine(base, cur benchEntry) string {
+	line := fmt.Sprintf("  vs baseline:\tns/op %s\tallocs/op %s",
+		pctDelta(base.NsPerOp, cur.NsPerOp),
+		pctDelta(float64(base.AllocsPerOp), float64(cur.AllocsPerOp)))
+	if base.EventsPerSec > 0 && cur.EventsPerSec > 0 {
+		line += fmt.Sprintf("\tevents/sec %s", pctDelta(base.EventsPerSec, cur.EventsPerSec))
+	}
+	return line
+}
+
+// pctDelta formats the relative change from base to cur.
+func pctDelta(base, cur float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (cur-base)/base*100)
 }
 
 // measure times one target: a single hand-timed iteration in quick

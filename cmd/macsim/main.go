@@ -124,6 +124,7 @@ func run() error {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		execTr   = flag.String("trace", "", "write a Go execution trace to this file")
 		csvPath  = flag.String("csv", "", "with -seeds: write raw per-run metrics to this CSV file")
+		channel  = flag.String("channel", "v1", "channel model: v1 (sequential stream) or v2 (counter RNG + spatial index)")
 		basic    = flag.Bool("basic", false, "basic access: no RTS/CTS handshake")
 		adaptive = flag.Bool("adaptive", false, "adaptive THRESH selection (CORRECT only)")
 		block    = flag.Bool("block", false, "refuse service to diagnosed senders (CORRECT only)")
@@ -153,6 +154,14 @@ func run() error {
 		s.Strategy = dcfguard.StrategyAttemptLiar
 	default:
 		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	switch *channel {
+	case "v1":
+		s.Channel = dcfguard.ChannelV1
+	case "v2":
+		s.Channel = dcfguard.ChannelV2
+	default:
+		return fmt.Errorf("unknown channel model %q (want v1 or v2)", *channel)
 	}
 	if *random > 0 {
 		s.Topo = dcfguard.RandomTopo(*random, *mis)

@@ -73,6 +73,8 @@ type (
 	Strategy = experiment.Strategy
 	// WindowPoint is one (W, THRESH) diagnosis configuration.
 	WindowPoint = experiment.WindowPoint
+	// ChannelModel selects the medium's channel implementation.
+	ChannelModel = experiment.ChannelModel
 
 	// NodeID identifies a node.
 	NodeID = frame.NodeID
@@ -107,6 +109,14 @@ const (
 	StrategyQuarterWindow = experiment.StrategyQuarterWindow
 	StrategyNoDoubling    = experiment.StrategyNoDoubling
 	StrategyAttemptLiar   = experiment.StrategyAttemptLiar
+)
+
+// Channel model constants: v1 is the original sequential-stream channel
+// (the default), v2 the counter-RNG + spatial-index channel for large
+// topologies.
+const (
+	ChannelV1 = experiment.ChannelV1
+	ChannelV2 = experiment.ChannelV2
 )
 
 // Simulated-time units.
@@ -159,6 +169,12 @@ func StarTopo(nSenders int, twoFlow bool, misbehaving ...int) func(uint64) *Topo
 // RandomTopo builds Figure-9 random topologies (regenerated per seed).
 func RandomTopo(nodes, nMis int) func(uint64) *Topology {
 	return experiment.RandomTopo(nodes, nMis)
+}
+
+// ScaledRandomTopo builds large random topologies at the Figure-9 node
+// density (the arena widens with the node count).
+func ScaledRandomTopo(nodes, nMis int) func(uint64) *Topology {
+	return experiment.ScaledRandomTopo(nodes, nMis)
 }
 
 // Fig4 reproduces diagnosis accuracy vs PM (Figure 4).

@@ -172,13 +172,16 @@ func AblationReceiverMisbehavior(cfg Config) (*Table, error) {
 			if greedyRecv {
 				s.GreedyReceivers = []frame.NodeID{1}
 			}
+			// RunAll fans the seeds across the worker pool but hands
+			// results back in seed order, so the Welford accumulation
+			// below stays deterministic.
+			results, err := RunAll(s, cfg.Seeds)
+			if err != nil {
+				return nil, err
+			}
 			var honestFlow, greedyFlow, fair stats.Welford
 			detections := 0
-			for _, seed := range cfg.Seeds {
-				r, err := Run(s, seed)
-				if err != nil {
-					return nil, err
-				}
+			for _, r := range results {
 				honestFlow.Add(r.ThroughputBySender[2])
 				greedyFlow.Add(r.ThroughputBySender[3])
 				fair.Add(r.Fairness)

@@ -7,22 +7,12 @@ import (
 	"dcfguard/internal/frame"
 )
 
-// RunAll executes the scenario once per seed (sequentially, preserving
-// seed order) and returns the raw per-run results — the escape hatch
-// for external analysis beyond the built-in aggregation.
+// RunAll executes the scenario once per seed — in parallel across
+// GOMAXPROCS workers, with results returned in seed order — and returns
+// the raw per-run results: the escape hatch for external analysis
+// beyond the built-in aggregation.
 func RunAll(s Scenario, seeds []uint64) ([]Result, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("experiment: %s: no seeds", s.Name)
-	}
-	results := make([]Result, len(seeds))
-	for i, seed := range seeds {
-		r, err := Run(s, seed)
-		if err != nil {
-			return nil, err
-		}
-		results[i] = r
-	}
-	return results, nil
+	return runParallel(s, seeds)
 }
 
 // ResultsCSV renders raw per-run results as CSV, one row per (run,

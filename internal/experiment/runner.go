@@ -79,6 +79,7 @@ func Run(s Scenario, seed uint64) (Result, error) {
 	med := medium.New(&sched, medium.Config{
 		Model:             s.Shadowing,
 		CoherenceInterval: s.CoherenceInterval,
+		Channel:           s.Channel,
 	}, root.Stream("medium"))
 
 	rxRange, csRange := s.RxRangeM, s.CsRangeM

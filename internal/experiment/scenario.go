@@ -11,9 +11,22 @@ import (
 	"dcfguard/internal/core"
 	"dcfguard/internal/frame"
 	"dcfguard/internal/mac"
+	"dcfguard/internal/medium"
 	"dcfguard/internal/phys"
 	"dcfguard/internal/sim"
 	"dcfguard/internal/topo"
+)
+
+// ChannelModel selects the medium's channel implementation.
+type ChannelModel = medium.ChannelModel
+
+const (
+	// ChannelV1 is the original sequential-stream channel (the default
+	// and the zero value; bit-identical to the seed implementation).
+	ChannelV1 = medium.ChannelV1
+	// ChannelV2 is the counter-RNG + spatial-index channel for large
+	// topologies (see internal/medium/index.go).
+	ChannelV2 = medium.ChannelV2
 )
 
 // Protocol selects the MAC variant under test.
@@ -106,6 +119,10 @@ type Scenario struct {
 	// CoherenceInterval, when positive, enables sub-frame carrier-sense
 	// re-draws in the medium.
 	CoherenceInterval sim.Time
+	// Channel selects the medium's channel model: ChannelV1 (default,
+	// bit-identical to the original goldens) or ChannelV2 (per-pair
+	// counter RNG + spatial neighbor index, for 200+ node topologies).
+	Channel ChannelModel
 	// BinSize enables the Figure-8 diagnosis time series when positive.
 	BinSize sim.Time
 	// QueueDepth is the backlogged-source refill depth.
@@ -188,6 +205,11 @@ func (s Scenario) Validate() error {
 	case StrategyPartial, StrategyQuarterWindow, StrategyNoDoubling, StrategyAttemptLiar:
 	default:
 		return fmt.Errorf("experiment: %s: invalid strategy %d", s.Name, s.Strategy)
+	}
+	switch s.Channel {
+	case ChannelV1, ChannelV2:
+	default:
+		return fmt.Errorf("experiment: %s: invalid channel model %d", s.Name, int(s.Channel))
 	}
 	if err := s.MAC.Validate(); err != nil {
 		return fmt.Errorf("experiment: %s: %w", s.Name, err)

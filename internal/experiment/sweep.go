@@ -44,8 +44,20 @@ func Seeds(n int) []uint64 {
 // RunSeeds executes the scenario once per seed, in parallel across
 // GOMAXPROCS workers, and aggregates the results.
 func RunSeeds(s Scenario, seeds []uint64) (Aggregate, error) {
+	results, err := runParallel(s, seeds)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	return aggregate(s.Name, results), nil
+}
+
+// runParallel fans the seeds across a GOMAXPROCS worker pool. Each run
+// is an independent pure function of (scenario, seed), so results land
+// at their seed's index regardless of completion order — callers see
+// the same deterministic ordering the old serial loops produced.
+func runParallel(s Scenario, seeds []uint64) ([]Result, error) {
 	if len(seeds) == 0 {
-		return Aggregate{}, fmt.Errorf("experiment: %s: no seeds", s.Name)
+		return nil, fmt.Errorf("experiment: %s: no seeds", s.Name)
 	}
 	results := make([]Result, len(seeds))
 	errs := make([]error, len(seeds))
@@ -73,10 +85,10 @@ func RunSeeds(s Scenario, seeds []uint64) (Aggregate, error) {
 
 	for i, err := range errs {
 		if err != nil {
-			return Aggregate{}, fmt.Errorf("experiment: %s seed %d: %w", s.Name, seeds[i], err)
+			return nil, fmt.Errorf("experiment: %s seed %d: %w", s.Name, seeds[i], err)
 		}
 	}
-	return aggregate(s.Name, results), nil
+	return results, nil
 }
 
 func aggregate(name string, results []Result) Aggregate {

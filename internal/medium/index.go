@@ -1,0 +1,248 @@
+// Channel model v2: per-pair counter RNG plus a spatial neighbor index.
+//
+// v1 couples every transmission to every attached node through the
+// shared sequential shadowing stream: even a pair the NormBound proof
+// rules out must consume its draw to keep the sequence aligned, making
+// Transmit Θ(n) per frame. v2 removes the coupling at the source — each
+// shadowing sample is a pure function of (base key, transmitter ID,
+// observer ID, transmitter frame index[, coherence segment]) via
+// rng.Mix64/rng.CounterNorm — so a skipped pair costs zero draws and no
+// sample depends on iteration order. On top of that, a uniform grid
+// over attached positions bounds each transmitter's interaction radius
+// (the largest distance where mean + rng.NormBound·σ can still clear
+// the lowest carrier-sense/receive threshold in the network) and
+// precomputes per-transmitter neighbor lists, so Transmit iterates only
+// O(reachable) observers. Lists are rebuilt lazily at the first
+// Transmit after the last Attach, mirroring the v1 cache discipline.
+package medium
+
+import (
+	"math"
+	"sort"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/phys"
+	"dcfguard/internal/rng"
+	"dcfguard/internal/sim"
+)
+
+// neighbor is one feasible (transmitter, observer) link in the v2
+// index: the observer, the deterministic mean RX power of the pair, the
+// pair's counter-RNG key, and the pair's thresholds mapped to uniform
+// space — uCs/uRx are Φ((thresh−mean)/σ), so the per-frame sensing and
+// decoding decisions are plain comparisons against the raw uniform and
+// the normal CDF is inverted only for decodable arrivals.
+type neighbor struct {
+	obs      *node
+	meanDBm  float64
+	pairKey  uint64
+	uCs, uRx float64
+}
+
+// cellKey addresses one grid cell.
+type cellKey struct{ cx, cy int32 }
+
+// grid is a uniform spatial hash over attached positions. The cell side
+// equals the network's largest interaction radius, so every node within
+// any transmitter's radius lies in the 3×3 cell block around it.
+type grid struct {
+	cell  float64
+	cells map[cellKey][]*node
+}
+
+func newGrid(cell float64, nodes []*node) *grid {
+	if cell <= 0 {
+		cell = 1 // no pair is feasible; any positive cell size works
+	}
+	g := &grid{cell: cell, cells: make(map[cellKey][]*node, len(nodes))}
+	for _, nd := range nodes {
+		k := g.keyFor(nd.pos)
+		g.cells[k] = append(g.cells[k], nd)
+	}
+	return g
+}
+
+func (g *grid) keyFor(p phys.Point) cellKey {
+	return cellKey{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Y / g.cell))}
+}
+
+// visit calls fn for every node in the 3×3 cell block around p. Cell
+// contents are in attach (ascending ID) order and the block is walked
+// in fixed order, so enumeration is deterministic.
+func (g *grid) visit(p phys.Point, fn func(*node)) {
+	c := g.keyFor(p)
+	for dy := int32(-1); dy <= 1; dy++ {
+		for dx := int32(-1); dx <= 1; dx++ {
+			for _, nd := range g.cells[cellKey{c.cx + dx, c.cy + dy}] {
+				fn(nd)
+			}
+		}
+	}
+}
+
+// pairKeyFor derives the counter-RNG key of the ordered (tx, obs) link.
+func (m *Medium) pairKeyFor(tx, obs frame.NodeID) uint64 {
+	return rng.Mix64(rng.Mix64(m.v2Base, uint64(tx)), uint64(obs))
+}
+
+// buildIndex rebuilds the v2 neighbor lists. A pair is feasible when
+// mean + rng.NormBound·σ — an upper bound no counter draw can beat —
+// reaches the observer's carrier-sense or receive threshold; the same
+// proof as v1's outOfRange, but applied to prune enumeration rather
+// than just allocation. Radii use the network-wide lowest threshold, a
+// safe over-approximation under heterogeneous radios; the per-pair
+// filter is exact.
+func (m *Medium) buildIndex() {
+	slack := rng.NormBound * m.cfg.Model.SigmaDB
+	minThresh := math.Inf(1)
+	for _, nd := range m.nodes {
+		if t := nd.radio.CsThreshDBm; t < minThresh {
+			minThresh = t
+		}
+		if t := nd.radio.RxThreshDBm; t < minThresh {
+			minThresh = t
+		}
+	}
+	maxReach := 0.0
+	for i, nd := range m.nodes {
+		nd.idx = i
+		nd.reachM = m.cfg.Model.MaxRangeFor(nd.radio.TxPowerDBm, minThresh-slack)
+		if nd.reachM > maxReach {
+			maxReach = nd.reachM
+		}
+	}
+
+	appendFeasible := func(tx, obs *node) {
+		if obs == tx {
+			return
+		}
+		d := tx.pos.Distance(obs.pos)
+		mean := m.cfg.Model.MeanRxPowerDBm(tx.radio.TxPowerDBm, d)
+		if !m.bruteForce {
+			bound := mean + slack
+			if bound < obs.radio.CsThreshDBm && bound < obs.radio.RxThreshDBm {
+				return
+			}
+		}
+		tx.neighbors = append(tx.neighbors, neighbor{
+			obs:     obs,
+			meanDBm: mean,
+			pairKey: m.pairKeyFor(tx.id, obs.id),
+			uCs:     uniformThresh(obs.radio.CsThreshDBm, mean, m.cfg.Model.SigmaDB),
+			uRx:     uniformThresh(obs.radio.RxThreshDBm, mean, m.cfg.Model.SigmaDB),
+		})
+	}
+
+	if m.bruteForce {
+		// Test reference: every ordered pair, no pruning, no grid.
+		for _, tx := range m.nodes {
+			tx.neighbors = tx.neighbors[:0]
+			for _, obs := range m.nodes {
+				appendFeasible(tx, obs)
+			}
+		}
+	} else {
+		g := newGrid(maxReach, m.nodes)
+		for _, tx := range m.nodes {
+			tx.neighbors = tx.neighbors[:0]
+			txp := tx
+			g.visit(tx.pos, func(obs *node) { appendFeasible(txp, obs) })
+		}
+	}
+	// Ascending observer ID, so same-instant events enqueue in the same
+	// order as v1 (results are order-independent, goldens are not).
+	for _, tx := range m.nodes {
+		nbs := tx.neighbors
+		sort.Slice(nbs, func(i, j int) bool { return nbs[i].obs.id < nbs[j].obs.id })
+	}
+	m.cacheDirty = false
+}
+
+// uniformThresh maps a dBm threshold to the uniform-space boundary
+// Φ((thresh−mean)/σ): a draw with uniform u clears the threshold
+// exactly when u ≥ Φ((thresh−mean)/σ), because mean + σ·Φ⁻¹(u) ≥ thresh
+// ⇔ u ≥ Φ((thresh−mean)/σ) (Φ monotone). With σ = 0 the decision is
+// deterministic: 0 when the mean clears the threshold, 2 (unreachable —
+// uniforms are < 1) when it does not.
+func uniformThresh(threshDBm, meanDBm, sigma float64) float64 {
+	if sigma <= 0 {
+		if meanDBm >= threshDBm {
+			return 0
+		}
+		return 2
+	}
+	return rng.NormCDF((threshDBm - meanDBm) / sigma)
+}
+
+// fanOutV2 computes per-observer outcomes for one transmission under
+// channel model v2: only the precomputed feasible neighbors are
+// visited, and each draw comes from the pair's counter stream indexed
+// by the transmitter's frame counter (segment draws continue the same
+// frame key from counter 1). The fast path decides sensing and decoding
+// by comparing the raw uniform against the neighbor's precomputed
+// boundaries and only inverts the CDF for decodable arrivals (whose
+// power feeds capture resolution); sensed-only observers never touch
+// the inverse CDF.
+func (m *Medium) fanOutV2(tx *node, f frame.Frame, now, end sim.Time) {
+	frameIdx := tx.txCount
+	tx.txCount++
+	sigma := m.cfg.Model.SigmaDB
+	if m.cfg.CoherenceInterval > 0 {
+		for i := range tx.neighbors {
+			nb := &tx.neighbors[i]
+			frameKey := rng.Mix64(nb.pairKey, frameIdx)
+			power := nb.meanDBm + sigma*rng.CounterNorm(frameKey, 0)
+			m.arriveAtV2Coherent(nb, f, power, frameKey, now, end)
+		}
+		return
+	}
+	for i := range tx.neighbors {
+		nb := &tx.neighbors[i]
+		u := rng.CounterUniform(rng.Mix64(nb.pairKey, frameIdx), 0)
+		if u < nb.uCs {
+			continue // neither sensed nor decodable
+		}
+		// Decodable implies sensed (RxThresh ≥ CsThresh ⇒ uRx ≥ uCs),
+		// so the decodable branch folds the busy-end into the completion
+		// event — one heap event per observer.
+		if u >= nb.uRx {
+			power := nb.meanDBm + sigma*rng.InvNormCDF(u)
+			m.admitArrival(nb.obs, f, power, now, end).withBusyEnd = true
+			m.busyStart(nb.obs, now)
+		} else {
+			m.busyStart(nb.obs, now)
+			m.sched.AtArg(end, busyEndEvent, nb.obs)
+		}
+	}
+}
+
+// arriveAtV2Coherent mirrors the v1 coherence path in arriveAt — the
+// first interval reuses the frame-level draw, later intervals re-draw
+// the sensing decision, and adjacent sensed intervals merge into
+// maximal busy runs — with segment draws taken from the frame's counter
+// stream instead of the shared sequential source.
+func (m *Medium) arriveAtV2Coherent(nb *neighbor, f frame.Frame, power float64, frameKey uint64, start, end sim.Time) {
+	obs := nb.obs
+	if power >= obs.radio.RxThreshDBm {
+		m.admitArrival(obs, f, power, start, end)
+	}
+
+	segPower := power
+	ctr := uint64(1)
+	var runStart sim.Time
+	inRun := false
+	for segStart := start; segStart < end; segStart += m.cfg.CoherenceInterval {
+		sensed := segPower >= obs.radio.CsThreshDBm
+		if sensed && !inRun {
+			runStart, inRun = segStart, true
+		} else if !sensed && inRun {
+			m.scheduleBusyRun(obs, runStart, segStart, start)
+			inRun = false
+		}
+		segPower = nb.meanDBm + m.cfg.Model.SigmaDB*rng.CounterNorm(frameKey, ctr)
+		ctr++
+	}
+	if inRun {
+		m.scheduleBusyRun(obs, runStart, end, start)
+	}
+}

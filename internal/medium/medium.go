@@ -31,6 +31,11 @@
 // result) but all allocation and event scheduling is skipped. Arrival
 // records and scheduler events are pooled, so a steady-state run
 // allocates nothing per frame.
+//
+// Channel model v2 (Config.Channel == ChannelV2, see index.go) goes
+// further: counter-based per-pair RNG means skipped pairs cost zero
+// draws, and a spatial grid index reduces Transmit from Θ(n) to
+// O(reachable) — the large-topology (200–1000 node) configuration.
 package medium
 
 import (
@@ -69,6 +74,36 @@ type CorruptionListener interface {
 	FrameCorrupted(now sim.Time)
 }
 
+// ChannelModel selects how shadowing draws are generated and how the
+// per-transmission observer set is enumerated.
+type ChannelModel int
+
+const (
+	// ChannelV1 is the original model: one shared sequential RNG
+	// stream, every attached node consuming a draw per transmission in
+	// ascending ID order. Bit-identical to the seed implementation and
+	// pinned by the v1 determinism goldens.
+	ChannelV1 ChannelModel = iota
+	// ChannelV2 derives every shadowing draw from a per-(transmitter,
+	// observer, frame) counter RNG and iterates only the transmitter's
+	// feasible neighbors from a spatial grid index, making Transmit
+	// O(reachable) instead of O(n). Results are independent of
+	// iteration order and carry their own determinism goldens.
+	ChannelV2
+)
+
+// String returns the model name as used by the macsim -channel flag.
+func (c ChannelModel) String() string {
+	switch c {
+	case ChannelV1:
+		return "v1"
+	case ChannelV2:
+		return "v2"
+	default:
+		return fmt.Sprintf("ChannelModel(%d)", int(c))
+	}
+}
+
 // Config parameterises a Medium.
 type Config struct {
 	// Model is the propagation model shared by all links.
@@ -78,6 +113,8 @@ type Config struct {
 	// frame, modelling channel variation at sub-frame granularity.
 	// Zero draws once per (frame, observer).
 	CoherenceInterval sim.Time
+	// Channel selects the channel model; the zero value is ChannelV1.
+	Channel ChannelModel
 }
 
 // Medium is the shared channel. It is bound to one scheduler and one
@@ -106,6 +143,14 @@ type Medium struct {
 	// freeArrivals pools arrival records (recycled in complete).
 	freeArrivals []*arrival
 
+	// v2Base is the counter-RNG base key (channel model v2 only),
+	// derived once from the medium's stream at New.
+	v2Base uint64
+	// bruteForce (tests only) makes the v2 index enumerate every
+	// ordered pair with no feasibility pruning — the all-pairs
+	// reference the grid equivalence quickcheck compares against.
+	bruteForce bool
+
 	transmissions uint64
 	deliveries    uint64
 	collisions    uint64
@@ -122,6 +167,14 @@ type node struct {
 	busyDepth int
 	txUntil   sim.Time // end of this node's latest own transmission
 	arrivals  []*arrival
+
+	// Channel model v2 state: the per-transmitter frame counter that
+	// indexes counter-RNG draws, the maximum interaction radius as a
+	// transmitter, and the precomputed feasible-observer list
+	// (ascending ID), rebuilt lazily after Attach like the v1 cache.
+	txCount   uint64
+	reachM    float64
+	neighbors []neighbor
 }
 
 type arrival struct {
@@ -131,6 +184,11 @@ type arrival struct {
 	powerDBm    float64
 	corrupted   bool
 	selfBlocked bool // overlapped one of the observer's own transmissions
+	// withBusyEnd folds the observer's carrier busy-end into the
+	// completion event (channel model v2 fast path only): decodable ⇒
+	// sensed, and both fall at the frame end, so one heap event serves
+	// both. v1 keeps its separate busyEnd event (golden-pinned order).
+	withBusyEnd bool
 }
 
 // Pooled-event trampolines: package-level funcs passed to AtArg/AfterArg
@@ -156,17 +214,31 @@ func New(sched *sim.Scheduler, cfg Config, src *rng.Source) *Medium {
 	if err := cfg.Model.Validate(); err != nil {
 		panic(fmt.Sprintf("medium: invalid model: %v", err))
 	}
-	return &Medium{
+	m := &Medium{
 		sched: sched,
 		cfg:   cfg,
 		src:   src,
 		byID:  make(map[frame.NodeID]*node),
 	}
+	switch cfg.Channel {
+	case ChannelV1:
+	case ChannelV2:
+		// Derive the counter-RNG base key. This consumes one draw from
+		// the medium stream, but only on the v2 path — v1's sequence is
+		// untouched, keeping its goldens bit-identical.
+		m.v2Base = src.Stream("channel-v2").Uint64()
+	default:
+		panic(fmt.Sprintf("medium: invalid channel model %d", int(cfg.Channel)))
+	}
+	return m
 }
 
 // Attach registers a node on the channel. IDs must be unique; the node
 // list is kept in ascending ID order (binary insertion, not a re-sort),
 // which fixes the (deterministic) order of per-observer shadowing draws.
+// Attaching invalidates the propagation cache (v1) and the neighbor
+// index (v2); both rebuild lazily at the next Transmit, so interleaving
+// Attach and Transmit is safe but pays a rebuild per interleave.
 func (m *Medium) Attach(id frame.NodeID, pos phys.Point, radio phys.Radio, l Listener) {
 	if _, dup := m.byID[id]; dup {
 		panic(fmt.Sprintf("medium: duplicate node id %d", id))
@@ -235,7 +307,11 @@ func (m *Medium) Transmit(srcID frame.NodeID, f frame.Frame) sim.Time {
 		panic(fmt.Sprintf("medium: transmit from unattached node %d", srcID))
 	}
 	if m.cacheDirty {
-		m.buildCache()
+		if m.cfg.Channel == ChannelV2 {
+			m.buildIndex()
+		} else {
+			m.buildCache()
+		}
 	}
 	now := m.sched.Now()
 	if tx.txUntil > now {
@@ -268,23 +344,27 @@ func (m *Medium) Transmit(srcID frame.NodeID, f frame.Frame) sim.Time {
 	clearTail(tx.arrivals, len(live))
 	tx.arrivals = live
 
-	// Per-observer outcomes, in ascending ID order for determinism.
-	// The shadowing draw is consumed for every observer — the RNG
-	// sequence is part of the reproducible result — but pairs the cache
-	// proves out of range skip all further work.
-	nn := len(m.nodes)
-	base := tx.idx * nn
-	sigma := m.cfg.Model.SigmaDB
-	fast := m.cfg.CoherenceInterval <= 0
-	for _, obs := range m.nodes {
-		if obs == tx {
-			continue
+	if m.cfg.Channel == ChannelV2 {
+		m.fanOutV2(tx, f, now, end)
+	} else {
+		// Per-observer outcomes, in ascending ID order for determinism.
+		// The shadowing draw is consumed for every observer — the RNG
+		// sequence is part of the reproducible result — but pairs the
+		// cache proves out of range skip all further work.
+		nn := len(m.nodes)
+		base := tx.idx * nn
+		sigma := m.cfg.Model.SigmaDB
+		fast := m.cfg.CoherenceInterval <= 0
+		for _, obs := range m.nodes {
+			if obs == tx {
+				continue
+			}
+			draw := m.src.NormFloat64()
+			if fast && m.outOfRange[base+obs.idx] {
+				continue
+			}
+			m.arriveAt(tx, obs, f, m.meanDBm[base+obs.idx]+sigma*draw, now, end)
 		}
-		draw := m.src.NormFloat64()
-		if fast && m.outOfRange[base+obs.idx] {
-			continue
-		}
-		m.arriveAt(tx, obs, f, m.meanDBm[base+obs.idx]+sigma*draw, now, end)
 	}
 
 	// Self busy-end. Scheduled after arrivals so that, at instant
@@ -305,37 +385,8 @@ func clearTail(s []*arrival, i int) {
 // arriveAt computes what observer obs experiences for the transmission,
 // given the already-drawn received power for this (frame, observer) pair.
 func (m *Medium) arriveAt(tx, obs *node, f frame.Frame, power float64, start, end sim.Time) {
-	decodable := power >= obs.radio.RxThreshDBm
-
-	if decodable {
-		a := m.newArrival()
-		*a = arrival{obs: obs, f: f, start: start, end: end, powerDBm: power}
-		// Half-duplex: if the observer is mid-transmission now, it
-		// cannot lock onto the arriving frame.
-		if obs.txUntil > start {
-			a.selfBlocked = true
-		}
-		// Collision resolution against other decodable overlaps; dead
-		// entries are compacted out in the same pass.
-		live := obs.arrivals[:0]
-		for _, other := range obs.arrivals {
-			if other.end <= start {
-				continue
-			}
-			switch {
-			case a.powerDBm >= other.powerDBm+obs.radio.CaptureDB && obs.radio.CaptureDB > 0:
-				other.corrupted = true
-			case other.powerDBm >= a.powerDBm+obs.radio.CaptureDB && obs.radio.CaptureDB > 0:
-				a.corrupted = true
-			default:
-				other.corrupted = true
-				a.corrupted = true
-			}
-			live = append(live, other)
-		}
-		clearTail(obs.arrivals, len(live))
-		obs.arrivals = append(live, a)
-		m.sched.AtArg(end, completeEvent, a)
+	if power >= obs.radio.RxThreshDBm {
+		m.admitArrival(obs, f, power, start, end)
 	}
 
 	// Sensing: decodable energy is always sensed (RxThresh ≥ CsThresh
@@ -371,6 +422,42 @@ func (m *Medium) arriveAt(tx, obs *node, f frame.Frame, power float64, start, en
 	}
 }
 
+// admitArrival registers a decodable arrival at obs: it creates the
+// pooled record, applies the half-duplex self-block, resolves
+// collisions (with capture) against other live arrivals — compacting
+// dead entries in the same pass — and schedules completion. Shared by
+// both channel models; the returned record lets the v2 fast path set
+// withBusyEnd.
+func (m *Medium) admitArrival(obs *node, f frame.Frame, power float64, start, end sim.Time) *arrival {
+	a := m.newArrival()
+	*a = arrival{obs: obs, f: f, start: start, end: end, powerDBm: power}
+	// Half-duplex: if the observer is mid-transmission now, it cannot
+	// lock onto the arriving frame.
+	if obs.txUntil > start {
+		a.selfBlocked = true
+	}
+	live := obs.arrivals[:0]
+	for _, other := range obs.arrivals {
+		if other.end <= start {
+			continue
+		}
+		switch {
+		case a.powerDBm >= other.powerDBm+obs.radio.CaptureDB && obs.radio.CaptureDB > 0:
+			other.corrupted = true
+		case other.powerDBm >= a.powerDBm+obs.radio.CaptureDB && obs.radio.CaptureDB > 0:
+			a.corrupted = true
+		default:
+			other.corrupted = true
+			a.corrupted = true
+		}
+		live = append(live, other)
+	}
+	clearTail(obs.arrivals, len(live))
+	obs.arrivals = append(live, a)
+	m.sched.AtArg(end, completeEvent, a)
+	return a
+}
+
 // scheduleBusyRun arms one busy interval [runStart, runEnd) at obs.
 // txStart is the transmission start: a run beginning there transitions
 // synchronously (we are inside the transmit event at that instant).
@@ -398,6 +485,7 @@ func (m *Medium) complete(obs *node, a *arrival) {
 		}
 	}
 	corrupted, selfBlocked, f, end := a.corrupted, a.selfBlocked, a.f, a.end
+	withBusyEnd := a.withBusyEnd
 	*a = arrival{}
 	m.freeArrivals = append(m.freeArrivals, a)
 
@@ -410,14 +498,19 @@ func (m *Medium) complete(obs *node, a *arrival) {
 				cl.FrameCorrupted(end)
 			}
 		}
-		return
+	} else {
+		m.deliveries++
+		if m.DeliveryTap != nil && f.Dst == obs.id {
+			m.DeliveryTap(f, end)
+		}
+		if obs.listener != nil {
+			obs.listener.FrameReceived(f, end)
+		}
 	}
-	m.deliveries++
-	if m.DeliveryTap != nil && f.Dst == obs.id {
-		m.DeliveryTap(f, end)
-	}
-	if obs.listener != nil {
-		obs.listener.FrameReceived(f, end)
+	// Folded carrier busy-end (v2): after any delivery, preserving the
+	// FrameReceived-before-CarrierIdle ordering guarantee.
+	if withBusyEnd {
+		m.busyEnd(obs, end)
 	}
 }
 

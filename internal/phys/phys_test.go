@@ -267,3 +267,34 @@ func TestCsThresholdBelowRxThreshold(t *testing.T) {
 			r.CsThreshDBm, r.RxThreshDBm)
 	}
 }
+
+// TestMaxRangeFor checks the round trip against MeanRxPowerDBm for both
+// path-loss modes: the mean power at the returned range clears the
+// threshold, and just beyond it does not — with the small bias erring
+// on the large (safe for the medium's pruning) side.
+func TestMaxRangeFor(t *testing.T) {
+	for _, m := range []Shadowing{DefaultShadowing(), DefaultTwoRay()} {
+		const tx, thresh = 24.5, -70.0
+		r := m.MaxRangeFor(tx, thresh)
+		if r <= m.RefDistance {
+			t.Fatalf("%v: MaxRangeFor = %g, want > ref distance", m.Mode, r)
+		}
+		if got := m.MeanRxPowerDBm(tx, r-1e-5); got < thresh {
+			t.Errorf("%v: mean power %g dBm just inside range %g m is below threshold %g",
+				m.Mode, got, r, thresh)
+		}
+		if got := m.MeanRxPowerDBm(tx, r*1.01); got >= thresh {
+			t.Errorf("%v: mean power %g dBm beyond range %g m still clears threshold %g",
+				m.Mode, got, r, thresh)
+		}
+	}
+}
+
+// TestMaxRangeForUnreachable: when even the reference distance cannot
+// clear the threshold, the range is zero (the pair set is empty).
+func TestMaxRangeForUnreachable(t *testing.T) {
+	m := DefaultShadowing()
+	if r := m.MaxRangeFor(-100, 0); r != 0 {
+		t.Errorf("MaxRangeFor(-100 dBm tx, 0 dBm thresh) = %g, want 0", r)
+	}
+}

@@ -174,55 +174,47 @@ func (m Shadowing) ThresholdFor(txPowerDBm, d, p float64) float64 {
 	return mean + m.SigmaDB*inverseNormalCDF(1-p)
 }
 
-// inverseNormalCDF returns Φ⁻¹(p) for the standard normal distribution
-// using the Acklam rational approximation (relative error < 1.15e-9),
-// which is ample for threshold calibration.
+// inverseNormalCDF returns Φ⁻¹(p) for the standard normal distribution.
+// The Acklam approximation lives in rng (counter-based shadowing draws
+// invert the CDF on the hot path); calibration reuses it from there.
 func inverseNormalCDF(p float64) float64 {
 	if p <= 0 || p >= 1 {
 		panic(fmt.Sprintf("phys: inverseNormalCDF(%v) out of (0,1)", p))
 	}
-	const (
-		a1 = -39.69683028665376
-		a2 = 220.9460984245205
-		a3 = -275.9285104469687
-		a4 = 138.3577518672690
-		a5 = -30.66479806614716
-		a6 = 2.506628277459239
+	return rng.InvNormCDF(p)
+}
 
-		b1 = -54.47609879822406
-		b2 = 161.5858368580409
-		b3 = -155.6989798598866
-		b4 = 66.80131188771972
-		b5 = -13.28068155288572
-
-		c1 = -0.007784894002430293
-		c2 = -0.3223964580411365
-		c3 = -2.400758277161838
-		c4 = -2.549732539343734
-		c5 = 4.374664141464968
-		c6 = 2.938163982698783
-
-		d1 = 0.007784695709041462
-		d2 = 0.3224671290700398
-		d3 = 2.445134137142996
-		d4 = 3.754408661907416
-
-		pLow  = 0.02425
-		pHigh = 1 - pLow
-	)
-	switch {
-	case p < pLow:
-		q := math.Sqrt(-2 * math.Log(p))
-		return (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
-			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
-	case p <= pHigh:
-		q := p - 0.5
-		r := q * q
-		return (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
-			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
-	default:
-		q := math.Sqrt(-2 * math.Log(1-p))
-		return -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
-			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+// MaxRangeFor returns an upper bound on the distance at which the mean
+// received power still reaches threshDBm: beyond the returned distance,
+// MeanRxPowerDBm(txPowerDBm, d) < threshDBm for every d. The medium's
+// spatial index calls this with threshDBm = carrier-sense threshold −
+// rng.NormBound·σ to bound each transmitter's interaction radius — no
+// realisable shadowing draw can make a node beyond it sense anything.
+// MeanRxPowerDBm is monotone non-increasing in d (both path-loss laws),
+// so a doubling search plus bisection suffices; the returned value errs
+// on the large side, which only adds candidates, never drops one.
+func (m Shadowing) MaxRangeFor(txPowerDBm, threshDBm float64) float64 {
+	if m.MeanRxPowerDBm(txPowerDBm, m.RefDistance) < threshDBm {
+		return 0
 	}
+	// maxSearchM caps the doubling search; a threshold still reachable
+	// at 10,000 km is "everything in range" for any terrestrial arena.
+	const maxSearchM = 1e10
+	lo, hi := m.RefDistance, 2*m.RefDistance
+	for m.MeanRxPowerDBm(txPowerDBm, hi) >= threshDBm {
+		lo = hi
+		hi *= 2
+		if hi >= maxSearchM {
+			return maxSearchM
+		}
+	}
+	for i := 0; i < 64 && hi-lo > 1e-6; i++ {
+		mid := lo + (hi-lo)/2
+		if m.MeanRxPowerDBm(txPowerDBm, mid) >= threshDBm {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
 }

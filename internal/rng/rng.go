@@ -14,7 +14,10 @@
 // that reorder stream creation.
 package rng
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Source is a deterministic xoshiro256** pseudo-random number generator.
 // The zero value is not usable; construct with New or Source.Stream.
@@ -202,6 +205,110 @@ func (s *Source) NormFloat64() float64 {
 	s.cachedNorm = r * math.Sin(theta)
 	s.hasCachedNorm = true
 	return r * math.Cos(theta)
+}
+
+// Counter-based (stateless) draws, used by the medium's channel model
+// v2: every shadowing sample is a pure function of a 64-bit key and a
+// counter, so skipping a sample costs nothing and no sample depends on
+// the order in which others are drawn. Keys are derived by chaining
+// Mix64 over the identifying tuple, e.g.
+//
+//	pair  := Mix64(Mix64(base, txID), rxID)
+//	frame := Mix64(pair, txFrameIdx)
+//	x     := CounterNorm(frame, segIdx)
+
+// Mix64 combines a key with a value into a new, well-mixed 64-bit key.
+// It is the SplitMix64 finalizer applied to key + (v+1)·γ (γ the golden
+// gamma), giving full avalanche: chaining Mix64 over a tuple of IDs
+// yields statistically independent keys per tuple.
+func Mix64(key, v uint64) uint64 {
+	z := key + (v+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// CounterNorm returns a standard normal draw identified by (key, ctr):
+// a stateless, order-independent counterpart of NormFloat64. The draw
+// maps the mixed counter word to a centered uniform in (0, 1) — 52 high
+// bits plus a half-ulp offset, so u ∈ [2⁻⁵³, 1−2⁻⁵³], with both
+// endpoints exactly representable (53 bits would round the upper
+// extreme to 1.0) — and inverts the normal CDF. |Φ⁻¹(2⁻⁵³)| ≈ 8.21, so
+// the magnitude is strictly below NormBound (pinned by
+// TestCounterNormBound); the medium's out-of-range pruning is therefore
+// exactly as sound for counter draws as for the sequential Box-Muller
+// stream.
+func CounterNorm(key, ctr uint64) float64 {
+	return InvNormCDF(CounterUniform(key, ctr))
+}
+
+// CounterUniform returns the uniform underlying CounterNorm(key, ctr).
+// Exposing it lets callers test thresholds in uniform space — compare u
+// against a precomputed Φ((thresh−mean)/σ) — and invert the CDF only
+// for draws that matter; monotonicity of Φ makes the comparison exactly
+// equivalent to comparing CounterNorm against (thresh−mean)/σ.
+func CounterUniform(key, ctr uint64) float64 {
+	return (float64(Mix64(key, ctr)>>12) + 0.5) * 0x1p-52
+}
+
+// NormCDF returns Φ(z), the standard normal CDF — the inverse companion
+// of InvNormCDF for precomputing uniform-space thresholds.
+func NormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// InvNormCDF returns Φ⁻¹(p) for the standard normal distribution using
+// the Acklam rational approximation (relative error < 1.15e-9) — ample
+// for both threshold calibration (phys.ThresholdFor) and counter-based
+// shadowing draws. It panics outside (0, 1).
+func InvNormCDF(p float64) float64 {
+	if !(p > 0 && p < 1) { // negated form also rejects NaN
+		panic(fmt.Sprintf("rng: InvNormCDF(%v) out of (0,1)", p))
+	}
+	const (
+		a1 = -39.69683028665376
+		a2 = 220.9460984245205
+		a3 = -275.9285104469687
+		a4 = 138.3577518672690
+		a5 = -30.66479806614716
+		a6 = 2.506628277459239
+
+		b1 = -54.47609879822406
+		b2 = 161.5858368580409
+		b3 = -155.6989798598866
+		b4 = 66.80131188771972
+		b5 = -13.28068155288572
+
+		c1 = -0.007784894002430293
+		c2 = -0.3223964580411365
+		c3 = -2.400758277161838
+		c4 = -2.549732539343734
+		c5 = 4.374664141464968
+		c6 = 2.938163982698783
+
+		d1 = 0.007784695709041462
+		d2 = 0.3224671290700398
+		d3 = 2.445134137142996
+		d4 = 3.754408661907416
+
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1 - p))
+		return -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	}
 }
 
 // Perm returns a uniformly random permutation of [0, n).
