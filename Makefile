@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-quick bench-full bench-large check check-v2 clean
+.PHONY: all build test vet lint audit race bench bench-quick bench-full bench-large check check-v2 clean
 
 all: build
 
@@ -9,6 +9,22 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# detlint: the determinism analyzers (wallclock, maporder, floateq,
+# hotalloc) over every simulation package. See DESIGN.md §7.
+lint:
+	$(GO) run ./cmd/dcflint ./...
+
+# Deeper, slower checks that are not part of the pre-merge gate: vet's
+# unsafe-pointer analyzer, plus govulncheck when installed (best-effort —
+# the container may be offline or lack the tool).
+audit:
+	$(GO) vet -unsafeptr ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "audit: govulncheck reported findings (non-blocking)"; \
+	else \
+		echo "audit: govulncheck not installed; skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -39,10 +55,10 @@ bench-large:
 check-v2:
 	$(GO) test -race -run 'V2|Equivalence' ./internal/experiment ./internal/medium
 
-# The pre-merge gate (see README "Pre-merge gate"): vet, build, the race
-# detector over the short suite, the v2 correctness gate, and one pass
-# over every benchmark.
-check: vet build race check-v2 bench
+# The pre-merge gate (see README "Pre-merge gate"), cheapest stages
+# first so failures surface in seconds: vet and the determinism
+# analyzers, then build, then the minutes-long race/bench stages.
+check: vet lint build race check-v2 bench
 
 clean:
 	$(GO) clean ./...

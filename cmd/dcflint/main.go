@@ -1,0 +1,106 @@
+// Command dcflint runs the detlint static-analysis suite: four
+// analyzers (wallclock, maporder, floateq, hotalloc) that mechanically
+// enforce the simulator's determinism invariants. See internal/lint and
+// DESIGN.md §7.
+//
+// Usage:
+//
+//	dcflint [flags] [package patterns]
+//
+// With no patterns it analyses ./... . By default only the simulation
+// packages (internal/..., excluding the lint tooling itself) are
+// checked; -all lifts the scope filter, and -analyzers selects a subset
+// of checks. Exits non-zero if any diagnostic is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dcfguard/internal/lint"
+)
+
+// defaultScope holds the import-path fragments that mark a package as
+// simulation code: everything under internal/ participates in producing
+// or aggregating deterministic results. The lint tooling itself is
+// excluded — it shells out to the go command and formats host paths,
+// none of which feeds simulation results.
+var defaultScope = "internal/"
+
+var defaultExclude = "internal/lint"
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "analyze every matched package, ignoring the scope filter")
+		scope     = flag.String("scope", defaultScope, "comma-separated import-path fragments a package must contain to be analyzed")
+		exclude   = flag.String("exclude", defaultExclude, "comma-separated import-path fragments that exempt a package")
+		analyzers = flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+		list      = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	run := lint.All()
+	if *analyzers != "" {
+		run = lint.ByName(strings.Split(*analyzers, ",")...)
+		if run == nil {
+			fmt.Fprintf(os.Stderr, "dcflint: unknown analyzer in -analyzers=%s\n", *analyzers)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcflint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if !*all {
+		var kept []*lint.Package
+		for _, p := range pkgs {
+			if inScope(p.PkgPath, *scope) && !inScope(p.PkgPath, *exclude) {
+				kept = append(kept, p)
+			}
+		}
+		pkgs = kept
+	}
+
+	diags := lint.Run(pkgs, run)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dcflint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// inScope reports whether pkgPath contains any of the comma-separated
+// fragments as a path component boundary match.
+func inScope(pkgPath, fragments string) bool {
+	for _, frag := range strings.Split(fragments, ",") {
+		frag = strings.TrimSuffix(strings.TrimSpace(frag), "/")
+		if frag == "" {
+			continue
+		}
+		if pkgPath == frag ||
+			strings.HasPrefix(pkgPath, frag+"/") ||
+			strings.Contains(pkgPath, "/"+frag+"/") ||
+			strings.HasSuffix(pkgPath, "/"+frag) {
+			return true
+		}
+	}
+	return false
+}

@@ -107,6 +107,7 @@ func (m Model) SaturationThroughputBps() float64 {
 	tau, _ := m.Tau()
 	n := float64(m.N)
 	pTr := 1 - math.Pow(1-tau, n)
+	//detlint:allow floateq -- division guard: pTr is exactly 0 only in the degenerate tau=0 model
 	if pTr == 0 {
 		return 0
 	}

@@ -47,9 +47,11 @@ func RenderChart(title string, width, height int, series []Series) string {
 		b.WriteString("(no data)\n")
 		return b.String()
 	}
+	//detlint:allow floateq -- degenerate-axis guard: equal only when every point is bit-identical
 	if maxX == minX {
 		maxX = minX + 1
 	}
+	//detlint:allow floateq -- degenerate-axis guard: equal only when every point is bit-identical
 	if maxY == minY {
 		maxY = minY + 1
 	}

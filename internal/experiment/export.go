@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"dcfguard/internal/frame"
@@ -42,13 +43,7 @@ func PerSenderCSV(results []Result) string {
 		for id := range r.ThroughputBySender {
 			ids = append(ids, int(id))
 		}
-		// Insertion sort keeps rows deterministic without pulling sort
-		// into the hot path (tiny n).
-		for i := 1; i < len(ids); i++ {
-			for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-				ids[j], ids[j-1] = ids[j-1], ids[j]
-			}
-		}
+		sort.Ints(ids)
 		for _, id := range ids {
 			fmt.Fprintf(&b, "%s,%d,%d,%g\n",
 				csvEscape(r.Scenario), r.Seed, id, r.ThroughputBySender[frame.NodeID(id)])

@@ -83,9 +83,11 @@ func Run(s Scenario, seed uint64) (Result, error) {
 	}, root.Stream("medium"))
 
 	rxRange, csRange := s.RxRangeM, s.CsRangeM
+	//detlint:allow floateq -- config sentinel: unset scenario fields are literal 0, never computed
 	if rxRange == 0 {
 		rxRange = 250
 	}
+	//detlint:allow floateq -- config sentinel: unset scenario fields are literal 0, never computed
 	if csRange == 0 {
 		csRange = 550
 	}

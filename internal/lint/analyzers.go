@@ -1,0 +1,27 @@
+package lint
+
+// All returns every registered analyzer, in reporting order. Directive
+// validation uses this set, so a new analyzer becomes a legal
+// //detlint:allow name simply by being added here.
+func All() []*Analyzer {
+	return []*Analyzer{Wallclock, Maporder, Floateq, Hotalloc}
+}
+
+// ByName returns the named analyzers, or nil if any name is unknown.
+func ByName(names ...string) []*Analyzer {
+	var out []*Analyzer
+	for _, n := range names {
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// The //detlint:allow directive suppresses named analyzers for exactly
+// one source line. Placement rules:
+//
+//   - Trailing the offending code, the directive covers its own line:
+//
+//     for id := range m { ... } //detlint:allow maporder -- reason
+//
+//   - On a line of its own, it covers the next line. Consecutive
+//     standalone directives stack: all of them cover the first line
+//     after the run of directives.
+//
+//     //detlint:allow maporder
+//     //detlint:allow floateq
+//     for id := range m { ... }
+//
+//   - Anything else — a blank line or unrelated code between directive
+//     and target — breaks the association and the directive silently
+//     covers a line where nothing is reported. Keeping the rule this
+//     rigid is deliberate: a suppression that can drift away from the
+//     code it excuses is worse than no suppression.
+//
+// Several names may share one directive ("//detlint:allow a b"). Text
+// after a "--" field is a free-form justification; the pre-merge gate
+// does not require it, but review does.
+
+// allowIndex records, per file and line, the analyzer names a directive
+// has suppressed there.
+type allowIndex map[string]map[int]map[string]bool
+
+func (ai allowIndex) add(file string, line int, name string) {
+	lines := ai[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		ai[file] = lines
+	}
+	names := lines[line]
+	if names == nil {
+		names = make(map[string]bool)
+		lines[line] = names
+	}
+	names[name] = true
+}
+
+func (ai allowIndex) allows(file string, line int, name string) bool {
+	return ai[file][line][name]
+}
+
+const (
+	directivePrefix = "//detlint:"
+	allowVerb       = "allow"
+)
+
+// parseDirectives scans every comment in the package for detlint
+// directives, resolving each to the source line it covers. Malformed
+// directives — an unknown verb, a missing or unknown analyzer name —
+// are reported as diagnostics under the pseudo-analyzer "detlint" so
+// that a typo cannot silently suppress nothing.
+func parseDirectives(pkg *Package, known map[string]bool) (allowIndex, []Diagnostic) {
+	allow := make(allowIndex)
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		p := &Pass{Analyzer: &Analyzer{Name: "detlint"}, Pkg: pkg, diags: &diags}
+		p.Reportf(pos, format, args...)
+	}
+
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		src := pkg.Src[filename]
+		tf := pkg.Fset.File(f.Pos())
+
+		// First pass: collect each directive with its line and whether it
+		// stands alone on that line (nothing but whitespace before it).
+		type directive struct {
+			line       int
+			standalone bool
+			names      []string
+		}
+		var dirs []directive
+		standaloneAt := make(map[int]bool)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				verb, argstr, _ := strings.Cut(rest, " ")
+				if verb != allowVerb {
+					report(c.Slash, "unknown detlint directive %q (only %q is recognised)",
+						directivePrefix+verb, directivePrefix+allowVerb)
+					continue
+				}
+				var names []string
+				for _, field := range strings.Fields(argstr) {
+					// "--" starts the justification; a nested "//" starts
+					// an unrelated trailing comment (e.g. a test harness
+					// expectation). Either ends the name list.
+					if field == "--" || strings.HasPrefix(field, "//") {
+						break
+					}
+					names = append(names, field)
+				}
+				if len(names) == 0 {
+					report(c.Slash, "missing analyzer name in %s directive", directivePrefix+allowVerb)
+					continue
+				}
+				ok := true
+				for _, n := range names {
+					if !known[n] {
+						report(c.Slash, "unknown analyzer %q in %s directive", n, directivePrefix+allowVerb)
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+
+				line := pkg.Fset.Position(c.Slash).Line
+				lineStart := tf.Offset(tf.LineStart(line))
+				commentStart := tf.Offset(c.Slash)
+				standalone := len(strings.TrimSpace(string(src[lineStart:commentStart]))) == 0
+				dirs = append(dirs, directive{line: line, standalone: standalone, names: names})
+				if standalone {
+					standaloneAt[line] = true
+				}
+			}
+		}
+
+		// Second pass: resolve targets. A trailing directive covers its
+		// own line; a standalone directive skips past any stacked
+		// directives below it and covers the first non-directive line.
+		for _, d := range dirs {
+			target := d.line
+			if d.standalone {
+				target = d.line + 1
+				for standaloneAt[target] {
+					target++
+				}
+			}
+			for _, n := range d.names {
+				allow.add(filename, target, n)
+			}
+		}
+	}
+	return allow, diags
+}

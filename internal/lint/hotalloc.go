@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Hotalloc flags closure literals passed to the scheduler's hot-path
+// At/After entry points wherever the allocation-free AtArg/AfterArg
+// trampolines exist on the same type. PR 1's biggest win was removing
+// per-event closure allocations from the MAC/medium hot paths; a casual
+// `sched.After(d, func() { ... })` silently regresses it. The check is
+// duck-typed: any receiver offering both At and AtArg (or After and
+// AfterArg) is treated as a scheduler. Genuinely cold call sites —
+// one-off setup scheduling — may carry a //detlint:allow hotalloc
+// directive instead of contorting into the trampoline form.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag closures passed to scheduler At/After where AtArg/AfterArg trampolines exist",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "At" && name != "After" {
+				return true
+			}
+			named := namedRecvOf(info, sel)
+			if named == nil || !hasMethod(named, name+"Arg") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if _, isClosure := arg.(*ast.FuncLit); isClosure {
+					pass.Reportf(arg.Pos(), "closure literal passed to %s.%s allocates per call; use %s.%sArg with a package-level func",
+						named.Obj().Name(), name, named.Obj().Name(), name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,118 @@
+// Package lint is detlint: a static-analysis suite that mechanically
+// enforces the simulator's determinism invariants. Every figure in the
+// reproduction depends on runs being a pure function of (scenario,
+// seed); the rules that guarantee that — no wall clock, no global
+// math/rand, no observable map-iteration order, no floating-point
+// equality in state machines, no closures on the scheduler hot path —
+// used to live in comments and code review. The analyzers here turn
+// them into build failures.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Reportf, analysistest-style golden diagnostics) but is self-contained
+// on the standard library: packages are loaded via `go list -export`
+// plus the gc export-data importer in load.go, so the module needs no
+// external dependencies and works fully offline.
+//
+// A site that is deliberately exempt carries a directive comment:
+//
+//	//detlint:allow maporder -- rendering only; keys sorted upstream
+//
+// either trailing the offending line or on the line(s) immediately
+// above it. See directive.go for the exact placement rules.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer describes one invariant check. The shape intentionally
+// matches golang.org/x/tools/go/analysis.Analyzer so the checks could be
+// rehosted on the real framework if the dependency ever becomes
+// available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //detlint:allow directives. It must be a single lower-case word.
+	Name string
+	// Doc is a one-paragraph description: the invariant guarded and why
+	// it matters for reproducibility.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass)
+}
+
+// A Pass connects an Analyzer to the single package it is inspecting.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies the given analyzers to every package, filters out findings
+// suppressed by //detlint:allow directives, and returns the survivors —
+// plus any diagnostics about malformed directives themselves — sorted by
+// position. Directive names are validated against the full registered
+// set (All), not just the analyzers being run, so a file exercising one
+// analyzer may still carry allow directives for another.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allow, dirDiags := parseDirectives(pkg, known)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &raw})
+		}
+		for _, d := range raw {
+			if allow.allows(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
+				continue
+			}
+			out = append(out, d)
+		}
+		out = append(out, dirDiags...)
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}

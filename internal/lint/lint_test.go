@@ -1,0 +1,48 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dcfguard/internal/lint"
+	"dcfguard/internal/lint/linttest"
+)
+
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, "./internal/lint/testdata/src/wallclock", lint.Wallclock)
+}
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, "./internal/lint/testdata/src/maporder", lint.Maporder)
+}
+
+func TestFloateq(t *testing.T) {
+	linttest.Run(t, "./internal/lint/testdata/src/floateq", lint.Floateq)
+}
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, "./internal/lint/testdata/src/hotalloc", lint.Hotalloc)
+}
+
+// TestDirectives drives every analyzer at once over the directive
+// corpus: placement on the wrong line, unknown analyzer names, unknown
+// verbs, and stacked/multi-name directives.
+func TestDirectives(t *testing.T) {
+	linttest.Run(t, "./internal/lint/testdata/src/directive", lint.All()...)
+}
+
+// TestStubsAreClean pins that the shared stub packages themselves
+// produce no diagnostics, so their findings can never bleed into the
+// corpora that import them.
+func TestStubsAreClean(t *testing.T) {
+	linttest.Run(t, "./internal/lint/testdata/src/sim", lint.All()...)
+	linttest.Run(t, "./internal/lint/testdata/src/rng", lint.All()...)
+}
+
+func TestByName(t *testing.T) {
+	if got := lint.ByName("wallclock", "floateq"); len(got) != 2 {
+		t.Fatalf("ByName(wallclock, floateq) = %v analyzers, want 2", len(got))
+	}
+	if got := lint.ByName("wallclock", "nope"); got != nil {
+		t.Fatalf("ByName with unknown name = %v, want nil", got)
+	}
+}

@@ -1,0 +1,124 @@
+// Package linttest is an analysistest-style harness for detlint
+// analyzers: it loads a testdata package, runs analyzers over it, and
+// compares the diagnostics against `// want` expectations embedded in
+// the source.
+//
+// Expectations follow the golang.org/x/tools/go/analysis/analysistest
+// convention: a comment `// want "re1" "re2"` (double- or back-quoted
+// regexps) on a line means exactly len(wants) diagnostics are expected
+// on that line, each matched by one of the regexps. Lines without a
+// want comment must produce no diagnostics.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dcfguard/internal/lint"
+)
+
+var wantRE = regexp.MustCompile(`// want ((?:(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `)\s*)+)$`)
+var wantArgRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// Run loads the package at pattern (a go list pattern relative to the
+// module root, e.g. "./internal/lint/testdata/src/wallclock"), applies
+// the analyzers, and reports any mismatch between diagnostics and want
+// comments as test failures.
+func Run(t *testing.T, pattern string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading %s: got %d packages, want 1", pattern, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	diags := lint.Run(pkgs, analyzers)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for filename, src := range pkg.Src {
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			k := key{filename, i + 1}
+			for _, q := range wantArgRE.FindAllString(m[1], -1) {
+				pat, err := unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", filename, i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", filename, i+1, pat, err)
+				}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	// Match each diagnostic against the unconsumed wants on its line.
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[k][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%v: unexpected diagnostic", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+func unquote(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	return strconv.Unquote(q)
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod. Tests run with cwd set to their package directory, so this
+// finds the repository root from any internal package.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,70 @@
+// Exercises for the //detlint:allow directive parser: placement rules,
+// stacking, and rejection of malformed directives.
+package directive
+
+import (
+	"fmt"
+	"time"
+)
+
+func trailing(m map[string]int) {
+	for k := range m { //detlint:allow maporder -- trailing form covers its own line
+		fmt.Println(k)
+	}
+}
+
+func standalone(m map[string]int) {
+	//detlint:allow maporder -- standalone form covers the next line
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// Stacked standalone directives all cover the first non-directive line.
+func stacked(x float64, deadline time.Time) bool {
+	//detlint:allow floateq
+	//detlint:allow wallclock
+	return x == 0 && time.Now().Before(deadline)
+}
+
+// One directive may carry several analyzer names.
+func multiName(x float64, deadline time.Time) bool {
+	//detlint:allow floateq wallclock -- both violations live on the next line
+	return x == 0 && time.Now().Before(deadline)
+}
+
+// A blank line between directive and target breaks the association: the
+// directive covers the blank line, and the violation is still reported.
+func wrongLine(m map[string]int) {
+	//detlint:allow maporder -- ineffective: not adjacent to the loop
+
+	for k := range m { // want `map iteration emits output`
+		fmt.Println(k)
+	}
+}
+
+// Allowing a different analyzer does not suppress this one's finding.
+func wrongName(m map[string]int) {
+	for k := range m { //detlint:allow floateq // want `map iteration emits output`
+		fmt.Println(k)
+	}
+}
+
+func unknownName(m map[string]int) {
+	//detlint:allow maporderr // want `unknown analyzer "maporderr"`
+	for k := range m { // want `map iteration emits output`
+		fmt.Println(k)
+	}
+}
+
+func missingName(m map[string]int) {
+	for k := range m { //detlint:allow // want `missing analyzer name` `map iteration emits output`
+		fmt.Println(k)
+	}
+}
+
+func unknownVerb(m map[string]int) {
+	for k := range m { //detlint:ignore maporder // want `unknown detlint directive` `map iteration emits output`
+		fmt.Println(k)
+	}
+}

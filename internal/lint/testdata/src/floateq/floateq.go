@@ -1,0 +1,57 @@
+// Seeded violations for the floateq analyzer.
+package floateq
+
+type state struct {
+	power float64
+	idx   int
+}
+
+type intState struct {
+	count int
+	id    uint32
+}
+
+func equalPower(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func changed(prev, cur float32) bool {
+	return prev != cur // want `floating-point != comparison`
+}
+
+// Zero sentinels are still knife-edge decisions.
+func idle(backoff float64) bool {
+	return backoff == 0 // want `floating-point == comparison`
+}
+
+// The classic NaN self-test is equality too; use math.IsNaN.
+func isNaN(x float64) bool {
+	return x != x // want `floating-point != comparison`
+}
+
+// Struct equality reaching a float field compares floats.
+func sameState(a, b state) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+// Array equality over floats likewise.
+func sameRow(a, b [4]float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+// Integer comparisons are exact: no finding.
+func sameInt(a, b intState) bool { return a == b }
+
+func done(n int) bool { return n == 0 }
+
+// Ordering tests on floats are the sanctioned alternative.
+func below(x, limit float64) bool { return x < limit }
+
+// A fully constant comparison folds at compile time: no finding.
+const epsilonOK = (1.0 / 3) != 0.3333333333333333
+
+// A justified exemption is honoured (e.g. comparing against a value
+// copied bit-for-bit from the same computation).
+func unchangedExact(prev, cur float64) bool {
+	return prev == cur //detlint:allow floateq -- cur is a bit-identical copy of prev, not recomputed
+}

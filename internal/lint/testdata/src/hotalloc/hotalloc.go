@@ -1,0 +1,43 @@
+// Seeded violations for the hotalloc analyzer.
+package hotalloc
+
+import "dcfguard/internal/lint/testdata/src/sim"
+
+type node struct {
+	sched *sim.Scheduler
+	nav   sim.Time
+}
+
+// A closure literal on the hot-path entry points allocates per call.
+func (n *node) armTimeout(at sim.Time) {
+	n.sched.At(at, func() { n.nav = at }) // want `closure literal passed to Scheduler\.At allocates per call`
+}
+
+func (n *node) armDelay(d sim.Time) {
+	n.sched.After(d, func() { n.nav += d }) // want `closure literal passed to Scheduler\.After allocates per call`
+}
+
+// The trampoline form is the fix: package-level func plus an argument.
+func fireTimeout(arg any, when sim.Time) { arg.(*node).nav = when }
+
+func (n *node) armTimeoutFast(at sim.Time) {
+	n.sched.AtArg(at, fireTimeout, n)
+}
+
+// Passing a named function (no capture) to At is allocation-free too.
+func noop() {}
+
+func (n *node) armNoop(at sim.Time) {
+	n.sched.At(at, noop)
+}
+
+// A type without the trampolines is not a scheduler hot path: closures
+// to it are legal.
+func plain(p *sim.PlainTimer, at sim.Time) {
+	p.At(at, func() {})
+}
+
+// Cold one-off setup may opt out with a justification.
+func (n *node) armOnce(at sim.Time) {
+	n.sched.At(at, func() { n.nav = 0 }) //detlint:allow hotalloc -- runs once at scenario setup, never per frame
+}

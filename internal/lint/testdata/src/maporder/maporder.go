@@ -1,0 +1,160 @@
+// Seeded violations for the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dcfguard/internal/lint/testdata/src/rng"
+	"dcfguard/internal/lint/testdata/src/sim"
+)
+
+var registry = map[string]int{}
+
+// The blessed pattern: extract keys, sort, iterate sorted. No finding.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with a comparator also counts as sorting the extraction.
+func sortedByValue(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return m[keys[i]] < m[keys[j]] })
+	return keys
+}
+
+// Fields of the range variables are still pure extraction, and a local
+// sort-named helper counts as sorting.
+type pairKey struct{ sender, receiver int }
+
+type registryT struct{ pairs []pairKey }
+
+func (r *registryT) pairList(m map[pairKey]int) []pairKey {
+	r.pairs = r.pairs[:0]
+	for k := range m {
+		r.pairs = append(r.pairs, pairKey{k.sender, k.receiver})
+	}
+	sortPairs(r.pairs)
+	return r.pairs
+}
+
+func sortPairs(ps []pairKey) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].sender < ps[j].sender })
+}
+
+// Extraction into a struct field without any sort still leaks.
+func (r *registryT) unsortedPairList(m map[pairKey]int) []pairKey {
+	r.pairs = r.pairs[:0]
+	for k := range m { // want `map keys are extracted into "pairs" but never sorted`
+		r.pairs = append(r.pairs, pairKey{sender: k.sender, receiver: k.receiver})
+	}
+	return r.pairs
+}
+
+// Extraction that never reaches a sort leaks map order into the slice.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map keys are extracted into "keys" but never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Appending anything beyond the range variables is a real loop body, and
+// the append makes iteration order observable.
+func appendPairs(m map[string]int, prefix string) []string {
+	var rows []string
+	for k, v := range m { // want `map iteration appends to a slice`
+		rows = append(rows, fmt.Sprintf("%s%s=%d", prefix, k, v))
+	}
+	return rows
+}
+
+// Emitting output while iterating writes rows in random order.
+func dump(m map[string]int) {
+	for k, v := range m { // want `map iteration emits output`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration emits output`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Drawing from an RNG inside the loop perturbs the stream order.
+func sample(m map[string]int, src *rng.Source) int {
+	total := 0
+	for range m { // want `map iteration draws from an RNG`
+		total += src.Intn(10)
+	}
+	return total
+}
+
+// Scheduling events inside the loop randomises event sequence numbers.
+func schedule(m map[string]sim.Time, s *sim.Scheduler, fn func(arg any, when sim.Time)) {
+	for _, when := range m { // want `map iteration schedules events`
+		s.AtArg(when, fn, nil)
+	}
+}
+
+// Floating-point accumulation is order-sensitive in the last ulp.
+func mean(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration accumulates floating-point state`
+		sum += v
+	}
+	return sum / float64(len(m))
+}
+
+// Integer accumulation commutes exactly: no finding.
+func count(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Writing through keys into another map is order-independent: no finding.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Package-level state mutated under random order is flagged.
+func promote(m map[string]int) {
+	for k, v := range m { // want `map iteration writes package-level state`
+		registry[k] = v
+	}
+}
+
+// Sends interleave with the receiver in map order.
+func stream(m map[string]int, ch chan<- string) {
+	for k := range m { // want `map iteration sends on a channel`
+		ch <- k
+	}
+}
+
+// A justified exemption is honoured.
+func debugDump(m map[string]int) {
+	//detlint:allow maporder -- debug-only output, never diffed or golden-checked
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}

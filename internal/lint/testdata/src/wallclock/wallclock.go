@@ -1,0 +1,46 @@
+// Seeded violations for the wallclock analyzer.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wall-clock reads are forbidden in simulation code.
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+// Referencing the function without calling it is just as nondeterministic.
+var clock = time.Now // want `time\.Now reads the wall clock`
+
+// The global math/rand source is banned...
+func jitter() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the math/rand global source`
+}
+
+func backoff(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from the math/rand global source`
+}
+
+// ...but a private, explicitly seeded source is not (merely discouraged
+// in favour of internal/rng streams).
+func seeded() float64 {
+	return rand.New(rand.NewSource(1)).Float64()
+}
+
+// time.Duration and time.Time as plain data types are fine.
+func double(d time.Duration) time.Duration { return 2 * d }
+
+// A justified cold-path exemption is honoured.
+func progress() time.Time {
+	return time.Now() //detlint:allow wallclock -- CLI progress message, outside the simulation
+}

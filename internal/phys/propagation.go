@@ -149,6 +149,7 @@ func (m Shadowing) SampleRxPowerDBm(txPowerDBm, d float64, src *rng.Source) floa
 // to verify calibration and in tests.
 func (m Shadowing) ProbAbove(txPowerDBm, d, threshDBm float64) float64 {
 	mean := m.MeanRxPowerDBm(txPowerDBm, d)
+	//detlint:allow floateq -- config sentinel: SigmaDB is set literally, 0 means "no shadowing"
 	if m.SigmaDB == 0 {
 		if mean >= threshDBm {
 			return 1

@@ -196,6 +196,7 @@ func (s *Source) NormFloat64() float64 {
 		return s.cachedNorm
 	}
 	var u float64
+	//detlint:allow floateq -- rejection sampling: Float64 can return exactly 0, which Log cannot take
 	for u == 0 {
 		u = s.Float64()
 	}
@@ -305,7 +306,7 @@ func InvNormCDF(p float64) float64 {
 		return (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
 			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
 	default:
-		q := math.Sqrt(-2 * math.Log(1 - p))
+		q := math.Sqrt(-2 * math.Log(1-p))
 		return -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
 			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
 	}
@@ -339,6 +340,7 @@ func (s *Source) Bool(p float64) bool {
 // (mean 1). Scale by 1/λ for other rates.
 func (s *Source) ExpFloat64() float64 {
 	var u float64
+	//detlint:allow floateq -- rejection sampling: Float64 can return exactly 0, which Log cannot take
 	for u == 0 {
 		u = s.Float64()
 	}

@@ -24,6 +24,7 @@ func Jain(throughputs []float64) float64 {
 		sum += t
 		sumSq += t * t
 	}
+	//detlint:allow floateq -- division guard: sums of non-negatives are exactly 0 only when every input is 0
 	if sumSq == 0 {
 		return 0
 	}
