@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint audit race bench bench-quick bench-full bench-large check check-v2 clean
+.PHONY: all build test vet lint audit race bench bench-quick bench-full bench-large check check-v2 faults clean
 
 all: build
 
@@ -55,10 +55,19 @@ bench-large:
 check-v2:
 	$(GO) test -race -run 'V2|Equivalence' ./internal/experiment ./internal/medium
 
+# Fault-injection and resilient-runner gate, under the race detector
+# (the seed watchdog crosses goroutines): the whole faults/atomicio
+# suites, then the fault goldens, the churn re-synchronisation contract,
+# the scheduler interrupt tests, and the sweep kill-resume round-trip.
+faults:
+	$(GO) test -race ./internal/faults ./internal/atomicio
+	$(GO) test -race -run 'Fault|Churn|Down|Interrupt|RunGuarded|RunSweep|ResultJSON' \
+		./internal/experiment ./internal/core ./internal/sim
+
 # The pre-merge gate (see README "Pre-merge gate"), cheapest stages
 # first so failures surface in seconds: vet and the determinism
 # analyzers, then build, then the minutes-long race/bench stages.
-check: vet lint build race check-v2 bench
+check: vet lint build race check-v2 faults bench
 
 clean:
 	$(GO) clean ./...

@@ -19,6 +19,7 @@ import (
 
 	"dcfguard"
 	"dcfguard/internal/analytic"
+	"dcfguard/internal/atomicio"
 )
 
 // drawCharts mirrors the -chart flag for emit; combined accumulates the
@@ -44,6 +45,8 @@ func run() error {
 		outDir   = flag.String("out", "", "also write each table as <dir>/<name>.txt and .csv")
 		chart    = flag.Bool("chart", false, "also draw each table as an ASCII chart")
 		report   = flag.String("report", "", "also write a combined markdown report to this path")
+		journal  = flag.String("journal", "", "journal directory for resumable sweeps (fig faults)")
+		seedTO   = flag.Duration("seedtimeout", 0, "wall-time budget per seed in resumable sweeps (0 disables)")
 	)
 	flag.Parse()
 	drawCharts = *chart
@@ -73,16 +76,17 @@ func run() error {
 
 	targets := strings.Split(*fig, ",")
 	if *fig == "all" {
-		targets = []string{"4", "5", "6+7", "8", "9", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "hidden", "validate"}
+		targets = []string{"4", "5", "6+7", "8", "9", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "hidden", "faults", "validate"}
 	}
+	sweep := dcfguard.SweepOptions{JournalDir: *journal, SeedTimeout: *seedTO}
 	start := time.Now()
 	for _, target := range targets {
-		if err := emit(target, cfg, *outDir); err != nil {
+		if err := emit(target, cfg, *outDir, sweep); err != nil {
 			return err
 		}
 	}
 	if combined != nil {
-		if err := os.WriteFile(*report, []byte(combined.Markdown(time.Since(start))), 0o644); err != nil {
+		if err := atomicio.WriteFile(*report, []byte(combined.Markdown(time.Since(start))), 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s (%d sections)\n", *report, combined.Len())
@@ -90,7 +94,7 @@ func run() error {
 	return nil
 }
 
-func emit(target string, cfg dcfguard.Config, outDir string) error {
+func emit(target string, cfg dcfguard.Config, outDir string, sweep dcfguard.SweepOptions) error {
 	start := time.Now()
 	var tables []*dcfguard.Table
 	var names []string
@@ -176,6 +180,18 @@ func emit(target string, cfg dcfguard.Config, outDir string) error {
 			return err
 		}
 		tables, names = []*dcfguard.Table{t}, []string{"ext-hidden-terminal"}
+	case "faults":
+		t, rep, err := dcfguard.ExtFaultTolerance(cfg, sweep)
+		if err != nil {
+			return err
+		}
+		if !rep.OK() {
+			for _, f := range rep.Failures {
+				fmt.Fprint(os.Stderr, f.Dump())
+			}
+			return fmt.Errorf("faults sweep: %d cells failed (table skipped)", len(rep.Failures))
+		}
+		tables, names = []*dcfguard.Table{t}, []string{"ext-fault-tolerance"}
 	case "validate":
 		t, err := analytic.ValidateAgainstModel(cfg)
 		if err != nil {
@@ -203,10 +219,10 @@ func emit(target string, cfg dcfguard.Config, outDir string) error {
 		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		if outDir != "" {
 			base := filepath.Join(outDir, names[i])
-			if err := os.WriteFile(base+".txt", []byte(t.Render()), 0o644); err != nil {
+			if err := atomicio.WriteFile(base+".txt", []byte(t.Render()), 0o644); err != nil {
 				return err
 			}
-			if err := os.WriteFile(base+".csv", []byte(t.CSV()), 0o644); err != nil {
+			if err := atomicio.WriteFile(base+".csv", []byte(t.CSV()), 0o644); err != nil {
 				return err
 			}
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dcfguard"
+	"dcfguard/internal/atomicio"
 )
 
 // benchEntry is one BENCH.json record. Field names follow benchstat's
@@ -100,7 +101,7 @@ func runBench(args []string) error {
 		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := atomicio.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d targets)\n", *out, len(file.Results))

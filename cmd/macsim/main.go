@@ -22,6 +22,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,9 +30,11 @@ import (
 	"runtime/pprof"
 	"runtime/trace"
 	"sort"
+	"strings"
 	"time"
 
 	"dcfguard"
+	"dcfguard/internal/atomicio"
 )
 
 func main() {
@@ -125,6 +128,11 @@ func run() error {
 		execTr   = flag.String("trace", "", "write a Go execution trace to this file")
 		csvPath  = flag.String("csv", "", "with -seeds: write raw per-run metrics to this CSV file")
 		channel  = flag.String("channel", "v1", "channel model: v1 (sequential stream) or v2 (counter RNG + spatial index)")
+		fer      = flag.Float64("fer", 0, "i.i.d. frame-error rate in [0,1) injected after collision resolution")
+		burst    = flag.String("burst", "", "Gilbert burst losses 'fer,r': mean FER and Bad→Good recovery prob (replaces -fer)")
+		churn    = flag.String("churn", "", "receiver churn 'mean[,down]': mean up-time and downtime durations, e.g. 5s,200ms")
+		seedTO   = flag.Duration("seedtimeout", 0, "wall-time budget per seed; a hung run is cancelled and reported (0 disables)")
+		journal  = flag.String("journal", "", "with -seeds: checkpoint finished (scenario, seed) cells in this directory and resume from it")
 		basic    = flag.Bool("basic", false, "basic access: no RTS/CTS handshake")
 		adaptive = flag.Bool("adaptive", false, "adaptive THRESH selection (CORRECT only)")
 		block    = flag.Bool("block", false, "refuse service to diagnosed senders (CORRECT only)")
@@ -181,15 +189,21 @@ func run() error {
 		return fmt.Errorf("-pcap requires -timeline N")
 	}
 	s.TraceEvents = *traceN
+	if err := parseFaults(&s, *fer, *burst, *churn); err != nil {
+		return err
+	}
+	if *journal != "" && *seeds == 0 {
+		return fmt.Errorf("-journal requires -seeds")
+	}
 
 	stopProf, err := startProfiling(*cpuProf, *memProf, *execTr)
 	if err != nil {
 		return err
 	}
 	if *seeds > 0 {
-		err = runAggregate(s, *seeds, *series, *csvPath)
+		err = runAggregate(s, *seeds, *series, *csvPath, *journal, *seedTO)
 	} else {
-		err = runSingle(s, *seed, *series, *perNode, *pcapPath)
+		err = runSingle(s, *seed, *series, *perNode, *pcapPath, *seedTO)
 	}
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
@@ -197,10 +211,52 @@ func run() error {
 	return err
 }
 
-func runSingle(s dcfguard.Scenario, seed uint64, series, perNode bool, pcapPath string) error {
+// parseFaults fills s.Faults from the -fer/-burst/-churn flag values.
+func parseFaults(s *dcfguard.Scenario, fer float64, burst, churn string) error {
+	s.Faults.FER = fer
+	if burst != "" {
+		var meanFER, r float64
+		if _, err := fmt.Sscanf(burst, "%g,%g", &meanFER, &r); err != nil {
+			return fmt.Errorf("-burst %q: want 'fer,r' (e.g. 0.1,0.25): %v", burst, err)
+		}
+		if !(meanFER >= 0 && meanFER < 1) || !(r > 0 && r <= 1) {
+			return fmt.Errorf("-burst %q: need fer in [0,1) and r in (0,1]", burst)
+		}
+		ge := dcfguard.GEForMeanFER(meanFER, r)
+		s.Faults.Burst = &ge
+		s.Faults.FER = 0
+	}
+	if churn != "" {
+		spec := strings.SplitN(churn, ",", 2)
+		mean, err := time.ParseDuration(spec[0])
+		if err != nil {
+			return fmt.Errorf("-churn %q: %v", churn, err)
+		}
+		s.Faults.ChurnInterval = dcfguard.Time(mean)
+		if len(spec) == 2 {
+			down, err := time.ParseDuration(spec[1])
+			if err != nil {
+				return fmt.Errorf("-churn %q: %v", churn, err)
+			}
+			s.Faults.ChurnDowntime = dcfguard.Time(down)
+		}
+	}
+	return nil
+}
+
+// reportFailure prints one seed's diagnostic dump to stderr.
+func reportFailure(f *dcfguard.SeedFailure) {
+	fmt.Fprint(os.Stderr, f.Dump())
+}
+
+func runSingle(s dcfguard.Scenario, seed uint64, series, perNode bool, pcapPath string, seedTO time.Duration) error {
 	start := time.Now()
-	r, err := dcfguard.Run(s, seed)
+	r, err := dcfguard.RunGuarded(s, seed, seedTO)
 	if err != nil {
+		var f *dcfguard.SeedFailure
+		if errors.As(err, &f) {
+			reportFailure(f)
+		}
 		return err
 	}
 	fmt.Printf("scenario          %s (seed %d, %v simulated, %v wall)\n",
@@ -220,6 +276,10 @@ func runSingle(s dcfguard.Scenario, seed uint64, series, perNode bool, pcapPath 
 		fmt.Printf("greedy detections %d\n", r.GreedyDetections)
 	}
 	fmt.Printf("kernel events     %d\n", r.EventsFired)
+	if s.Faults.Enabled() {
+		fmt.Printf("fault injection   %d frames dropped, %d receiver restarts\n",
+			r.FaultDrops, r.Restarts)
+	}
 	if perNode {
 		ids := make([]dcfguard.NodeID, 0, len(r.ThroughputBySender))
 		for id := range r.ThroughputBySender {
@@ -255,22 +315,52 @@ func runSingle(s dcfguard.Scenario, seed uint64, series, perNode bool, pcapPath 
 	return nil
 }
 
-func runAggregate(s dcfguard.Scenario, n int, series bool, csvPath string) error {
+func runAggregate(s dcfguard.Scenario, n int, series bool, csvPath, journal string, seedTO time.Duration) error {
 	start := time.Now()
-	agg, err := dcfguard.RunSeeds(s, dcfguard.Seeds(n))
+	cells := make([]dcfguard.SweepCell, n)
+	for i, seed := range dcfguard.Seeds(n) {
+		cells[i] = dcfguard.SweepCell{Scenario: s, Seed: seed}
+	}
+	report, err := dcfguard.RunSweep(cells, dcfguard.SweepOptions{
+		JournalDir:  journal,
+		SeedTimeout: seedTO,
+	})
 	if err != nil {
 		return err
 	}
-	if csvPath != "" {
-		results, err := dcfguard.RunAll(s, dcfguard.Seeds(n))
-		if err != nil {
-			return err
+	if report.Resumed > 0 {
+		fmt.Printf("resumed %d of %d cells from %s (%d run now)\n",
+			report.Resumed, len(cells), journal, report.Ran)
+	}
+	// A failed seed must not cost the finished ones: summarise the
+	// partial results, dump the diagnostics, exit non-zero.
+	ok := make([]dcfguard.Result, 0, len(report.Results))
+	for _, r := range report.Results {
+		if r.Scenario != "" {
+			ok = append(ok, r)
 		}
-		if err := os.WriteFile(csvPath, []byte(dcfguard.ResultsCSV(results)), 0o644); err != nil {
+	}
+	if csvPath != "" && len(ok) > 0 {
+		if err := atomicio.WriteFile(csvPath, []byte(dcfguard.ResultsCSV(ok)), 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", csvPath)
 	}
+	if !report.OK() {
+		for _, f := range report.Failures {
+			reportFailure(f)
+		}
+		if len(ok) > 0 {
+			fmt.Printf("partial results: %d of %d seeds completed\n", len(ok), len(cells))
+			printAggregate(dcfguard.AggregateResults(s.Name, ok), series, start)
+		}
+		return fmt.Errorf("%d of %d seeds failed", len(report.Failures), len(cells))
+	}
+	printAggregate(dcfguard.AggregateResults(s.Name, report.Results), series, start)
+	return nil
+}
+
+func printAggregate(agg dcfguard.Aggregate, series bool, start time.Time) {
 	fmt.Printf("scenario          %s (%d seeds, %v wall)\n",
 		agg.Scenario, agg.Runs, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("total goodput     %.1f ± %.1f Kbps\n", agg.TotalKbps.Mean, agg.TotalKbps.CI95)
@@ -286,5 +376,4 @@ func runAggregate(s dcfguard.Scenario, n int, series bool, csvPath string) error
 				p.Start.Seconds(), p.CorrectPct, p.Packets)
 		}
 	}
-	return nil
 }

@@ -41,8 +41,11 @@
 package dcfguard
 
 import (
+	"time"
+
 	"dcfguard/internal/core"
 	"dcfguard/internal/experiment"
+	"dcfguard/internal/faults"
 	"dcfguard/internal/frame"
 	"dcfguard/internal/mac"
 	"dcfguard/internal/phys"
@@ -75,6 +78,21 @@ type (
 	WindowPoint = experiment.WindowPoint
 	// ChannelModel selects the medium's channel implementation.
 	ChannelModel = experiment.ChannelModel
+
+	// FaultConfig selects channel-error and node-churn fault injection
+	// (see Scenario.Faults); the zero value disables everything.
+	FaultConfig = faults.Config
+	// GE parameterises the Gilbert–Elliott burst-loss chain.
+	GE = faults.GE
+	// SeedFailure describes a (scenario, seed) run that panicked, timed
+	// out or failed during setup.
+	SeedFailure = experiment.SeedFailure
+	// SweepCell is one (scenario, seed) unit of a resumable sweep.
+	SweepCell = experiment.SweepCell
+	// SweepOptions configures RunSweep (journal dir, watchdog, workers).
+	SweepOptions = experiment.SweepOptions
+	// SweepReport is RunSweep's outcome: results, failures, resume stats.
+	SweepReport = experiment.SweepReport
 
 	// NodeID identifies a node.
 	NodeID = frame.NodeID
@@ -242,4 +260,37 @@ func AblationBasicAccess(cfg Config) (*Table, error) {
 // terminals (extension experiment).
 func ExtHiddenTerminal(cfg Config) (*Table, error) {
 	return experiment.ExtHiddenTerminal(cfg)
+}
+
+// GEForMeanFER returns the classic Gilbert burst chain whose long-run
+// loss rate is fer, with Bad→Good recovery probability r (mean burst
+// length 1/r frames).
+func GEForMeanFER(fer, r float64) GE { return faults.GEForMeanFER(fer, r) }
+
+// RunGuarded executes a scenario like Run but recovers panics and, when
+// timeout > 0, cancels runs that exceed the wall-time budget; failures
+// come back as a *SeedFailure with a diagnostic dump.
+func RunGuarded(s Scenario, seed uint64, timeout time.Duration) (Result, error) {
+	return experiment.RunGuarded(s, seed, timeout)
+}
+
+// RunSweep executes (scenario, seed) cells across a worker pool with
+// per-cell panic/timeout isolation and, when a journal directory is
+// given, crash-safe checkpoint/resume: rerunning an interrupted sweep
+// loads finished cells from the journal and executes only the rest.
+func RunSweep(cells []SweepCell, opts SweepOptions) (SweepReport, error) {
+	return experiment.RunSweep(cells, opts)
+}
+
+// AggregateResults folds raw per-seed results (e.g. loaded from a sweep
+// journal) into the multi-seed Aggregate RunSeeds computes.
+func AggregateResults(name string, results []Result) Aggregate {
+	return experiment.AggregateResults(name, results)
+}
+
+// ExtFaultTolerance measures the false-diagnosis rate of correct senders
+// as the frame-error rate sweeps 0-30% (i.i.d. and bursty losses), run
+// as a resumable sweep; the report carries per-cell failures, if any.
+func ExtFaultTolerance(cfg Config, opts SweepOptions) (*Table, *SweepReport, error) {
+	return experiment.ExtFaultTolerance(cfg, opts)
 }

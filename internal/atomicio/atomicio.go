@@ -1,0 +1,59 @@
+// Package atomicio provides crash-safe file writes: a result file is
+// either the complete old version or the complete new version, never a
+// torn intermediate. Every artifact writer in the repo — BENCH.json,
+// CSV/table exports, results/ files, the experiment journal — goes
+// through WriteFile, so a process killed mid-write (the exact failure
+// the resumable sweep runner recovers from) can never leave a corrupt
+// artifact behind.
+package atomicio
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes data to path atomically: into a temporary file in the
+// same directory (same filesystem, so the rename is atomic), fsynced,
+// then renamed over path. The containing directory is fsynced
+// best-effort afterwards so the rename itself survives a crash. On any
+// error the temporary file is removed and path is untouched.
+func WriteFile(path string, data []byte, perm fs.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// Past this point every failure path must remove tmpName.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Persist the rename. Directory fsync is not supported everywhere
+	// (and never on Windows); the write is already atomic without it,
+	// just not yet guaranteed durable, so failures are ignored.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

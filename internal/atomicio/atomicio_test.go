@@ -1,0 +1,70 @@
+package atomicio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	want := []byte(`{"hello":"world"}`)
+	if err := WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+	// No temp litter.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after write, want 1", len(entries))
+	}
+}
+
+func TestWriteFileReplacesExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("read back %q, want new", got)
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}
+
+func TestWriteFileTempNameHidden(t *testing.T) {
+	// The temp pattern must be dot-prefixed so half-written files never
+	// match the journal's *.json scan.
+	dir := t.TempDir()
+	tmp, err := os.CreateTemp(dir, "."+"cell.json"+".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(tmp.Name())
+	if !strings.HasPrefix(filepath.Base(tmp.Name()), ".") {
+		t.Fatalf("temp name %q is not hidden", filepath.Base(tmp.Name()))
+	}
+	tmp.Close()
+}

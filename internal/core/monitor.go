@@ -39,6 +39,12 @@ type Monitor struct {
 	adaptive  *AdaptiveThresh // nil unless Params.AdaptiveThresh
 
 	senders map[frame.NodeID]*senderRecord
+
+	// down marks a crashed node (fault injection): while set, the
+	// monitor refuses every exchange, exactly like a powered-off
+	// receiver. restarts counts completed crash/restart cycles.
+	down     bool
+	restarts int
 }
 
 // senderRecord is the per-sender monitoring state.
@@ -143,6 +149,40 @@ func (m *Monitor) SenderStats(sender frame.NodeID) (packets, deviations, penalty
 	return r.packetCount, r.deviationCount, r.penaltyTotal
 }
 
+// Crash implements faults.Restartable: the node goes down at now and
+// loses all volatile monitoring state — every per-sender record (the
+// assignments senders are counting against, the diagnosis windows, the
+// observation marks) and the idle-slot history. This is exactly the
+// state a reboot loses, and re-synchronisation afterwards must not
+// mistake a correct sender for a misbehaving one: a fresh senderRecord
+// has no assignment (current = -1) and no mark, so the deviation check
+// stays disarmed until a full assignment cycle completes after restart.
+func (m *Monitor) Crash(now sim.Time) {
+	m.down = true
+	m.senders = make(map[frame.NodeID]*senderRecord)
+	m.observer = NewIdleObserver(m.macParams.SlotTime, m.macParams.DIFS(), m.params.HistoryHorizon)
+	if m.adaptive != nil {
+		m.adaptive = DefaultAdaptiveThresh()
+	}
+}
+
+// Restart implements faults.Restartable: the node comes back up at now,
+// empty-handed. The fresh IdleObserver created at Crash assumes an idle
+// channel; carrier transitions observed while down keep it coherent.
+func (m *Monitor) Restart(now sim.Time) {
+	if m.down {
+		m.restarts++
+	}
+	m.down = false
+}
+
+// Down reports whether the monitor is currently crashed; Restarts the
+// number of completed crash/restart cycles.
+func (m *Monitor) Down() bool { return m.down }
+
+// Restarts returns the number of completed crash/restart cycles.
+func (m *Monitor) Restarts() int { return m.restarts }
+
 // OnCarrierBusy implements mac.ReceiverHook.
 func (m *Monitor) OnCarrierBusy(now sim.Time) { m.observer.OnBusy(now) }
 
@@ -158,6 +198,10 @@ func (m *Monitor) OnRTS(rts frame.Frame, start, end sim.Time) (bool, int) {
 // in RTS/CTS mode, or the DATA itself in basic-access mode. Both carry
 // the attempt number the estimator needs.
 func (m *Monitor) handleOpening(f frame.Frame, start, end sim.Time) (bool, int) {
+	// A crashed node cannot respond to anything.
+	if m.down {
+		return false, -1
+	}
 	r := m.record(f.Src)
 
 	// §4.1 attempt-number verification: check an outstanding drop.
@@ -306,6 +350,9 @@ func (m *Monitor) assign(r *senderRecord, sender frame.NodeID, seq uint32) int {
 // exchange: it goes through the full detection pipeline, and a false
 // verdict suppresses the ACK.
 func (m *Monitor) OnData(data frame.Frame, start, end sim.Time) (bool, int) {
+	if m.down {
+		return false, -1
+	}
 	r := m.record(data.Src)
 	if data.Attempt > 0 && (r.verifyPending || r.next < 0 || r.decidedSeq != data.Seq) {
 		return m.handleOpening(data, start, end)
@@ -323,6 +370,11 @@ func (m *Monitor) OnData(data frame.Frame, start, end sim.Time) (bool, int) {
 // Rotate assignments and open the observation window for the sender's
 // next packet.
 func (m *Monitor) OnAckSent(to frame.NodeID, seq uint32, end sim.Time) {
+	// An ACK whose transmission was armed before a crash can complete
+	// after it; a dead node records nothing.
+	if m.down {
+		return
+	}
 	r := m.record(to)
 	r.prev = r.current
 	if r.next >= 0 {

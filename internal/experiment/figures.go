@@ -30,6 +30,8 @@ type Config struct {
 	NetworkSizes []int
 	// Fig8PMs are the Figure-8 misbehavior levels.
 	Fig8PMs []int
+	// FERs is the ExtFaultTolerance frame-error-rate sweep.
+	FERs []float64
 }
 
 // DefaultConfig reproduces the paper's settings.
@@ -40,6 +42,7 @@ func DefaultConfig() Config {
 		PMs:          []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
 		NetworkSizes: []int{1, 2, 4, 8, 16, 32, 64},
 		Fig8PMs:      []int{40, 60, 80},
+		FERs:         []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30},
 	}
 }
 
@@ -51,6 +54,7 @@ func QuickConfig() Config {
 		PMs:          []int{0, 50, 100},
 		NetworkSizes: []int{1, 4, 8},
 		Fig8PMs:      []int{40, 80},
+		FERs:         []float64{0, 0.15, 0.30},
 	}
 }
 

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"dcfguard/internal/sim"
+)
+
+// SeedFailure describes one (scenario, seed) run that did not produce a
+// result: it panicked, exceeded its wall-time budget, or failed during
+// setup. The sweep runner isolates such cells — the rest of the sweep
+// still completes — and reports them so the caller can exit non-zero
+// with a diagnostic dump instead of losing the whole experiment.
+type SeedFailure struct {
+	// Scenario and Seed identify the failed cell.
+	Scenario string
+	Seed     uint64
+	// Panic and Stack capture a recovered panic (empty otherwise).
+	Panic string
+	Stack string
+	// TimedOut is set when the watchdog cancelled the run; Timeout is
+	// the budget it enforced.
+	TimedOut bool
+	Timeout  time.Duration
+	// Err records a non-panic run error (setup/validation), if any.
+	Err string
+	// Events and SimTime locate how far the run got before it died.
+	Events  uint64
+	SimTime sim.Time
+}
+
+// Error implements error.
+func (f *SeedFailure) Error() string {
+	switch {
+	case f.TimedOut:
+		return fmt.Sprintf("experiment: %s seed %d: timed out after %v (%d events, t=%v)",
+			f.Scenario, f.Seed, f.Timeout, f.Events, f.SimTime)
+	case f.Panic != "":
+		return fmt.Sprintf("experiment: %s seed %d: panic: %s", f.Scenario, f.Seed, f.Panic)
+	default:
+		return fmt.Sprintf("experiment: %s seed %d: %s", f.Scenario, f.Seed, f.Err)
+	}
+}
+
+// Dump renders the full diagnostic block — scenario, seed, progress and
+// (for panics) the stack — for the end-of-sweep failure report.
+func (f *SeedFailure) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- seed failure: scenario %q seed %d ---\n", f.Scenario, f.Seed)
+	switch {
+	case f.TimedOut:
+		fmt.Fprintf(&b, "cause: wall-time watchdog fired after %v\n", f.Timeout)
+	case f.Panic != "":
+		fmt.Fprintf(&b, "cause: panic: %s\n", f.Panic)
+	default:
+		fmt.Fprintf(&b, "cause: %s\n", f.Err)
+	}
+	fmt.Fprintf(&b, "progress: %d events fired, sim clock t=%v\n", f.Events, f.SimTime)
+	if f.Stack != "" {
+		b.WriteString("stack:\n")
+		b.WriteString(f.Stack)
+		if !strings.HasSuffix(f.Stack, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// RunGuarded executes the scenario like Run, but isolates the two ways a
+// run can take the whole process (or sweep) down with it:
+//
+//   - a panic anywhere inside the run is recovered and reported as a
+//     *SeedFailure carrying the stack and the run's progress;
+//   - when timeout > 0, a watchdog cancels the run's event loop once the
+//     wall-time budget is exhausted (via the scheduler's goroutine-safe
+//     Interrupt flag, polled every few thousand events), reported the
+//     same way.
+//
+// Every returned failure is a *SeedFailure (errors.As-able); successful
+// runs are bit-identical to Run for the same (scenario, seed).
+func RunGuarded(s Scenario, seed uint64, timeout time.Duration) (res Result, err error) {
+	var sched *sim.Scheduler
+	var watchdog *time.Timer
+	armed := func(sc *sim.Scheduler) {
+		sched = sc
+		if timeout > 0 {
+			// The watchdog measures the host's wall clock on purpose: it
+			// guards against a hung *process*, not simulated time, and the
+			// sim clock cannot advance once the loop is stuck. Interrupt is
+			// the scheduler's goroutine-safe cancellation point, so no
+			// wall-clock value ever reaches simulation state.
+			watchdog = time.AfterFunc(timeout, sched.Interrupt) //detlint:allow wallclock -- wall-time budget for hung runs; touches only the atomic interrupt flag
+		}
+	}
+	defer func() {
+		if watchdog != nil {
+			watchdog.Stop()
+		}
+		if r := recover(); r != nil {
+			f := &SeedFailure{
+				Scenario: s.Name,
+				Seed:     seed,
+				Panic:    fmt.Sprint(r),
+				Stack:    string(debug.Stack()),
+			}
+			if sched != nil {
+				f.Events = sched.EventsFired()
+				f.SimTime = sched.Now()
+			}
+			res, err = Result{}, f
+		}
+	}()
+	res, err = run(s, seed, armed)
+	if err != nil {
+		var f *SeedFailure
+		if errors.As(err, &f) {
+			f.Timeout = timeout
+		} else {
+			err = &SeedFailure{Scenario: s.Name, Seed: seed, Err: err.Error()}
+		}
+	}
+	return res, err
+}

@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dcfguard/internal/sim"
+	"dcfguard/internal/topo"
+)
+
+// quickScenario returns a short CORRECT-protocol star run used across
+// the guard/journal tests (fast, but long enough to fire real traffic).
+func quickScenario(name string) Scenario {
+	s := DefaultScenario()
+	s.Name = name
+	s.PM = 80
+	s.Duration = 200 * sim.Millisecond
+	return s
+}
+
+// TestRunGuardedMatchesRun: guarding a healthy run must not perturb it.
+func TestRunGuardedMatchesRun(t *testing.T) {
+	s := quickScenario("guarded-baseline")
+	plain, err := Run(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := RunGuarded(s, 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultChecksum(plain) != resultChecksum(guarded) {
+		t.Fatal("RunGuarded perturbed a healthy run's result")
+	}
+}
+
+// TestRunGuardedRecoversPanic: a panic inside the run becomes a
+// *SeedFailure carrying the message and stack instead of killing the
+// process.
+func TestRunGuardedRecoversPanic(t *testing.T) {
+	s := quickScenario("guarded-panic")
+	s.Topo = func(uint64) *topo.Topology { panic("injected topology bug") }
+	_, err := RunGuarded(s, 7, 0)
+	var f *SeedFailure
+	if !errors.As(err, &f) {
+		t.Fatalf("got %v, want *SeedFailure", err)
+	}
+	if f.Scenario != "guarded-panic" || f.Seed != 7 {
+		t.Fatalf("failure identifies %q seed %d", f.Scenario, f.Seed)
+	}
+	if !strings.Contains(f.Panic, "injected topology bug") {
+		t.Fatalf("Panic = %q, want the panic message", f.Panic)
+	}
+	if !strings.Contains(f.Stack, "goroutine") {
+		t.Fatal("failure carries no stack trace")
+	}
+	dump := f.Dump()
+	for _, want := range []string{"guarded-panic", "seed 7", "panic", "stack:"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("Dump() missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// TestRunGuardedWatchdogTimeout: a run exceeding its wall-time budget is
+// cancelled via the scheduler's interrupt flag and reported as timed out,
+// with the progress snapshot filled in.
+func TestRunGuardedWatchdogTimeout(t *testing.T) {
+	s := quickScenario("guarded-timeout")
+	// Hours of simulated backlogged traffic: cannot finish inside the
+	// budget, so only the watchdog can end the run.
+	s.Duration = 10_000 * sim.Second
+	_, err := RunGuarded(s, 1, 50*time.Millisecond)
+	var f *SeedFailure
+	if !errors.As(err, &f) {
+		t.Fatalf("got %v, want *SeedFailure", err)
+	}
+	if !f.TimedOut {
+		t.Fatalf("failure not marked TimedOut: %v", f)
+	}
+	if f.Timeout != 50*time.Millisecond {
+		t.Fatalf("Timeout = %v, want 50ms", f.Timeout)
+	}
+	if f.Events == 0 {
+		t.Fatal("timed-out run reports zero events fired")
+	}
+	if f.SimTime <= 0 || f.SimTime >= s.Duration {
+		t.Fatalf("timed-out run's sim clock %v outside (0, %v)", f.SimTime, s.Duration)
+	}
+	if !strings.Contains(f.Error(), "timed out") {
+		t.Fatalf("Error() = %q", f.Error())
+	}
+}
+
+// TestRunGuardedWrapsSetupError: plain setup/validation errors also come
+// back as *SeedFailure so sweep plumbing handles exactly one error shape.
+func TestRunGuardedWrapsSetupError(t *testing.T) {
+	s := quickScenario("guarded-invalid")
+	s.Duration = 0
+	_, err := RunGuarded(s, 1, 0)
+	var f *SeedFailure
+	if !errors.As(err, &f) {
+		t.Fatalf("got %v, want *SeedFailure", err)
+	}
+	if f.TimedOut || f.Panic != "" || f.Err == "" {
+		t.Fatalf("setup error misclassified: %+v", f)
+	}
+}

@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"dcfguard/internal/atomicio"
+)
+
+// SweepCell is one (scenario, seed) unit of a sweep. Scenario names must
+// be unique per configuration within a sweep: the journal keys cells by
+// (name, seed), so two different configurations sharing a name would
+// shadow each other on resume.
+type SweepCell struct {
+	Scenario Scenario
+	Seed     uint64
+}
+
+// SweepOptions configures RunSweep. The zero value runs everything
+// in-memory on GOMAXPROCS workers with no watchdog.
+type SweepOptions struct {
+	// JournalDir, when non-empty, checkpoints every completed cell as an
+	// atomically written JSON file in this directory (created if
+	// missing). A rerun over the same directory loads finished cells
+	// from disk and executes only the rest, so an interrupted sweep —
+	// crash, kill -9, power cut — resumes where it left off and still
+	// produces byte-identical final output.
+	JournalDir string
+	// SeedTimeout, when positive, bounds each cell's wall time via
+	// RunGuarded's watchdog.
+	SeedTimeout time.Duration
+	// Workers caps the worker pool (0 means GOMAXPROCS).
+	Workers int
+}
+
+// SweepReport is RunSweep's outcome. Results is index-aligned with the
+// input cells; a failed cell leaves its zero Result in place and a
+// *SeedFailure in Failures (in cell order).
+type SweepReport struct {
+	Results  []Result
+	Failures []*SeedFailure
+	// Resumed counts cells restored from the journal; Ran counts cells
+	// executed this invocation.
+	Resumed int
+	Ran     int
+}
+
+// OK reports whether every cell produced a result.
+func (r *SweepReport) OK() bool { return len(r.Failures) == 0 }
+
+// cellFileName maps a cell to its journal file. Scenario names are
+// sanitised to a filesystem-safe alphabet; the seed keeps cells of one
+// scenario apart.
+func cellFileName(scenario string, seed uint64) string {
+	sanitised := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, scenario)
+	return fmt.Sprintf("%s-seed%d.json", sanitised, seed)
+}
+
+// RunSweep executes the cells across a worker pool, isolating each cell
+// with RunGuarded: a panicking or timed-out cell is recorded as a
+// failure while the remaining cells still run to completion. With a
+// journal directory it is also resumable — see SweepOptions.JournalDir.
+//
+// The returned error is reserved for sweep-level problems (no cells,
+// duplicate journal keys, an unusable journal directory); per-cell
+// failures are reported in the SweepReport so the caller can render
+// partial results plus diagnostics and choose its own exit code.
+func RunSweep(cells []SweepCell, opts SweepOptions) (SweepReport, error) {
+	report := SweepReport{Results: make([]Result, len(cells))}
+	if len(cells) == 0 {
+		return report, fmt.Errorf("experiment: sweep has no cells")
+	}
+	seen := make(map[string]int, len(cells))
+	for i, c := range cells {
+		key := cellFileName(c.Scenario.Name, c.Seed)
+		if j, dup := seen[key]; dup {
+			return report, fmt.Errorf("experiment: cells %d and %d share journal key %s (scenario %q seed %d)",
+				j, i, key, c.Scenario.Name, c.Seed)
+		}
+		seen[key] = i
+	}
+
+	// Resume: load every journaled cell before spending any compute.
+	done := make([]bool, len(cells))
+	if opts.JournalDir != "" {
+		if err := os.MkdirAll(opts.JournalDir, 0o755); err != nil {
+			return report, fmt.Errorf("experiment: journal: %w", err)
+		}
+		for i, c := range cells {
+			path := filepath.Join(opts.JournalDir, cellFileName(c.Scenario.Name, c.Seed))
+			data, err := os.ReadFile(path)
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue
+				}
+				return report, fmt.Errorf("experiment: journal: %w", err)
+			}
+			var r Result
+			if err := json.Unmarshal(data, &r); err != nil {
+				// A malformed cell file (should be impossible with atomic
+				// writes, but disks lie) is treated as absent: rerun it.
+				continue
+			}
+			report.Results[i] = r
+			done[i] = true
+			report.Resumed++
+		}
+	}
+
+	failures := make([]*SeedFailure, len(cells))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var wg sync.WaitGroup
+	var journalErr error
+	var journalMu sync.Mutex
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				c := cells[i]
+				res, err := RunGuarded(c.Scenario, c.Seed, opts.SeedTimeout)
+				if err != nil {
+					// RunGuarded guarantees a *SeedFailure.
+					failures[i] = err.(*SeedFailure)
+					continue
+				}
+				report.Results[i] = res
+				if opts.JournalDir != "" {
+					path := filepath.Join(opts.JournalDir, cellFileName(c.Scenario.Name, c.Seed))
+					data, merr := json.Marshal(res)
+					if merr == nil {
+						merr = atomicio.WriteFile(path, data, 0o644)
+					}
+					if merr != nil {
+						journalMu.Lock()
+						if journalErr == nil {
+							journalErr = merr
+						}
+						journalMu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		if !done[i] {
+			report.Ran++
+			work <- i
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	if journalErr != nil {
+		return report, fmt.Errorf("experiment: journal: %w", journalErr)
+	}
+	for _, f := range failures {
+		if f != nil {
+			report.Failures = append(report.Failures, f)
+		}
+	}
+	return report, nil
+}
+
+// AggregateResults folds raw per-seed results into the same multi-seed
+// Aggregate that RunSeeds computes: the bridge from journaled sweep
+// results back into the table/figure renderers.
+func AggregateResults(name string, results []Result) Aggregate {
+	return aggregate(name, results)
+}

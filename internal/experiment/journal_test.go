@@ -1,0 +1,222 @@
+package experiment
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcfguard/internal/topo"
+)
+
+func sweepCells(t *testing.T) []SweepCell {
+	t.Helper()
+	a := quickScenario("sweep-a")
+	b := quickScenario("sweep-b")
+	b.Protocol = Protocol80211
+	return []SweepCell{
+		{Scenario: a, Seed: 1}, {Scenario: a, Seed: 2},
+		{Scenario: b, Seed: 1}, {Scenario: b, Seed: 2},
+	}
+}
+
+// TestRunSweepInMemory: a journal-less sweep reproduces direct Run
+// results in cell order.
+func TestRunSweepInMemory(t *testing.T) {
+	cells := sweepCells(t)
+	report, err := RunSweep(cells, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("failures: %v", report.Failures)
+	}
+	if report.Ran != len(cells) || report.Resumed != 0 {
+		t.Fatalf("Ran=%d Resumed=%d, want %d/0", report.Ran, report.Resumed, len(cells))
+	}
+	for i, c := range cells {
+		want, err := Run(c.Scenario, c.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resultChecksum(report.Results[i]) != resultChecksum(want) {
+			t.Fatalf("cell %d (%s seed %d) differs from direct Run", i, c.Scenario.Name, c.Seed)
+		}
+	}
+}
+
+// TestRunSweepKillResume is the crash-recovery proof: a sweep
+// interrupted partway (simulated by journaling only a prefix of the
+// cells) resumes from the journal, reruns only the unfinished cells, and
+// the final CSV/JSON artifacts are byte-identical to an uninterrupted
+// sweep's.
+func TestRunSweepKillResume(t *testing.T) {
+	cells := sweepCells(t)
+	dir := t.TempDir()
+
+	// Uninterrupted reference sweep (no journal).
+	ref, err := RunSweep(cells, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSV := ResultsCSV(ref.Results)
+	refJSON, err := json.Marshal(ref.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Killed" first invocation: only the first two cells complete
+	// before the process dies.
+	partial, err := RunSweep(cells[:2], SweepOptions{JournalDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partial.OK() || partial.Ran != 2 {
+		t.Fatalf("partial sweep: Ran=%d failures=%v", partial.Ran, partial.Failures)
+	}
+	// A torn temp file from a mid-write kill must be invisible to resume:
+	// atomicio's dot-prefixed temp names never match a journal key.
+	if err := os.WriteFile(filepath.Join(dir, ".sweep-a-seed9.json.tmp-123"), []byte(`{"half`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resumed invocation over the full cell list.
+	resumed, err := RunSweep(cells, SweepOptions{JournalDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.OK() {
+		t.Fatalf("failures: %v", resumed.Failures)
+	}
+	if resumed.Resumed != 2 || resumed.Ran != 2 {
+		t.Fatalf("Resumed=%d Ran=%d, want 2/2", resumed.Resumed, resumed.Ran)
+	}
+	if got := ResultsCSV(resumed.Results); got != refCSV {
+		t.Fatalf("resumed CSV differs from uninterrupted sweep:\n--- resumed\n%s--- reference\n%s", got, refCSV)
+	}
+	gotJSON, err := json.Marshal(resumed.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(refJSON) {
+		t.Fatal("resumed JSON differs from uninterrupted sweep")
+	}
+
+	// Third invocation: everything journaled, nothing runs.
+	again, err := RunSweep(cells, SweepOptions{JournalDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Resumed != 4 || again.Ran != 0 {
+		t.Fatalf("Resumed=%d Ran=%d, want 4/0", again.Resumed, again.Ran)
+	}
+	if got := ResultsCSV(again.Results); got != refCSV {
+		t.Fatal("fully-resumed CSV differs from uninterrupted sweep")
+	}
+}
+
+// TestRunSweepCorruptCellRerun: a malformed journal cell (torn write on
+// a lying disk) is rerun rather than trusted, and the output still
+// matches.
+func TestRunSweepCorruptCellRerun(t *testing.T) {
+	cells := sweepCells(t)
+	dir := t.TempDir()
+	if _, err := RunSweep(cells, SweepOptions{JournalDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := filepath.Join(dir, cellFileName(cells[1].Scenario.Name, cells[1].Seed))
+	if err := os.WriteFile(corrupt, []byte(`{"Scenario": truncated`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunSweep(cells, SweepOptions{JournalDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Resumed != 3 || report.Ran != 1 {
+		t.Fatalf("Resumed=%d Ran=%d, want 3/1", report.Resumed, report.Ran)
+	}
+	want, err := Run(cells[1].Scenario, cells[1].Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultChecksum(report.Results[1]) != resultChecksum(want) {
+		t.Fatal("rerun of corrupt cell differs from direct Run")
+	}
+}
+
+// TestRunSweepIsolatesFailures: one panicking cell must not take down
+// the sweep — every healthy cell still completes, the failure is
+// reported with diagnostics, and the failed cell is never journaled (so
+// a rerun retries it).
+func TestRunSweepIsolatesFailures(t *testing.T) {
+	cells := sweepCells(t)
+	bad := quickScenario("sweep-bad")
+	bad.Topo = func(uint64) *topo.Topology { panic("cell bug") }
+	cells = append(cells[:2:2], append([]SweepCell{{Scenario: bad, Seed: 1}}, cells[2:]...)...)
+
+	dir := t.TempDir()
+	report, err := RunSweep(cells, SweepOptions{JournalDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK() || len(report.Failures) != 1 {
+		t.Fatalf("failures = %v, want exactly one", report.Failures)
+	}
+	f := report.Failures[0]
+	if f.Scenario != "sweep-bad" || !strings.Contains(f.Panic, "cell bug") {
+		t.Fatalf("failure misattributed: %+v", f)
+	}
+	for i, c := range cells {
+		if c.Scenario.Name == "sweep-bad" {
+			continue
+		}
+		if report.Results[i].Scenario != c.Scenario.Name {
+			t.Fatalf("healthy cell %d missing its result", i)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, cellFileName("sweep-bad", 1))); !os.IsNotExist(err) {
+		t.Fatal("failed cell was journaled; reruns would skip it")
+	}
+	rerun, err := RunSweep(cells, SweepOptions{JournalDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun.Resumed != 4 || rerun.Ran != 1 || len(rerun.Failures) != 1 {
+		t.Fatalf("rerun Resumed=%d Ran=%d failures=%d, want 4/1/1",
+			rerun.Resumed, rerun.Ran, len(rerun.Failures))
+	}
+}
+
+// TestRunSweepDuplicateKeys: cells that would shadow each other in the
+// journal are rejected up front.
+func TestRunSweepDuplicateKeys(t *testing.T) {
+	s := quickScenario("dup")
+	_, err := RunSweep([]SweepCell{{Scenario: s, Seed: 1}, {Scenario: s, Seed: 1}}, SweepOptions{})
+	if err == nil || !strings.Contains(err.Error(), "journal key") {
+		t.Fatalf("duplicate cells accepted: %v", err)
+	}
+}
+
+// TestResultJSONRoundTrip: journaled Results survive JSON encode/decode
+// with every deterministic field bit-intact — the property the
+// byte-identical resume guarantee rests on.
+func TestResultJSONRoundTrip(t *testing.T) {
+	s := quickScenario("roundtrip")
+	s.BinSize = 50 * s.Duration / 1000 // exercise the Series field too
+	r, err := Run(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if resultChecksum(back) != resultChecksum(r) {
+		t.Fatal("Result changed across a JSON round-trip")
+	}
+}

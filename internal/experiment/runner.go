@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dcfguard/internal/core"
+	"dcfguard/internal/faults"
 	"dcfguard/internal/frame"
 	"dcfguard/internal/mac"
 	"dcfguard/internal/medium"
@@ -59,13 +60,29 @@ type Result struct {
 	// EventsFired is the simulation kernel's event count (for benches).
 	EventsFired uint64
 
+	// FaultDrops counts frames destroyed by the fault-injection error
+	// model (zero when Scenario.Faults has no error model), and
+	// Restarts the completed receiver crash/restart cycles under churn.
+	FaultDrops uint64
+	Restarts   int
+
 	// Trace is the frame-level timeline, present when the scenario set
-	// TraceEvents.
-	Trace *trace.Recorder
+	// TraceEvents. It is in-memory observability state, not a metric,
+	// and is excluded from journal serialization.
+	Trace *trace.Recorder `json:"-"`
 }
 
 // Run executes the scenario once with the given seed.
 func Run(s Scenario, seed uint64) (Result, error) {
+	return run(s, seed, nil)
+}
+
+// run is the executor behind Run. armed, when non-nil, is invoked with
+// the run's scheduler immediately before the event loop starts: the
+// watchdog in RunGuarded uses it to plant its cancellation hook. When
+// the loop exits on an Interrupt, run reports a *SeedFailure instead of
+// the (incomplete) metrics.
+func run(s Scenario, seed uint64, armed func(*sim.Scheduler)) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -76,10 +93,20 @@ func Run(s Scenario, seed uint64) (Result, error) {
 
 	var sched sim.Scheduler
 	root := rng.New(seed)
+	// Fault injection. The injector's key stream is derived only when an
+	// error model is enabled, so disabled runs consume exactly the same
+	// root draws as before (golden-pinned).
+	var injector *faults.Injector
+	var frameFaults medium.FrameFaults
+	if s.Faults.ErrorsEnabled() {
+		injector = faults.NewInjector(s.Faults, root.Stream("faults-frame").Uint64())
+		frameFaults = injector
+	}
 	med := medium.New(&sched, medium.Config{
 		Model:             s.Shadowing,
 		CoherenceInterval: s.CoherenceInterval,
 		Channel:           s.Channel,
+		FrameFaults:       frameFaults,
 	}, root.Stream("medium"))
 
 	rxRange, csRange := s.RxRangeM, s.CsRangeM
@@ -189,6 +216,19 @@ func Run(s Scenario, seed uint64) (Result, error) {
 			phys.Point{X: cx / n, Y: cy / n}, radio, dog)
 	}
 
+	// Node churn: arm each monitor's crash/restart schedule. Monitors
+	// are visited in ascending node-ID order with per-monitor streams,
+	// so schedules are independent of map iteration and of each other.
+	if s.Faults.ChurnEnabled() {
+		churnRoot := root.Stream("faults-churn")
+		for i := range tp.Positions {
+			if m, ok := monitors[frame.NodeID(i)]; ok {
+				faults.ScheduleChurn(&sched, churnRoot.StreamN("node-", uint64(i)),
+					s.Faults, m, s.Duration)
+			}
+		}
+	}
+
 	// Wire traffic.
 	for _, f := range tp.Flows {
 		n := nodes[f.Src]
@@ -201,7 +241,16 @@ func Run(s Scenario, seed uint64) (Result, error) {
 		src.Start()
 	}
 
+	if armed != nil {
+		armed(&sched)
+	}
 	sched.Run(s.Duration)
+	if sched.Interrupted() {
+		return Result{}, &SeedFailure{
+			Scenario: s.Name, Seed: seed, TimedOut: true,
+			Events: sched.EventsFired(), SimTime: sched.Now(),
+		}
+	}
 	if result.Trace != nil {
 		result.Trace.Finalize(sched.Now())
 	}
@@ -225,6 +274,12 @@ func Run(s Scenario, seed uint64) (Result, error) {
 		result.GreedyDetections += p.GreedyDetections()
 	}
 	result.EventsFired = sched.EventsFired()
+	result.FaultDrops = med.FaultDrops()
+	for i := range tp.Positions {
+		if m, ok := monitors[frame.NodeID(i)]; ok {
+			result.Restarts += m.Restarts()
+		}
+	}
 	return result, nil
 }
 

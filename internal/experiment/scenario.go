@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"dcfguard/internal/core"
+	"dcfguard/internal/faults"
 	"dcfguard/internal/frame"
 	"dcfguard/internal/mac"
 	"dcfguard/internal/medium"
@@ -145,6 +146,11 @@ type Scenario struct {
 	// TraceEvents, when positive, records up to that many frame
 	// transmissions in Result.Trace (text timeline and pcap export).
 	TraceEvents int
+	// Faults configures channel-error and node-churn fault injection
+	// (see internal/faults). The zero value disables everything, and a
+	// disabled config consumes no RNG draws, so the v1/v2 goldens are
+	// bit-identical with faults off.
+	Faults faults.Config
 }
 
 // DefaultScenario returns the paper's base configuration: Figure-3
@@ -218,6 +224,9 @@ func (s Scenario) Validate() error {
 		if err := s.Core.Validate(); err != nil {
 			return fmt.Errorf("experiment: %s: %w", s.Name, err)
 		}
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return fmt.Errorf("experiment: %s: %w", s.Name, err)
 	}
 	return s.Shadowing.Validate()
 }

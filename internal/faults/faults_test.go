@@ -1,0 +1,238 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/rng"
+	"dcfguard/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"fer", Config{FER: 0.3}, true},
+		{"fer-one", Config{FER: 1}, true},
+		{"fer-negative", Config{FER: -0.1}, false},
+		{"fer-above-one", Config{FER: 1.1}, false},
+		{"fer-nan", Config{FER: math.NaN()}, false},
+		{"burst", Config{Burst: &GE{PGoodBad: 0.05, PBadGood: 0.25, BadFER: 1}}, true},
+		{"burst-degenerate", Config{Burst: &GE{}}, true},
+		{"burst-bad-p", Config{Burst: &GE{PGoodBad: 2}}, false},
+		{"burst-bad-fer", Config{Burst: &GE{BadFER: -1}}, false},
+		{"churn", Config{ChurnInterval: sim.Second, ChurnDowntime: sim.Millisecond}, true},
+		{"churn-negative", Config{ChurnInterval: -sim.Second}, false},
+		{"downtime-negative", Config{ChurnDowntime: -1}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", c.name)
+		}
+	}
+}
+
+func TestGEMeanFER(t *testing.T) {
+	g := GE{PGoodBad: 0.1, PBadGood: 0.4, GoodFER: 0, BadFER: 1}
+	want := 0.1 / 0.5 // πB = p/(p+r)
+	if got := g.MeanFER(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanFER = %v, want %v", got, want)
+	}
+	// A frozen chain stays in Good.
+	frozen := GE{GoodFER: 0.07}
+	if got := frozen.MeanFER(); got != 0.07 {
+		t.Fatalf("frozen MeanFER = %v, want 0.07", got)
+	}
+}
+
+func TestGEForMeanFER(t *testing.T) {
+	for _, fer := range []float64{0, 0.05, 0.15, 0.3} {
+		g := GEForMeanFER(fer, 0.25)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("GEForMeanFER(%v): %v", fer, err)
+		}
+		if got := g.MeanFER(); math.Abs(got-fer) > 1e-12 {
+			t.Fatalf("GEForMeanFER(%v).MeanFER() = %v", fer, got)
+		}
+	}
+}
+
+// TestInjectorDeterministic: identical (config, base) pairs produce
+// identical decision sequences.
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{Burst: &GE{PGoodBad: 0.1, PBadGood: 0.3, BadFER: 0.9, GoodFER: 0.02}}
+	a := NewInjector(cfg, 12345)
+	b := NewInjector(cfg, 12345)
+	for i := 0; i < 5000; i++ {
+		tx, rx := frame.NodeID(i%7), frame.NodeID(7+i%3)
+		if a.Drop(tx, rx) != b.Drop(tx, rx) {
+			t.Fatalf("decision %d diverged", i)
+		}
+	}
+	if a.Drops() != b.Drops() {
+		t.Fatalf("drop counts diverged: %d vs %d", a.Drops(), b.Drops())
+	}
+}
+
+// TestInjectorLinkIndependence: a link's decision sequence is unchanged
+// by traffic on other links — the property that makes counter-RNG fault
+// draws order-independent across interleavings.
+func TestInjectorLinkIndependence(t *testing.T) {
+	cfg := Config{Burst: &GE{PGoodBad: 0.2, PBadGood: 0.2, BadFER: 1}}
+	alone := NewInjector(cfg, 99)
+	var soloSeq []bool
+	for i := 0; i < 1000; i++ {
+		soloSeq = append(soloSeq, alone.Drop(1, 2))
+	}
+	mixed := NewInjector(cfg, 99)
+	var mixedSeq []bool
+	for i := 0; i < 1000; i++ {
+		mixed.Drop(3, 4) // interleaved foreign traffic
+		mixedSeq = append(mixedSeq, mixed.Drop(1, 2))
+		mixed.Drop(2, 1) // reverse direction is a distinct link too
+	}
+	for i := range soloSeq {
+		if soloSeq[i] != mixedSeq[i] {
+			t.Fatalf("link 1→2 decision %d changed under interleaving", i)
+		}
+	}
+}
+
+// TestInjectorFixedRate: the i.i.d. model's empirical rate matches FER.
+func TestInjectorFixedRate(t *testing.T) {
+	const n = 200000
+	in := NewInjector(Config{FER: 0.3}, 7)
+	drops := 0
+	for i := 0; i < n; i++ {
+		if in.Drop(0, 1) {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("empirical FER %v, want 0.3 ± 0.01", got)
+	}
+}
+
+// TestInjectorBurstRateAndBurstiness: the GE chain hits its analytic
+// mean rate, and its losses cluster (P(loss | previous loss) well above
+// the marginal rate) — the defining property an i.i.d. model lacks.
+func TestInjectorBurstRateAndBurstiness(t *testing.T) {
+	const n = 300000
+	g := GEForMeanFER(0.15, 0.25)
+	in := NewInjector(Config{Burst: &g}, 11)
+	drops, pairs, repeats := 0, 0, 0
+	prev := false
+	for i := 0; i < n; i++ {
+		d := in.Drop(0, 1)
+		if d {
+			drops++
+		}
+		if prev {
+			pairs++
+			if d {
+				repeats++
+			}
+		}
+		prev = d
+	}
+	rate := float64(drops) / n
+	if math.Abs(rate-0.15) > 0.01 {
+		t.Fatalf("empirical burst FER %v, want 0.15 ± 0.01", rate)
+	}
+	condRate := float64(repeats) / float64(pairs)
+	// With PBadGood = 0.25 and BadFER = 1, P(loss | loss) = 0.75.
+	if condRate < 0.5 {
+		t.Fatalf("P(loss|loss) = %v: losses are not bursty", condRate)
+	}
+}
+
+// TestInjectorZeroConfigNeverDrops: FER 0 with no chain drops nothing.
+func TestInjectorZeroConfigNeverDrops(t *testing.T) {
+	in := NewInjector(Config{}, 5)
+	for i := 0; i < 1000; i++ {
+		if in.Drop(0, 1) {
+			t.Fatal("zero config dropped a frame")
+		}
+	}
+}
+
+// churnLog records crash/restart calls for schedule tests.
+type churnLog struct {
+	events []string
+	times  []sim.Time
+}
+
+func (c *churnLog) Crash(now sim.Time) {
+	c.events = append(c.events, "crash")
+	c.times = append(c.times, now)
+}
+
+func (c *churnLog) Restart(now sim.Time) {
+	c.events = append(c.events, "restart")
+	c.times = append(c.times, now)
+}
+
+func TestScheduleChurn(t *testing.T) {
+	cfg := Config{ChurnInterval: 100 * sim.Millisecond, ChurnDowntime: 20 * sim.Millisecond}
+	var sched sim.Scheduler
+	var log churnLog
+	n := ScheduleChurn(&sched, rng.New(3), cfg, &log, sim.Second)
+	if n == 0 {
+		t.Fatal("no crashes scheduled over 10 mean intervals")
+	}
+	sched.Run(sim.Second)
+	if len(log.events) == 0 {
+		t.Fatal("no churn events fired")
+	}
+	// Events must alternate crash, restart, crash, ... in time order,
+	// with each restart exactly ChurnDowntime after its crash.
+	for i, ev := range log.events {
+		want := "crash"
+		if i%2 == 1 {
+			want = "restart"
+		}
+		if ev != want {
+			t.Fatalf("event %d = %s, want %s (%v)", i, ev, want, log.events)
+		}
+		if i > 0 && log.times[i] <= log.times[i-1] {
+			t.Fatalf("event %d at %v not after %v", i, log.times[i], log.times[i-1])
+		}
+		if i%2 == 1 && log.times[i]-log.times[i-1] != cfg.ChurnDowntime {
+			t.Fatalf("restart %d lag %v, want %v", i, log.times[i]-log.times[i-1], cfg.ChurnDowntime)
+		}
+	}
+
+	// The schedule is deterministic: same seed, same events.
+	var sched2 sim.Scheduler
+	var log2 churnLog
+	ScheduleChurn(&sched2, rng.New(3), cfg, &log2, sim.Second)
+	sched2.Run(sim.Second)
+	if len(log.events) != len(log2.events) {
+		t.Fatalf("reruns differ: %d vs %d events", len(log.events), len(log2.events))
+	}
+	for i := range log.times {
+		if log.times[i] != log2.times[i] {
+			t.Fatalf("rerun event %d at %v, first run %v", i, log2.times[i], log.times[i])
+		}
+	}
+}
+
+func TestScheduleChurnDisabled(t *testing.T) {
+	var sched sim.Scheduler
+	var log churnLog
+	if n := ScheduleChurn(&sched, rng.New(1), Config{}, &log, sim.Second); n != 0 {
+		t.Fatalf("disabled churn scheduled %d crashes", n)
+	}
+	if sched.Pending() != 0 {
+		t.Fatalf("disabled churn left %d events pending", sched.Pending())
+	}
+}

@@ -8,10 +8,15 @@ import (
 )
 
 // wireSize is the fixed size of the encoded header. The codec exists so
-// tools (traces, conformance tests, a future pcap writer) have a stable
-// byte representation of the modified headers; the simulated airtime
-// uses Bytes(), which models the true 802.11 sizes.
-const wireSize = 1 + 4 + 4 + 4 + 1 + 4 + 8 + 4
+// tools (traces, conformance tests, the pcap writer) have a stable byte
+// representation of the modified headers; the simulated airtime uses
+// Bytes(), which models the true 802.11 sizes. The trailing byte holds
+// codec-level flags (bit 0: Corrupted); unknown flag bits are rejected
+// on decode so the representation stays canonical.
+const wireSize = 1 + 4 + 4 + 4 + 1 + 4 + 8 + 4 + 1
+
+// flagCorrupted is the flags-byte bit carrying Frame.Corrupted.
+const flagCorrupted = 1 << 0
 
 // Marshal encodes the frame header into a fixed-width big-endian layout.
 func Marshal(f Frame) []byte {
@@ -24,6 +29,9 @@ func Marshal(f Frame) []byte {
 	binary.BigEndian.PutUint32(buf[14:], uint32(f.AssignedBackoff))
 	binary.BigEndian.PutUint64(buf[18:], uint64(f.Duration))
 	binary.BigEndian.PutUint32(buf[26:], uint32(int32(f.PayloadBytes)))
+	if f.Corrupted {
+		buf[30] |= flagCorrupted
+	}
 	return buf
 }
 
@@ -31,6 +39,9 @@ func Marshal(f Frame) []byte {
 func Unmarshal(buf []byte) (Frame, error) {
 	if len(buf) != wireSize {
 		return Frame{}, fmt.Errorf("frame: wire length %d, want %d", len(buf), wireSize)
+	}
+	if buf[30]&^flagCorrupted != 0 {
+		return Frame{}, fmt.Errorf("frame: unknown flag bits %#x", buf[30])
 	}
 	f := Frame{
 		Type:            Type(buf[0]),
@@ -41,6 +52,7 @@ func Unmarshal(buf []byte) (Frame, error) {
 		AssignedBackoff: int32(binary.BigEndian.Uint32(buf[14:])),
 		Duration:        sim.Time(binary.BigEndian.Uint64(buf[18:])),
 		PayloadBytes:    int(int32(binary.BigEndian.Uint32(buf[26:]))),
+		Corrupted:       buf[30]&flagCorrupted != 0,
 	}
 	if err := f.Validate(); err != nil {
 		return Frame{}, err

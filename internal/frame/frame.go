@@ -82,6 +82,11 @@ type Frame struct {
 	Duration sim.Time
 	// PayloadBytes is the application payload length of a DATA frame.
 	PayloadBytes int
+	// Corrupted marks a frame the channel destroyed in flight (collision,
+	// fading, or injected fault). It is observability metadata, not an
+	// on-air field: the MAC never sees corrupted frames decoded — traces
+	// and pcap exports use the bit so captures distinguish losses.
+	Corrupted bool
 }
 
 // Validate reports whether the frame is well-formed.

@@ -143,6 +143,8 @@ func TestCodecRoundTrip(t *testing.T) {
 		{Type: CTS, Src: 2, Dst: 1, AssignedBackoff: 31, Duration: sim.Millisecond},
 		{Type: Data, Src: 1, Dst: 2, Seq: 99, PayloadBytes: 512, Duration: 400 * sim.Microsecond},
 		{Type: Ack, Src: 2, Dst: 1, AssignedBackoff: 0},
+		{Type: Data, Src: 1, Dst: 2, Seq: 100, PayloadBytes: 512, Corrupted: true},
+		{Type: CTS, Src: 2, Dst: 1, AssignedBackoff: 7, Corrupted: true},
 	}
 	for _, f := range frames {
 		got, err := Unmarshal(Marshal(f))
@@ -170,6 +172,14 @@ func TestCodecRejectsInvalidFrame(t *testing.T) {
 	buf[0] = 0 // invalid type
 	if _, err := Unmarshal(buf); err == nil {
 		t.Fatal("invalid decoded frame accepted")
+	}
+}
+
+func TestCodecRejectsUnknownFlags(t *testing.T) {
+	buf := Marshal(validRTS())
+	buf[len(buf)-1] |= 0x80 // a flag bit the codec does not define
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("unknown flag bits accepted; the wire form is no longer canonical")
 	}
 }
 

@@ -12,6 +12,8 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add(Marshal(Frame{Type: RTS, Src: 1, Dst: 2, Seq: 7, Attempt: 1,
 		AssignedBackoff: -1, Duration: 500 * sim.Microsecond}))
 	f.Add(Marshal(Frame{Type: Data, Src: 3, Dst: 4, Seq: 9, PayloadBytes: 512}))
+	f.Add(Marshal(Frame{Type: Data, Src: 3, Dst: 4, Seq: 9, PayloadBytes: 512, Corrupted: true}))
+	f.Add(Marshal(Frame{Type: Ack, Src: 2, Dst: 1, AssignedBackoff: 31, Corrupted: true}))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00, 0x01})
 
@@ -20,7 +22,8 @@ func FuzzUnmarshal(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Accepted frames must validate and survive a round trip.
+		// Accepted frames must validate and survive a round trip —
+		// including the corruption bit, which lives in the flags byte.
 		if verr := fr.Validate(); verr != nil {
 			t.Fatalf("Unmarshal accepted an invalid frame: %v", verr)
 		}
@@ -30,6 +33,9 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		if again != fr {
 			t.Fatalf("round trip changed frame: %+v vs %+v", again, fr)
+		}
+		if again.Corrupted != fr.Corrupted {
+			t.Fatalf("corruption bit lost in round trip: %+v", fr)
 		}
 	})
 }

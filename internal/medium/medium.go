@@ -74,6 +74,16 @@ type CorruptionListener interface {
 	FrameCorrupted(now sim.Time)
 }
 
+// FrameFaults injects per-frame channel errors beyond the collision
+// model: Drop is consulted once for every frame that survived collision
+// resolution and half-duplex blocking at an observer, in completion
+// event order, and a true return destroys the frame at that observer
+// (the MAC sees it as a corruption, like a failed CRC).
+// internal/faults implements it; a nil hook is the perfect channel.
+type FrameFaults interface {
+	Drop(tx, rx frame.NodeID) bool
+}
+
 // ChannelModel selects how shadowing draws are generated and how the
 // per-transmission observer set is enumerated.
 type ChannelModel int
@@ -115,6 +125,10 @@ type Config struct {
 	CoherenceInterval sim.Time
 	// Channel selects the channel model; the zero value is ChannelV1.
 	Channel ChannelModel
+	// FrameFaults, when non-nil, is the fault-injection hook applied to
+	// frames the collision model would have delivered. Nil (the
+	// default) leaves every golden-pinned run untouched.
+	FrameFaults FrameFaults
 }
 
 // Medium is the shared channel. It is bound to one scheduler and one
@@ -154,6 +168,7 @@ type Medium struct {
 	transmissions uint64
 	deliveries    uint64
 	collisions    uint64
+	faultDrops    uint64
 }
 
 type node struct {
@@ -286,6 +301,10 @@ func (m *Medium) buildCache() {
 func (m *Medium) Stats() (transmissions, deliveries, collisions uint64) {
 	return m.transmissions, m.deliveries, m.collisions
 }
+
+// FaultDrops returns the number of frames destroyed by the
+// fault-injection hook (zero when Config.FrameFaults is nil).
+func (m *Medium) FaultDrops() uint64 { return m.faultDrops }
 
 // newArrival takes an arrival record from the pool, or allocates one.
 func (m *Medium) newArrival() *arrival {
@@ -489,8 +508,21 @@ func (m *Medium) complete(obs *node, a *arrival) {
 	*a = arrival{}
 	m.freeArrivals = append(m.freeArrivals, a)
 
-	if corrupted || selfBlocked {
-		if f.Dst == obs.id {
+	// Fault injection: a frame that survived collisions and half-duplex
+	// blocking can still be destroyed by the channel-error model. The
+	// MAC experiences it exactly like a collision-corrupted frame (EIFS
+	// deferral via FrameCorrupted), which is what a failed CRC looks
+	// like on real hardware.
+	faultDropped := false
+	if !corrupted && !selfBlocked && m.cfg.FrameFaults != nil {
+		faultDropped = m.cfg.FrameFaults.Drop(f.Src, obs.id)
+		if faultDropped {
+			m.faultDrops++
+		}
+	}
+
+	if corrupted || selfBlocked || faultDropped {
+		if f.Dst == obs.id && !faultDropped {
 			m.collisions++
 		}
 		if !selfBlocked {

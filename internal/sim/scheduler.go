@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Event is a scheduled callback. Events are ordered by time; events with
 // equal times fire in scheduling order (FIFO), which keeps runs
@@ -69,7 +72,20 @@ type Scheduler struct {
 	// free is the event pool: storage recycled from fired/cancelled
 	// events, reused by the next schedule.
 	free []*Event
+
+	// interrupted is the one concurrency-safe bit of scheduler state:
+	// Interrupt (callable from any goroutine) sets it, and Run polls it
+	// every interruptStride events — the hook that lets a wall-time
+	// watchdog cancel a hung run without the kernel ever reading the
+	// host clock itself.
+	interrupted atomic.Bool
 }
+
+// interruptStride is how many events Run fires between polls of the
+// interrupted flag: frequent enough to stop a runaway zero-time event
+// loop within microseconds, rare enough that the atomic load vanishes
+// against event dispatch cost.
+const interruptStride = 1024
 
 // Now returns the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
@@ -170,6 +186,20 @@ func (s *Scheduler) Cancel(r EventRef) {
 // Stop makes Run return after the currently executing event completes.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// Interrupt requests that Run (or Drain) stop at an event boundary.
+// Unlike every other method it is safe to call from another goroutine;
+// the per-seed watchdog in internal/experiment uses it to cancel runs
+// that exceed their wall-time budget. The flag is sticky: once set, Run
+// refuses to make progress until ClearInterrupt.
+func (s *Scheduler) Interrupt() { s.interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been called.
+func (s *Scheduler) Interrupted() bool { return s.interrupted.Load() }
+
+// ClearInterrupt re-arms an interrupted scheduler (tests only; a
+// cancelled run's partial state is not meaningful to resume).
+func (s *Scheduler) ClearInterrupt() { s.interrupted.Store(false) }
+
 // Run executes events in time order until the queue is empty, Stop is
 // called, or the next event lies strictly after until. The clock is left
 // at until (or at the last fired event if the queue drained first, never
@@ -177,6 +207,9 @@ func (s *Scheduler) Stop() { s.stopped = true }
 func (s *Scheduler) Run(until Time) {
 	s.stopped = false
 	for len(s.queue) > 0 && !s.stopped {
+		if s.fired&(interruptStride-1) == 0 && s.interrupted.Load() {
+			return // cancelled: leave the clock at the last fired event
+		}
 		next := s.queue[0]
 		if next.when > until {
 			break
@@ -193,6 +226,9 @@ func (s *Scheduler) Run(until Time) {
 func (s *Scheduler) Drain() {
 	s.stopped = false
 	for len(s.queue) > 0 && !s.stopped {
+		if s.fired&(interruptStride-1) == 0 && s.interrupted.Load() {
+			return
+		}
 		s.fire(s.queue[0])
 	}
 }

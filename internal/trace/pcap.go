@@ -39,7 +39,11 @@ func (r *Recorder) WritePcap(w io.Writer) error {
 
 	rec := make([]byte, 16)
 	for i, ev := range r.events {
-		body := frame.Marshal(ev.Frame)
+		// Lost transmissions carry the codec's corruption bit so the
+		// capture preserves outcomes, not just headers.
+		f := ev.Frame
+		f.Corrupted = ev.Outcome == OutcomeLost
+		body := frame.Marshal(f)
 		usec := int64(ev.Start) / int64(sim.Microsecond)
 		binary.LittleEndian.PutUint32(rec[0:], uint32(usec/1e6))
 		binary.LittleEndian.PutUint32(rec[4:], uint32(usec%1e6))
@@ -56,8 +60,9 @@ func (r *Recorder) WritePcap(w io.Writer) error {
 }
 
 // ReadPcap parses a capture written by WritePcap back into events
-// (timestamps at microsecond resolution; outcomes are not stored in the
-// capture and come back as OutcomePending).
+// (timestamps at microsecond resolution). Lost transmissions are
+// recognised by the codec's corruption bit; delivered and pending ones
+// are indistinguishable in a capture and come back as OutcomePending.
 func ReadPcap(rd io.Reader) ([]Event, error) {
 	hdr := make([]byte, 24)
 	if _, err := io.ReadFull(rd, hdr); err != nil {
@@ -93,6 +98,11 @@ func ReadPcap(rd io.Reader) ([]Event, error) {
 		sec := binary.LittleEndian.Uint32(rec[0:])
 		usec := binary.LittleEndian.Uint32(rec[4:])
 		start := sim.Time(sec)*sim.Second + sim.Time(usec)*sim.Microsecond
-		events = append(events, Event{Start: start, Src: f.Src, Frame: f})
+		outcome := OutcomePending
+		if f.Corrupted {
+			outcome = OutcomeLost
+			f.Corrupted = false
+		}
+		events = append(events, Event{Start: start, Src: f.Src, Frame: f, Outcome: outcome})
 	}
 }
