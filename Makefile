@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint audit race bench bench-quick bench-full bench-large check check-v2 faults clean
+.PHONY: all build test vet lint audit race bench bench-quick bench-full bench-large check check-v2 faults obs clean
 
 all: build
 
@@ -63,11 +63,24 @@ faults:
 	$(GO) test -race ./internal/faults ./internal/atomicio
 	$(GO) test -race -run 'Fault|Churn|Down|Interrupt|RunGuarded|RunSweep|ResultJSON' \
 		./internal/experiment ./internal/core ./internal/sim
+	$(GO) run ./cmd/macsim -pm 80 -duration 2s -fer 0.2 \
+		-metrics results/faults-metrics.json -diag-csv results/faults-diag-trail.csv
+
+# Observability gate, under the race detector (the debug endpoint and
+# shared sweep registries cross goroutines): the obs package suite, the
+# pass-through goldens + crash-ring tests, the obshot analyzer corpus,
+# then the disabled-path wall-time guard against the BENCH.json
+# baseline (min-of-5 RunRandom40 must stay within 2%).
+obs:
+	$(GO) test -race ./internal/obs
+	$(GO) test -race -run 'Observability|GuardDumpCarriesTraceTail|GuardNoTraceNoTail' ./internal/experiment
+	$(GO) test -run 'Obshot' ./internal/lint
+	DCFGUARD_OVERHEAD_GUARD=1 $(GO) test -count=1 -run 'DisabledObservabilityOverhead' -v .
 
 # The pre-merge gate (see README "Pre-merge gate"), cheapest stages
 # first so failures surface in seconds: vet and the determinism
 # analyzers, then build, then the minutes-long race/bench stages.
-check: vet lint build race check-v2 faults bench
+check: vet lint build race check-v2 faults obs bench
 
 clean:
 	$(GO) clean ./...

@@ -47,6 +47,7 @@ func run() error {
 		report   = flag.String("report", "", "also write a combined markdown report to this path")
 		journal  = flag.String("journal", "", "journal directory for resumable sweeps (fig faults)")
 		seedTO   = flag.Duration("seedtimeout", 0, "wall-time budget per seed in resumable sweeps (0 disables)")
+		diagCSV  = flag.String("diag-trail", "", "also export the CORRECT PM-80 diagnosis trail (per-window monitor decisions) as CSV to this path; use -fig none for the trail alone")
 	)
 	flag.Parse()
 	drawCharts = *chart
@@ -75,13 +76,21 @@ func run() error {
 	}
 
 	targets := strings.Split(*fig, ",")
-	if *fig == "all" {
+	switch *fig {
+	case "all":
 		targets = []string{"4", "5", "6+7", "8", "9", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "hidden", "faults", "validate"}
+	case "none":
+		targets = nil
 	}
 	sweep := dcfguard.SweepOptions{JournalDir: *journal, SeedTimeout: *seedTO}
 	start := time.Now()
 	for _, target := range targets {
 		if err := emit(target, cfg, *outDir, sweep); err != nil {
+			return err
+		}
+	}
+	if *diagCSV != "" {
+		if err := emitDiagTrail(cfg, *diagCSV); err != nil {
 			return err
 		}
 	}
@@ -91,6 +100,33 @@ func run() error {
 		}
 		fmt.Printf("wrote %s (%d sections)\n", *report, combined.Len())
 	}
+	return nil
+}
+
+// emitDiagTrail runs the paper's canonical misbehavior case — the
+// ZERO-FLOW star under CORRECT with node 3 at PM 80 — with diagnosis
+// tracing on and writes every per-window monitor decision (diff, sliding
+// window sum, threshold, verdict) as CSV: the raw trail behind Figure 4's
+// accuracy percentages.
+func emitDiagTrail(cfg dcfguard.Config, path string) error {
+	start := time.Now()
+	s := dcfguard.DefaultScenario()
+	s.Name = "diag-trail-pm80"
+	s.PM = 80
+	s.Duration = cfg.Duration
+	sink := dcfguard.NewObsDiagnosisCSV(path)
+	s.Observe = &dcfguard.ObsConfig{
+		Categories: dcfguard.ObsCategorySet(0).Set(dcfguard.ObsCatDiagnosis),
+		Sinks:      []dcfguard.ObsSink{sink},
+	}
+	if _, err := dcfguard.Run(s, 1); err != nil {
+		return err
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d diagnosis rows, generated in %v)\n",
+		path, sink.Len(), time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

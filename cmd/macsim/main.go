@@ -137,6 +137,7 @@ func run() error {
 		adaptive = flag.Bool("adaptive", false, "adaptive THRESH selection (CORRECT only)")
 		block    = flag.Bool("block", false, "refuse service to diagnosed senders (CORRECT only)")
 	)
+	obsF := registerObsFlags()
 	flag.Parse()
 
 	s := dcfguard.DefaultScenario()
@@ -195,15 +196,24 @@ func run() error {
 	if *journal != "" && *seeds == 0 {
 		return fmt.Errorf("-journal requires -seeds")
 	}
+	o, err := setupObs(&s, obsF, *seeds > 0)
+	if err != nil {
+		return err
+	}
 
 	stopProf, err := startProfiling(*cpuProf, *memProf, *execTr)
 	if err != nil {
 		return err
 	}
 	if *seeds > 0 {
-		err = runAggregate(s, *seeds, *series, *csvPath, *journal, *seedTO)
+		err = runAggregate(s, *seeds, *series, *csvPath, *journal, *seedTO, o)
 	} else {
 		err = runSingle(s, *seed, *series, *perNode, *pcapPath, *seedTO)
+	}
+	// The obs sinks flush even after a failed run: the trace tail and
+	// partial metrics are exactly what a failure investigation needs.
+	if oerr := o.finish(); oerr != nil && err == nil {
+		err = oerr
 	}
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
@@ -315,16 +325,19 @@ func runSingle(s dcfguard.Scenario, seed uint64, series, perNode bool, pcapPath 
 	return nil
 }
 
-func runAggregate(s dcfguard.Scenario, n int, series bool, csvPath, journal string, seedTO time.Duration) error {
+func runAggregate(s dcfguard.Scenario, n int, series bool, csvPath, journal string, seedTO time.Duration, o *obsRun) error {
 	start := time.Now()
 	cells := make([]dcfguard.SweepCell, n)
 	for i, seed := range dcfguard.Seeds(n) {
 		cells[i] = dcfguard.SweepCell{Scenario: s, Seed: seed}
 	}
+	stopTicker := o.startTicker(start)
 	report, err := dcfguard.RunSweep(cells, dcfguard.SweepOptions{
 		JournalDir:  journal,
 		SeedTimeout: seedTO,
+		Progress:    o.sweepProgress(),
 	})
+	stopTicker()
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcfguard"
+	"dcfguard/internal/atomicio"
+)
+
+// obsFlags carries the observability flag values. Everything is off by
+// default, so plain runs pay nothing and stay bit-identical to the
+// goldens (the obs layer is pass-through even when on, but off-by-default
+// also keeps the output streams quiet).
+type obsFlags struct {
+	metrics   string
+	traceCats string
+	traceOut  string
+	diagCSV   string
+	debugAddr string
+	progress  bool
+}
+
+// registerObsFlags declares the observability flags on the default set.
+func registerObsFlags() *obsFlags {
+	f := &obsFlags{}
+	flag.StringVar(&f.metrics, "metrics", "",
+		"write a metrics-registry snapshot (JSON) to this file after the run; with -seeds the registry aggregates across all cells")
+	flag.StringVar(&f.traceCats, "trace-events", "",
+		"decision-trace categories to record: comma list of mac,backoff,deviation,diagnosis,channel, or all")
+	flag.StringVar(&f.traceOut, "trace-out", "",
+		"write traced events as JSON lines to this file (single run only; implies -trace-events all unless set)")
+	flag.StringVar(&f.diagCSV, "diag-csv", "",
+		"write the monitor's diagnosis trail as CSV to this file (single run only; enables the diagnosis category)")
+	flag.StringVar(&f.debugAddr, "debug-addr", "",
+		"serve live introspection (pprof, /debug/metrics, /debug/sweep) on this address, e.g. localhost:6060")
+	flag.BoolVar(&f.progress, "progress", false,
+		"with -seeds: print a periodic progress line (cells done, failures, wall ETA) to stderr")
+	return f
+}
+
+// obsRun is one invocation's assembled observability state: the scenario
+// config wired into s.Observe plus the host-side endpoints (files, HTTP
+// server, progress counters) that outlive individual runs. A nil *obsRun
+// is valid and means "observability off".
+type obsRun struct {
+	metricsPath string
+	registry    *dcfguard.ObsRegistry
+	jsonl       *dcfguard.ObsJSONL
+	jsonlPath   string
+	diag        *dcfguard.ObsDiagnosisCSV
+	diagPath    string
+	debug       *dcfguard.ObsDebugServer
+	progress    *dcfguard.SweepProgress
+	showTicker  bool
+}
+
+// setupObs validates the flag combination, wires s.Observe, and starts
+// the debug endpoint if requested. sweep reports whether -seeds is in
+// effect (per-run stateful sinks are rejected there: one JSONL/CSV file
+// cannot serialise concurrent cells).
+func setupObs(s *dcfguard.Scenario, f *obsFlags, sweep bool) (*obsRun, error) {
+	if !sweep {
+		if f.progress {
+			return nil, fmt.Errorf("-progress requires -seeds")
+		}
+	} else {
+		if f.traceOut != "" {
+			return nil, fmt.Errorf("-trace-out cannot be combined with -seeds (concurrent cells would interleave one file); use a single -seed run")
+		}
+		if f.diagCSV != "" {
+			return nil, fmt.Errorf("-diag-csv cannot be combined with -seeds (concurrent cells would interleave one file); use a single -seed run")
+		}
+	}
+
+	cats := dcfguard.ObsCategorySet(0)
+	if f.traceCats != "" {
+		var err error
+		cats, err = dcfguard.ParseObsCategories(f.traceCats)
+		if err != nil {
+			return nil, fmt.Errorf("-trace-events: %w", err)
+		}
+	}
+	if f.traceOut != "" && cats.Empty() {
+		cats = dcfguard.ObsAllCategories()
+	}
+	if f.diagCSV != "" {
+		cats = cats.Set(dcfguard.ObsCatDiagnosis)
+	}
+
+	o := &obsRun{metricsPath: f.metrics, showTicker: f.progress}
+	cfg := &dcfguard.ObsConfig{Categories: cats}
+	if f.metrics != "" || f.debugAddr != "" {
+		o.registry = dcfguard.NewObsRegistry()
+		cfg.Registry = o.registry
+	}
+	if f.traceOut != "" {
+		o.jsonl, o.jsonlPath = dcfguard.NewObsJSONL(f.traceOut), f.traceOut
+		cfg.Sinks = append(cfg.Sinks, o.jsonl)
+	}
+	if f.diagCSV != "" {
+		o.diag, o.diagPath = dcfguard.NewObsDiagnosisCSV(f.diagCSV), f.diagCSV
+		cfg.Sinks = append(cfg.Sinks, o.diag)
+	}
+	if cfg.Registry != nil || !cfg.Categories.Empty() {
+		s.Observe = cfg
+	}
+	if sweep && (f.progress || f.debugAddr != "") {
+		o.progress = &dcfguard.SweepProgress{}
+	}
+
+	if f.debugAddr != "" {
+		o.debug = dcfguard.NewObsDebugServer()
+		o.debug.SetRegistry(o.registry)
+		if o.progress != nil {
+			p := o.progress
+			o.debug.SetProgress(func() any { return p.Snapshot() })
+		}
+		addr, err := o.debug.Start(f.debugAddr)
+		if err != nil {
+			return nil, fmt.Errorf("-debug-addr: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoint listening on http://%s/debug/\n", addr)
+	}
+	if o.registry == nil && o.jsonl == nil && o.diag == nil && o.debug == nil && o.progress == nil && s.Observe == nil {
+		return nil, nil
+	}
+	return o, nil
+}
+
+// sweepProgress returns the live counter block for SweepOptions (nil when
+// neither -progress nor -debug-addr asked for one).
+func (o *obsRun) sweepProgress() *dcfguard.SweepProgress {
+	if o == nil {
+		return nil
+	}
+	return o.progress
+}
+
+// startTicker launches the -progress stderr reporter and returns its stop
+// function. The ETA is linear extrapolation over cells finished this
+// invocation — wall clock lives here in the CLI, never in the sim.
+func (o *obsRun) startTicker(start time.Time) (stop func()) {
+	if o == nil || !o.showTicker || o.progress == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				snap := o.progress.Snapshot()
+				line := fmt.Sprintf("progress: %d/%d cells", snap.Done, snap.Total)
+				if snap.Failed > 0 {
+					line += fmt.Sprintf(", %d failed", snap.Failed)
+				}
+				if snap.Resumed > 0 {
+					line += fmt.Sprintf(", %d resumed", snap.Resumed)
+				}
+				ran := snap.Done - snap.Resumed
+				left := snap.Total - snap.Done
+				if ran > 0 && left > 0 {
+					eta := time.Duration(float64(time.Since(start)) / float64(ran) * float64(left))
+					line += fmt.Sprintf(", ETA %v", eta.Round(time.Second))
+				}
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// finish flushes the file sinks (atomic writes), snapshots the metrics
+// registry, and shuts the debug endpoint down. It runs even after a
+// failed run so partial diagnostics survive.
+func (o *obsRun) finish() error {
+	if o == nil {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if o.jsonl != nil {
+		keep(o.jsonl.Close())
+		if first == nil {
+			fmt.Printf("wrote %s (%d events)\n", o.jsonlPath, o.jsonl.Len())
+		}
+	}
+	if o.diag != nil {
+		keep(o.diag.Close())
+		if first == nil {
+			fmt.Printf("wrote %s (%d diagnosis rows)\n", o.diagPath, o.diag.Len())
+		}
+	}
+	if o.metricsPath != "" && o.registry != nil {
+		data, err := json.MarshalIndent(o.registry, "", "  ")
+		if err == nil {
+			err = atomicio.WriteFile(o.metricsPath, append(data, '\n'), 0o644)
+		}
+		keep(err)
+		if err == nil {
+			fmt.Printf("wrote %s\n", o.metricsPath)
+		}
+	}
+	if o.debug != nil {
+		keep(o.debug.Close())
+	}
+	return first
+}

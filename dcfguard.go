@@ -48,6 +48,7 @@ import (
 	"dcfguard/internal/faults"
 	"dcfguard/internal/frame"
 	"dcfguard/internal/mac"
+	"dcfguard/internal/obs"
 	"dcfguard/internal/phys"
 	"dcfguard/internal/sim"
 	"dcfguard/internal/stats"
@@ -93,6 +94,31 @@ type (
 	SweepOptions = experiment.SweepOptions
 	// SweepReport is RunSweep's outcome: results, failures, resume stats.
 	SweepReport = experiment.SweepReport
+	// SweepProgress publishes live sweep counters (see SweepOptions.Progress).
+	SweepProgress = experiment.SweepProgress
+	// SweepSnapshot is one read of a SweepProgress.
+	SweepSnapshot = experiment.SweepSnapshot
+
+	// ObsConfig configures the observability layer (see Scenario.Observe);
+	// nil disables everything and observability is always pass-through.
+	ObsConfig = obs.Config
+	// ObsRegistry is the sim-time metrics registry (counters, gauges,
+	// fixed-bucket histograms keyed by scope/node/name).
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a deterministic, sorted registry snapshot.
+	ObsSnapshot = obs.Snapshot
+	// ObsCategorySet selects decision-trace categories.
+	ObsCategorySet = obs.CategorySet
+	// ObsRecord is one structured decision-trace event.
+	ObsRecord = obs.Record
+	// ObsSink receives decision-trace records.
+	ObsSink = obs.Sink
+	// ObsJSONL writes trace records as JSON lines (atomic on Close).
+	ObsJSONL = obs.JSONLSink
+	// ObsDiagnosisCSV collects the diagnosis trail as CSV.
+	ObsDiagnosisCSV = obs.DiagnosisCSV
+	// ObsDebugServer is the live introspection HTTP endpoint.
+	ObsDebugServer = obs.DebugServer
 
 	// NodeID identifies a node.
 	NodeID = frame.NodeID
@@ -143,6 +169,38 @@ const (
 	Millisecond = sim.Millisecond
 	Second      = sim.Second
 )
+
+// Decision-trace categories (combine with ObsCategorySet.Set, or parse a
+// comma list with ParseObsCategories).
+const (
+	ObsCatMACState  = obs.CatMACState
+	ObsCatBackoff   = obs.CatBackoff
+	ObsCatDeviation = obs.CatDeviation
+	ObsCatDiagnosis = obs.CatDiagnosis
+	ObsCatChannel   = obs.CatChannel
+)
+
+// NewObsRegistry returns an empty metrics registry; one registry may be
+// shared across concurrent sweep cells (all updates are atomic).
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// ParseObsCategories parses a comma-separated category list ("mac,
+// backoff,deviation,diagnosis,channel" or "all") into a CategorySet.
+func ParseObsCategories(spec string) (ObsCategorySet, error) { return obs.ParseCategories(spec) }
+
+// ObsAllCategories returns the set containing every trace category.
+func ObsAllCategories() ObsCategorySet { return obs.AllCategories() }
+
+// NewObsJSONL returns a trace sink writing JSON lines to path on Close.
+func NewObsJSONL(path string) *ObsJSONL { return obs.NewJSONLSink(path) }
+
+// NewObsDiagnosisCSV returns a sink collecting diagnosis-trail records
+// as CSV rows (written to path atomically on Close).
+func NewObsDiagnosisCSV(path string) *ObsDiagnosisCSV { return obs.NewDiagnosisCSV(path) }
+
+// NewObsDebugServer returns an unstarted live-introspection HTTP server
+// (pprof, /debug/metrics, /debug/sweep).
+func NewObsDebugServer() *ObsDebugServer { return obs.NewDebugServer() }
 
 // DefaultScenario returns the paper's base configuration: the Figure-3
 // ZERO-FLOW star with 8 senders, node 3 misbehaving, 50 s runs.

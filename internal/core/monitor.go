@@ -5,6 +5,7 @@ import (
 
 	"dcfguard/internal/frame"
 	"dcfguard/internal/mac"
+	"dcfguard/internal/obs"
 	"dcfguard/internal/rng"
 	"dcfguard/internal/sim"
 )
@@ -45,6 +46,10 @@ type Monitor struct {
 	// receiver. restarts counts completed crash/restart cycles.
 	down     bool
 	restarts int
+
+	// obs holds the pre-resolved observability handles (see obs.go);
+	// the zero value means instrumentation is off.
+	obs monitorObs
 }
 
 // senderRecord is the per-sender monitoring state.
@@ -212,6 +217,13 @@ func (m *Monitor) handleOpening(f frame.Frame, start, end sim.Time) (bool, int) 
 				// The retransmission did not increment the attempt
 				// number: immediate proof of misbehavior.
 				r.provenLiar = true
+				m.obs.proven.Inc()
+				if m.obs.bus.Enabled(obs.CatDiagnosis) {
+					m.obs.bus.Emit(obs.Record{
+						Cat: obs.CatDiagnosis, Time: end, Node: m.self, Peer: f.Src,
+						Event: "proven", Seq: f.Seq, A: float64(f.Attempt), B: float64(r.verifyAttempt),
+					})
+				}
 				if m.events.OnProvenMisbehavior != nil {
 					m.events.OnProvenMisbehavior(f.Src, end)
 				}
@@ -233,7 +245,7 @@ func (m *Monitor) handleOpening(f frame.Frame, start, end sim.Time) (bool, int) 
 	// Decide the next assignment (b_{n+1}) once per exchange; retries
 	// of the same sequence re-advertise the same value.
 	if r.next < 0 || r.decidedSeq != f.Seq {
-		r.next = m.assign(r, f.Src, f.Seq)
+		r.next = m.assign(r, f.Src, f.Seq, end)
 		r.decidedSeq = f.Seq
 	}
 
@@ -287,6 +299,14 @@ func (m *Monitor) check(r *senderRecord, rts frame.Frame, start, end sim.Time) {
 			r.pendingPenalty = m.params.PenaltyCap
 		}
 		r.deviationCount++
+		m.obs.deviations.Inc()
+		if m.obs.bus.Enabled(obs.CatDeviation) {
+			m.obs.bus.Emit(obs.Record{
+				Cat: obs.CatDeviation, Time: end, Node: m.self, Peer: rts.Src,
+				Event: "deviation", Seq: rts.Seq,
+				A: deviation, B: float64(penalty), C: float64(bAct),
+			})
+		}
 		if m.events.OnDeviation != nil {
 			m.events.OnDeviation(rts.Src, deviation, penalty, end)
 		}
@@ -305,12 +325,26 @@ func (m *Monitor) check(r *senderRecord, rts frame.Frame, start, end sim.Time) {
 			r.windowSeqs = r.windowSeqs[1:]
 		}
 		r.packetCount++
+		m.obs.packets.Inc()
 	}
+	m.obs.diff.Observe(diff)
 	sum := 0.0
 	for _, d := range r.window {
 		sum += d
 	}
 	r.diagnosed = sum > m.CurrentThresh()
+	m.obs.windowSum.Set(sum, end)
+	if m.obs.bus.Enabled(obs.CatDiagnosis) {
+		verdict := "ok"
+		if r.diagnosed {
+			verdict = "diagnosed"
+		}
+		m.obs.bus.Emit(obs.Record{
+			Cat: obs.CatDiagnosis, Time: end, Node: m.self, Peer: rts.Src,
+			Event: "window", Aux: verdict, Seq: rts.Seq,
+			A: diff, B: sum, C: m.CurrentThresh(),
+		})
+	}
 	if m.adaptive != nil {
 		// Learn from the sum after judging it, so a packet never moves
 		// its own goalposts.
@@ -322,8 +356,9 @@ func (m *Monitor) check(r *senderRecord, rts frame.Frame, start, end sim.Time) {
 }
 
 // assign decides the base backoff for the sender's next packet and adds
-// the pending correction penalty.
-func (m *Monitor) assign(r *senderRecord, sender frame.NodeID, seq uint32) int {
+// the pending correction penalty. at is the decision instant (the end of
+// the opening frame), used only for tracing.
+func (m *Monitor) assign(r *senderRecord, sender frame.NodeID, seq uint32, at sim.Time) int {
 	var base int
 	switch m.params.AssignMode {
 	case AssignRandom:
@@ -333,11 +368,23 @@ func (m *Monitor) assign(r *senderRecord, sender frame.NodeID, seq uint32) int {
 	case AssignGreedy:
 		base = 0
 	}
+	penalty := r.pendingPenalty
+	if m.params.WaivePenalties {
+		penalty = 0
+	}
+	assigned := base + penalty
+	if m.obs.bus.Enabled(obs.CatBackoff) {
+		m.obs.bus.Emit(obs.Record{
+			Cat: obs.CatBackoff, Time: at, Node: m.self, Peer: sender,
+			Event: "assign", Seq: seq,
+			A: float64(base), B: float64(penalty), C: float64(assigned),
+		})
+	}
 	if m.params.WaivePenalties {
 		r.pendingPenalty = 0
 		return base
 	}
-	assigned := base + r.pendingPenalty
+	m.obs.penaltySlots.Add(uint64(penalty))
 	r.penaltyTotal += r.pendingPenalty
 	r.pendingPenalty = 0
 	return assigned
@@ -360,7 +407,7 @@ func (m *Monitor) OnData(data frame.Frame, start, end sim.Time) (bool, int) {
 	if r.next < 0 || r.decidedSeq != data.Seq {
 		// DATA without a matching RTS decision and no attempt field
 		// (should not happen with RTS/CTS on, but stay robust).
-		r.next = m.assign(r, data.Src, data.Seq)
+		r.next = m.assign(r, data.Src, data.Seq, end)
 		r.decidedSeq = data.Seq
 	}
 	return true, r.next
@@ -384,4 +431,10 @@ func (m *Monitor) OnAckSent(to frame.NodeID, seq uint32, end sim.Time) {
 	r.ackedOnce = true
 	r.mark = end
 	r.hasMark = true
+	if m.obs.bus.Enabled(obs.CatBackoff) {
+		m.obs.bus.Emit(obs.Record{
+			Cat: obs.CatBackoff, Time: end, Node: m.self, Peer: to,
+			Event: "ack-mark", Seq: seq, A: float64(r.current),
+		})
+	}
 }

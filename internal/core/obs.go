@@ -1,0 +1,40 @@
+package core
+
+import (
+	"dcfguard/internal/obs"
+)
+
+// monitorObs holds the monitor's pre-resolved observability handles.
+// The zero value is the disabled state: every hook below degrades to a
+// nil-check no-op, and nothing here reads RNG or scheduler state
+// (pass-through contract, package obs).
+type monitorObs struct {
+	bus          *obs.Bus
+	packets      *obs.Counter
+	deviations   *obs.Counter
+	proven       *obs.Counter
+	penaltySlots *obs.Counter
+	windowSum    *obs.Gauge
+	diff         *obs.Histogram
+}
+
+// diffBounds buckets the per-packet B_exp − B_act difference. The paper's
+// diagnosis threshold works on sums of these over a W-packet window, so
+// the interesting resolution is around zero and the first few tens of
+// slots.
+var diffBounds = []float64{-32, -8, 0, 8, 16, 32, 64}
+
+// Instrument attaches the monitor to a metrics registry and trace bus
+// (either may be nil). Handles resolve here, once, per the detlint
+// obshot rule; metrics are keyed to the monitoring node's ID.
+func (m *Monitor) Instrument(reg *obs.Registry, bus *obs.Bus) {
+	m.obs = monitorObs{
+		bus:          bus,
+		packets:      reg.Counter("monitor", m.self, "packets"),
+		deviations:   reg.Counter("monitor", m.self, "deviations"),
+		proven:       reg.Counter("monitor", m.self, "proven"),
+		penaltySlots: reg.Counter("monitor", m.self, "penalty_slots"),
+		windowSum:    reg.Gauge("monitor", m.self, "window_sum"),
+		diff:         reg.Histogram("monitor", m.self, "diff", diffBounds),
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"dcfguard/internal/obs"
 	"dcfguard/internal/sim"
 )
 
@@ -31,6 +32,11 @@ type SeedFailure struct {
 	// Events and SimTime locate how far the run got before it died.
 	Events  uint64
 	SimTime sim.Time
+	// TraceTail is the run's last buffered decision-trace records
+	// (oldest first), drained from the obs ring buffer when the scenario
+	// enabled tracing — the "what was the sim doing when it died" part
+	// of the crash report.
+	TraceTail []obs.Record
 }
 
 // Error implements error.
@@ -67,6 +73,14 @@ func (f *SeedFailure) Dump() string {
 			b.WriteByte('\n')
 		}
 	}
+	if len(f.TraceTail) > 0 {
+		fmt.Fprintf(&b, "trace tail (last %d events):\n", len(f.TraceTail))
+		for _, r := range f.TraceTail {
+			b.WriteString("  ")
+			b.WriteString(r.String())
+			b.WriteByte('\n')
+		}
+	}
 	return b.String()
 }
 
@@ -84,9 +98,11 @@ func (f *SeedFailure) Dump() string {
 // runs are bit-identical to Run for the same (scenario, seed).
 func RunGuarded(s Scenario, seed uint64, timeout time.Duration) (res Result, err error) {
 	var sched *sim.Scheduler
+	var rt *obs.Runtime
 	var watchdog *time.Timer
-	armed := func(sc *sim.Scheduler) {
+	armed := func(sc *sim.Scheduler, r *obs.Runtime) {
 		sched = sc
+		rt = r
 		if timeout > 0 {
 			// The watchdog measures the host's wall clock on purpose: it
 			// guards against a hung *process*, not simulated time, and the
@@ -106,6 +122,9 @@ func RunGuarded(s Scenario, seed uint64, timeout time.Duration) (res Result, err
 				Seed:     seed,
 				Panic:    fmt.Sprint(r),
 				Stack:    string(debug.Stack()),
+				// TraceTail is nil-safe: rt stays nil when the scenario
+				// enables no tracing or the panic predates armed().
+				TraceTail: rt.TraceTail(),
 			}
 			if sched != nil {
 				f.Events = sched.EventsFired()

@@ -37,6 +37,10 @@ type SweepOptions struct {
 	SeedTimeout time.Duration
 	// Workers caps the worker pool (0 means GOMAXPROCS).
 	Workers int
+	// Progress, when non-nil, receives live cell counters as the sweep
+	// advances (see SweepProgress); the macsim -progress ticker and the
+	// obs debug endpoint read it concurrently.
+	Progress *SweepProgress
 }
 
 // SweepReport is RunSweep's outcome. Results is index-aligned with the
@@ -84,6 +88,7 @@ func RunSweep(cells []SweepCell, opts SweepOptions) (SweepReport, error) {
 	if len(cells) == 0 {
 		return report, fmt.Errorf("experiment: sweep has no cells")
 	}
+	opts.Progress.setTotal(len(cells))
 	seen := make(map[string]int, len(cells))
 	for i, c := range cells {
 		key := cellFileName(c.Scenario.Name, c.Seed)
@@ -118,6 +123,7 @@ func RunSweep(cells []SweepCell, opts SweepOptions) (SweepReport, error) {
 			report.Results[i] = r
 			done[i] = true
 			report.Resumed++
+			opts.Progress.cellResumed()
 		}
 	}
 
@@ -140,6 +146,7 @@ func RunSweep(cells []SweepCell, opts SweepOptions) (SweepReport, error) {
 			for i := range work {
 				c := cells[i]
 				res, err := RunGuarded(c.Scenario, c.Seed, opts.SeedTimeout)
+				opts.Progress.cellDone(err != nil)
 				if err != nil {
 					// RunGuarded guarantees a *SeedFailure.
 					failures[i] = err.(*SeedFailure)

@@ -1,0 +1,74 @@
+package experiment
+
+// SweepProgress publishes a sweep's live position — total cells, cells
+// finished, failures, cells restored from the journal — through atomic
+// counters a monitoring goroutine (the macsim -progress ticker, the obs
+// debug endpoint's /debug/sweep handler) can read while workers run.
+// All methods are nil-safe so RunSweep can update unconditionally.
+//
+// It deliberately carries no wall-clock state: rates and ETAs are the
+// reader's business (macsim computes them), keeping host time out of
+// this package's sweep path.
+import (
+	"sync/atomic"
+)
+
+// SweepProgress is the live counter block. The zero value is ready to
+// use; share one instance between SweepOptions.Progress and whatever
+// reads it.
+type SweepProgress struct {
+	total   atomic.Int64
+	done    atomic.Int64
+	failed  atomic.Int64
+	resumed atomic.Int64
+}
+
+// SweepSnapshot is one consistent-enough read of a SweepProgress (each
+// field is read atomically; the set is not a transaction).
+type SweepSnapshot struct {
+	// Total is the sweep's cell count; Done the cells finished so far
+	// (successes, failures and journal-resumed cells alike).
+	Total int `json:"total"`
+	Done  int `json:"done"`
+	// Failed counts cells that ended in a *SeedFailure; Resumed the
+	// cells restored from the journal without running.
+	Failed  int `json:"failed"`
+	Resumed int `json:"resumed"`
+}
+
+func (p *SweepProgress) setTotal(n int) {
+	if p != nil {
+		p.total.Store(int64(n))
+	}
+}
+
+func (p *SweepProgress) cellDone(failed bool) {
+	if p == nil {
+		return
+	}
+	p.done.Add(1)
+	if failed {
+		p.failed.Add(1)
+	}
+}
+
+func (p *SweepProgress) cellResumed() {
+	if p == nil {
+		return
+	}
+	p.done.Add(1)
+	p.resumed.Add(1)
+}
+
+// Snapshot returns the current counters (zero value on a nil receiver).
+func (p *SweepProgress) Snapshot() SweepSnapshot {
+	if p == nil {
+		return SweepSnapshot{}
+	}
+	return SweepSnapshot{
+		Total:   int(p.total.Load()),
+		Done:    int(p.done.Load()),
+		Failed:  int(p.failed.Load()),
+		Resumed: int(p.resumed.Load()),
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"dcfguard/internal/mac"
 	"dcfguard/internal/medium"
 	"dcfguard/internal/misbehave"
+	"dcfguard/internal/obs"
 	"dcfguard/internal/phys"
 	"dcfguard/internal/rng"
 	"dcfguard/internal/sim"
@@ -70,6 +71,12 @@ type Result struct {
 	// TraceEvents. It is in-memory observability state, not a metric,
 	// and is excluded from journal serialization.
 	Trace *trace.Recorder `json:"-"`
+
+	// Obs is the run's assembled observability runtime (metrics registry
+	// snapshot source, decision-trace ring), present when the scenario
+	// set Observe. Like Trace it is in-memory state, not a journaled
+	// metric.
+	Obs *obs.Runtime `json:"-"`
 }
 
 // Run executes the scenario once with the given seed.
@@ -78,11 +85,12 @@ func Run(s Scenario, seed uint64) (Result, error) {
 }
 
 // run is the executor behind Run. armed, when non-nil, is invoked with
-// the run's scheduler immediately before the event loop starts: the
-// watchdog in RunGuarded uses it to plant its cancellation hook. When
+// the run's scheduler and observability runtime immediately before the
+// event loop starts: the watchdog in RunGuarded uses it to plant its
+// cancellation hook and to capture the trace ring for crash dumps. When
 // the loop exits on an Interrupt, run reports a *SeedFailure instead of
 // the (incomplete) metrics.
-func run(s Scenario, seed uint64, armed func(*sim.Scheduler)) (Result, error) {
+func run(s Scenario, seed uint64, armed func(*sim.Scheduler, *obs.Runtime)) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -132,6 +140,15 @@ func run(s Scenario, seed uint64, armed func(*sim.Scheduler)) (Result, error) {
 	collector := stats.NewCollector(tp.Misbehaving, s.BinSize)
 	result := Result{Scenario: s.Name, Seed: seed, Duration: s.Duration}
 
+	// Observability: build the runtime (nil when the scenario enables
+	// nothing) and instrument the medium now; nodes and monitors attach
+	// as they are built below. Instrumentation is pass-through by
+	// contract — no RNG draws, no scheduled events — so it cannot move
+	// the golden checksums.
+	rt := s.Observe.Build()
+	result.Obs = rt
+	med.Instrument(rt.Reg(), rt.TraceBus())
+
 	if s.TraceEvents > 0 {
 		rec := trace.New(s.TraceEvents)
 		result.Trace = rec
@@ -178,6 +195,7 @@ func run(s Scenario, seed uint64, armed func(*sim.Scheduler)) (Result, error) {
 				params.WaivePenalties = true
 			}
 			m := core.NewMonitor(id, params, s.MAC, root.StreamN("monitor-", uint64(id)), events)
+			m.Instrument(rt.Reg(), rt.TraceBus())
 			monitors[id] = m
 			hook = m
 		}
@@ -190,6 +208,7 @@ func run(s Scenario, seed uint64, armed func(*sim.Scheduler)) (Result, error) {
 			}(id),
 		}
 		nodes[i] = mac.NewNode(id, s.MAC, &sched, med, policies[id], hook, cb)
+		nodes[i].Instrument(rt.Reg(), rt.TraceBus())
 		med.Attach(id, tp.Positions[i], radio, nodes[i])
 	}
 
@@ -242,13 +261,14 @@ func run(s Scenario, seed uint64, armed func(*sim.Scheduler)) (Result, error) {
 	}
 
 	if armed != nil {
-		armed(&sched)
+		armed(&sched, rt)
 	}
 	sched.Run(s.Duration)
 	if sched.Interrupted() {
 		return Result{}, &SeedFailure{
 			Scenario: s.Name, Seed: seed, TimedOut: true,
 			Events: sched.EventsFired(), SimTime: sched.Now(),
+			TraceTail: rt.TraceTail(),
 		}
 	}
 	if result.Trace != nil {

@@ -13,6 +13,7 @@ import (
 	"dcfguard/internal/frame"
 	"dcfguard/internal/mac"
 	"dcfguard/internal/medium"
+	"dcfguard/internal/obs"
 	"dcfguard/internal/phys"
 	"dcfguard/internal/sim"
 	"dcfguard/internal/topo"
@@ -151,6 +152,12 @@ type Scenario struct {
 	// disabled config consumes no RNG draws, so the v1/v2 goldens are
 	// bit-identical with faults off.
 	Faults faults.Config
+	// Observe configures the observability layer (metrics registry,
+	// decision-trace bus; see internal/obs). Nil disables everything.
+	// Observability is pass-through: enabling it changes no RNG draw and
+	// schedules no event, so results are bit-identical either way
+	// (pinned by the obs determinism test).
+	Observe *obs.Config
 }
 
 // DefaultScenario returns the paper's base configuration: Figure-3
@@ -226,6 +233,9 @@ func (s Scenario) Validate() error {
 		}
 	}
 	if err := s.Faults.Validate(); err != nil {
+		return fmt.Errorf("experiment: %s: %w", s.Name, err)
+	}
+	if err := s.Observe.Validate(); err != nil {
 		return fmt.Errorf("experiment: %s: %w", s.Name, err)
 	}
 	return s.Shadowing.Validate()

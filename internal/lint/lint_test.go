@@ -23,6 +23,10 @@ func TestHotalloc(t *testing.T) {
 	linttest.Run(t, "./internal/lint/testdata/src/hotalloc", lint.Hotalloc)
 }
 
+func TestObshot(t *testing.T) {
+	linttest.Run(t, "./internal/lint/testdata/src/obshot", lint.Obshot)
+}
+
 // TestDirectives drives every analyzer at once over the directive
 // corpus: placement on the wrong line, unknown analyzer names, unknown
 // verbs, and stacked/multi-name directives.

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Obshot flags metric-handle lookups by string name — Counter, Gauge or
+// Histogram calls on a metrics registry — outside attach-time code. The
+// observability layer's hot-path contract is that handles are resolved
+// once, when a component is instrumented, and stored on the struct; a
+// lookup inside an event handler re-pays the registry's mutex + map
+// walk on every simulated event and silently erodes the "disabled
+// instrumentation is free" guarantee. The check is duck-typed: any named
+// receiver offering all three lookup methods is treated as a registry.
+// Resolution is legal inside functions whose name marks them as
+// attach-time or test scaffolding (New*, Instrument*, init, Test*,
+// Benchmark*, Fuzz*, Example*) — but not inside a closure built there,
+// since the closure body runs later. Genuinely cold sites may carry a
+// //detlint:allow obshot directive with a justification.
+var Obshot = &Analyzer{
+	Name: "obshot",
+	Doc:  "flag registry Counter/Gauge/Histogram lookups outside attach-time functions",
+	Run:  runObshot,
+}
+
+// obshotAttachPrefixes name the functions in which by-name resolution is
+// sanctioned: constructors, Instrument methods, package init, and test
+// scaffolding.
+var obshotAttachPrefixes = []string{"New", "Instrument", "init", "Test", "Benchmark", "Fuzz", "Example"}
+
+func obshotAttachTime(name string) bool {
+	for _, p := range obshotAttachPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// obshotContext classifies the innermost enclosing function of the node
+// under the cursor (stack ends at the node itself): the declared
+// function's name, and whether the node sits inside a function literal —
+// which defers execution past attach time no matter where the literal is
+// written.
+func obshotContext(stack []ast.Node) (fnName string, inLit bool) {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return "", true
+		case *ast.FuncDecl:
+			return fn.Name.Name, false
+		}
+	}
+	return "", false
+}
+
+func runObshot(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Counter" && name != "Gauge" && name != "Histogram" {
+				return true
+			}
+			named := namedRecvOf(info, sel)
+			if named == nil ||
+				!hasMethod(named, "Counter") || !hasMethod(named, "Gauge") || !hasMethod(named, "Histogram") {
+				return true
+			}
+			fn, inLit := obshotContext(stack)
+			if !inLit && obshotAttachTime(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s handle lookup by name outside attach time pays the registry mutex+map per call; resolve the handle once in New*/Instrument* and store it",
+				named.Obj().Name(), name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,78 @@
+// Seeded violations for the obshot analyzer.
+package obshot
+
+// Handle types returned by the registry lookups.
+type Counter struct{ n uint64 }
+
+func (c *Counter) Inc() { c.n++ }
+
+type Gauge struct{ v float64 }
+
+func (g *Gauge) Set(v float64) { g.v = v }
+
+type Histogram struct{ n uint64 }
+
+func (h *Histogram) Observe(float64) { h.n++ }
+
+// Registry duck-types as a metrics registry: it offers all three
+// lookup-or-register methods, like obs.Registry.
+type Registry struct{}
+
+func (r *Registry) Counter(scope string, node int, name string) *Counter { return &Counter{} }
+func (r *Registry) Gauge(scope string, node int, name string) *Gauge     { return &Gauge{} }
+func (r *Registry) Histogram(scope string, node int, name string, bounds []float64) *Histogram {
+	return &Histogram{}
+}
+
+type node struct {
+	reg     *Registry
+	success *Counter
+	queue   *Gauge
+}
+
+// Attach-time resolution is the sanctioned pattern: look the handles up
+// once in Instrument (or a New* constructor) and store them.
+func (n *node) Instrument(reg *Registry) {
+	n.reg = reg
+	n.success = reg.Counter("mac", 0, "tx_success")
+	n.queue = reg.Gauge("mac", 0, "queue_len")
+}
+
+func NewNode(reg *Registry) *node {
+	return &node{reg: reg, success: reg.Counter("mac", 0, "tx_success")}
+}
+
+var defaultHist = new(Registry).Histogram("mac", -1, "attempts", nil) //detlint:allow obshot -- package-level default, resolved once at init
+
+// A lookup inside an event handler re-pays the registry mutex + map walk
+// on every simulated event.
+func (n *node) onAck() {
+	n.reg.Counter("mac", 0, "tx_success").Inc() // want `Registry\.Counter handle lookup by name outside attach time`
+}
+
+func (n *node) onSample(depth int) {
+	n.reg.Gauge("mac", 0, "queue_len").Set(float64(depth)) // want `Registry\.Gauge handle lookup by name outside attach time`
+	n.reg.Histogram("mac", 0, "attempts", nil).Observe(1)  // want `Registry\.Histogram handle lookup by name outside attach time`
+	n.success.Inc()                                        // resolved handle: fine
+}
+
+// A closure defers execution past attach time, even when it is built
+// inside an Instrument method.
+func (n *node) InstrumentLazy(reg *Registry) func() {
+	return func() {
+		reg.Counter("mac", 0, "drops").Inc() // want `Registry\.Counter handle lookup by name outside attach time`
+	}
+}
+
+// A type with only some of the three methods is not a registry; calling
+// its Counter anywhere is legal.
+type counterOnly struct{}
+
+func (counterOnly) Counter(name string) int { return 0 }
+
+func tally(c counterOnly) int { return c.Counter("x") }
+
+// Cold paths may opt out with a justification.
+func (n *node) debugDump(reg *Registry) {
+	reg.Counter("mac", 0, "dump_requests").Inc() //detlint:allow obshot -- on-demand debug dump, never on the event path
+}

@@ -146,6 +146,10 @@ type Node struct {
 
 	// Counters.
 	txSuccess, txDrop, rxDeliver uint64
+
+	// obs holds the pre-resolved observability handles (see obs.go);
+	// the zero value means instrumentation is off.
+	obs nodeObs
 }
 
 // pendingTx is a SIFS-deferred response (CTS or ACK) waiting to go on
@@ -262,6 +266,7 @@ func (n *Node) Enqueue(dst frame.NodeID, payloadBytes int) bool {
 	n.queue = append(n.queue, packet{
 		dst: dst, seq: n.nextSeq, bytes: payloadBytes, enqueuedAt: n.sched.Now(),
 	})
+	n.noteQueueLen()
 	if n.state == stateIdle {
 		n.startContention()
 	}
@@ -329,11 +334,11 @@ func (n *Node) maybeResetNAV(rtsEnd sim.Time) {
 
 func (n *Node) startContention() {
 	if len(n.queue) == 0 {
-		n.state = stateIdle
+		n.setState(stateIdle)
 		return
 	}
 	head := n.queue[0]
-	n.state = stateContend
+	n.setState(stateContend)
 	n.attempt = 1
 	n.remaining = clampSlots(n.policy.InitialBackoff(head.dst, n.params.CW(1)))
 	n.counting = false
@@ -342,7 +347,7 @@ func (n *Node) startContention() {
 
 func (n *Node) retryContention() {
 	head := n.queue[0]
-	n.state = stateContend
+	n.setState(stateContend)
 	n.remaining = clampSlots(n.policy.RetryBackoff(head.dst, n.attempt, n.params.CW(n.attempt)))
 	n.counting = false
 	n.resumeCountdown()
@@ -438,11 +443,11 @@ func (n *Node) sendRTS() {
 		AssignedBackoff: -1,
 		Duration:        reserve,
 	}
-	n.state = stateTxRTS
+	n.setState(stateTxRTS)
 	end := n.med.Transmit(n.id, rts)
 	// CTS timeout: SIFS + CTS airtime after the RTS ends, plus two
 	// slots of slack (no propagation delay in the model).
-	n.state = stateWaitCTS
+	n.setState(stateWaitCTS)
 	n.respTimer.ResetAt(end + n.params.SIFS + ctsAir + 2*n.params.SlotTime)
 }
 
@@ -468,9 +473,9 @@ func (n *Node) sendDataDirect() {
 		Duration:     n.params.SIFS + ackAir,
 		PayloadBytes: head.bytes,
 	}
-	n.state = stateTxData
+	n.setState(stateTxData)
 	end := n.med.Transmit(n.id, data)
-	n.state = stateWaitAck
+	n.setState(stateWaitAck)
 	n.respTimer.ResetAt(end + n.params.SIFS + ackAir + 2*n.params.SlotTime)
 }
 
@@ -486,9 +491,9 @@ func (n *Node) sendData() {
 		Duration:     n.params.SIFS + ackAir,
 		PayloadBytes: head.bytes,
 	}
-	n.state = stateTxData
+	n.setState(stateTxData)
 	end := n.med.Transmit(n.id, data)
-	n.state = stateWaitAck
+	n.setState(stateWaitAck)
 	n.respTimer.ResetAt(end + n.params.SIFS + ackAir + 2*n.params.SlotTime)
 }
 
@@ -503,6 +508,7 @@ func (n *Node) responseTimeout() {
 		head := n.queue[0]
 		n.dequeueHead()
 		n.txDrop++
+		n.obs.txDrop.Inc()
 		if n.cb.OnSendDrop != nil {
 			n.cb.OnSendDrop(head.dst, head.seq, n.sched.Now())
 		}
@@ -520,8 +526,9 @@ func (n *Node) onCTS(cts frame.Frame) {
 	n.respTimer.Stop()
 	if cts.AssignedBackoff >= 0 {
 		n.policy.OnAssigned(cts.Src, cts.Seq, int(cts.AssignedBackoff), false)
+		n.traceAssign("cts-assign", cts.Src, cts.Seq, int(cts.AssignedBackoff))
 	}
-	n.state = stateSIFSData
+	n.setState(stateSIFSData)
 	n.sched.After(n.params.SIFS, n.sendDataFn)
 }
 
@@ -534,9 +541,12 @@ func (n *Node) onAck(ack frame.Frame) {
 	head := n.queue[0]
 	if ack.AssignedBackoff >= 0 {
 		n.policy.OnAssigned(ack.Src, ack.Seq, int(ack.AssignedBackoff), true)
+		n.traceAssign("ack-assign", ack.Src, ack.Seq, int(ack.AssignedBackoff))
 	}
 	n.dequeueHead()
 	n.txSuccess++
+	n.obs.txSuccess.Inc()
+	n.obs.attempts.Observe(float64(n.attempt))
 	if n.cb.OnSendSuccess != nil {
 		n.cb.OnSendSuccess(head.dst, head.seq, head.bytes, n.attempt, head.enqueuedAt, n.sched.Now())
 	}
@@ -546,6 +556,7 @@ func (n *Node) onAck(ack frame.Frame) {
 func (n *Node) dequeueHead() {
 	copy(n.queue, n.queue[1:])
 	n.queue = n.queue[:len(n.queue)-1]
+	n.noteQueueLen()
 }
 
 func (n *Node) afterExchange() {
@@ -641,6 +652,7 @@ func (n *Node) onData(data frame.Frame, end sim.Time) {
 	if last, seen := n.lastSeq[data.Src]; !seen || data.Seq > last {
 		n.lastSeq[data.Src] = data.Seq
 		n.rxDeliver++
+		n.obs.rxDeliver.Inc()
 		if n.cb.OnDeliver != nil {
 			n.cb.OnDeliver(data.Src, data.Seq, data.PayloadBytes, end)
 		}

@@ -1,0 +1,85 @@
+package mac
+
+import (
+	"dcfguard/internal/frame"
+	"dcfguard/internal/obs"
+)
+
+// nodeObs holds a node's pre-resolved observability handles. The zero
+// value (nil handles, nil bus) is the disabled state: every hook point
+// below degrades to a nil-check no-op, and nothing here feeds back into
+// the simulation — see the pass-through contract in package obs.
+type nodeObs struct {
+	bus       *obs.Bus
+	txSuccess *obs.Counter
+	txDrop    *obs.Counter
+	rxDeliver *obs.Counter
+	queueLen  *obs.Gauge
+	attempts  *obs.Histogram
+}
+
+// attemptBounds buckets the per-packet RTS attempt count: 1..4 singly,
+// then up-to-7 (the long retry limit), then overflow.
+var attemptBounds = []float64{1, 2, 3, 4, 7}
+
+// Instrument attaches the node to a metrics registry and a trace bus
+// (either may be nil). Handles are resolved here, once — the detlint
+// obshot analyzer enforces that no by-name lookup happens later on the
+// event path.
+func (n *Node) Instrument(reg *obs.Registry, bus *obs.Bus) {
+	n.obs = nodeObs{
+		bus:       bus,
+		txSuccess: reg.Counter("mac", n.id, "tx_success"),
+		txDrop:    reg.Counter("mac", n.id, "tx_drop"),
+		rxDeliver: reg.Counter("mac", n.id, "rx_deliver"),
+		queueLen:  reg.Gauge("mac", n.id, "queue_len"),
+		attempts:  reg.Histogram("mac", n.id, "attempts", attemptBounds),
+	}
+}
+
+// setState is the single mutation point of the sender state machine,
+// doubling as the CatMACState hook.
+func (n *Node) setState(next senderState) {
+	if n.obs.bus.Enabled(obs.CatMACState) {
+		prev := n.state
+		var peer = obs.NoNode
+		var seq uint32
+		if len(n.queue) > 0 {
+			peer = n.queue[0].dst
+			seq = n.queue[0].seq
+		}
+		n.obs.bus.Emit(obs.Record{
+			Cat:   obs.CatMACState,
+			Time:  n.sched.Now(),
+			Node:  n.id,
+			Peer:  peer,
+			Event: next.String(),
+			Aux:   prev.String(),
+			Seq:   seq,
+			A:     float64(n.attempt),
+		})
+	}
+	n.state = next
+}
+
+// traceAssign emits a CatBackoff record for a CTS- or ACK-carried
+// backoff assignment arriving at this sender.
+func (n *Node) traceAssign(event string, from frame.NodeID, seq uint32, assigned int) {
+	if !n.obs.bus.Enabled(obs.CatBackoff) {
+		return
+	}
+	n.obs.bus.Emit(obs.Record{
+		Cat:   obs.CatBackoff,
+		Time:  n.sched.Now(),
+		Node:  n.id,
+		Peer:  from,
+		Event: event,
+		Seq:   seq,
+		A:     float64(assigned),
+	})
+}
+
+// noteQueueLen refreshes the queue-depth gauge (sim-time stamped).
+func (n *Node) noteQueueLen() {
+	n.obs.queueLen.Set(float64(len(n.queue)), n.sched.Now())
+}

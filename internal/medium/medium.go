@@ -43,6 +43,7 @@ import (
 	"sort"
 
 	"dcfguard/internal/frame"
+	"dcfguard/internal/obs"
 	"dcfguard/internal/phys"
 	"dcfguard/internal/rng"
 	"dcfguard/internal/sim"
@@ -169,6 +170,10 @@ type Medium struct {
 	deliveries    uint64
 	collisions    uint64
 	faultDrops    uint64
+
+	// obs holds the pre-resolved observability handles (see obs.go);
+	// the zero value means instrumentation is off.
+	obs mediumObs
 }
 
 type node struct {
@@ -343,6 +348,13 @@ func (m *Medium) Transmit(srcID frame.NodeID, f frame.Frame) sim.Time {
 	end := now + f.Airtime(tx.radio.BitRate)
 	tx.txUntil = end
 	m.transmissions++
+	m.obs.transmissions.Inc()
+	if m.obs.chanOn() {
+		m.traceChannel(obs.Record{
+			Time: now, Node: srcID, Peer: f.Dst, Event: "tx",
+			Aux: f.Type.String(), Seq: f.Seq, A: float64(end - now),
+		})
+	}
 	if m.Tap != nil {
 		m.Tap(srcID, f, now, end)
 	}
@@ -518,12 +530,24 @@ func (m *Medium) complete(obs *node, a *arrival) {
 		faultDropped = m.cfg.FrameFaults.Drop(f.Src, obs.id)
 		if faultDropped {
 			m.faultDrops++
+			m.obs.faultDrops.Inc()
 		}
 	}
 
 	if corrupted || selfBlocked || faultDropped {
 		if f.Dst == obs.id && !faultDropped {
 			m.collisions++
+			m.obs.collisions.Inc()
+		}
+		if m.obs.chanOn() {
+			switch {
+			case faultDropped:
+				m.traceOutcome("fault-drop", obs, f, end)
+			case selfBlocked:
+				m.traceOutcome("self-block", obs, f, end)
+			default:
+				m.traceOutcome("collision", obs, f, end)
+			}
 		}
 		if !selfBlocked {
 			if cl, ok := obs.listener.(CorruptionListener); ok {
@@ -532,6 +556,10 @@ func (m *Medium) complete(obs *node, a *arrival) {
 		}
 	} else {
 		m.deliveries++
+		m.obs.deliveries.Inc()
+		if m.obs.chanOn() {
+			m.traceOutcome("deliver", obs, f, end)
+		}
 		if m.DeliveryTap != nil && f.Dst == obs.id {
 			m.DeliveryTap(f, end)
 		}
@@ -548,8 +576,13 @@ func (m *Medium) complete(obs *node, a *arrival) {
 
 func (m *Medium) busyStart(n *node, now sim.Time) {
 	n.busyDepth++
-	if n.busyDepth == 1 && n.listener != nil {
-		n.listener.CarrierBusy(now)
+	if n.busyDepth == 1 {
+		if m.obs.chanOn() {
+			m.traceChannel(obs.Record{Time: now, Node: n.id, Peer: obs.NoNode, Event: "busy"})
+		}
+		if n.listener != nil {
+			n.listener.CarrierBusy(now)
+		}
 	}
 }
 
@@ -558,8 +591,13 @@ func (m *Medium) busyEnd(n *node, now sim.Time) {
 		panic(fmt.Sprintf("medium: node %d busy depth underflow at %v", n.id, now))
 	}
 	n.busyDepth--
-	if n.busyDepth == 0 && n.listener != nil {
-		n.listener.CarrierIdle(now)
+	if n.busyDepth == 0 {
+		if m.obs.chanOn() {
+			m.traceChannel(obs.Record{Time: now, Node: n.id, Peer: obs.NoNode, Event: "idle"})
+		}
+		if n.listener != nil {
+			n.listener.CarrierIdle(now)
+		}
 	}
 }
 

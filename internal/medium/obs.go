@@ -1,0 +1,55 @@
+package medium
+
+import (
+	"dcfguard/internal/frame"
+	"dcfguard/internal/obs"
+	"dcfguard/internal/sim"
+)
+
+// mediumObs holds the medium's pre-resolved observability handles. The
+// zero value is the disabled state — every hook degrades to a nil-check
+// no-op, and nothing here touches RNG or scheduler state (pass-through
+// contract, package obs).
+type mediumObs struct {
+	bus           *obs.Bus
+	transmissions *obs.Counter
+	deliveries    *obs.Counter
+	collisions    *obs.Counter
+	faultDrops    *obs.Counter
+}
+
+// Instrument attaches the medium to a metrics registry and trace bus
+// (either may be nil). All by-name handle resolution happens here, once,
+// per the detlint obshot rule. The channel counters are system-wide, so
+// they are keyed to obs.NoNode.
+func (m *Medium) Instrument(reg *obs.Registry, bus *obs.Bus) {
+	m.obs = mediumObs{
+		bus:           bus,
+		transmissions: reg.Counter("medium", obs.NoNode, "transmissions"),
+		deliveries:    reg.Counter("medium", obs.NoNode, "deliveries"),
+		collisions:    reg.Counter("medium", obs.NoNode, "collisions"),
+		faultDrops:    reg.Counter("medium", obs.NoNode, "fault_drops"),
+	}
+}
+
+// chanOn is the hot-path guard for channel tracing. It exists as a
+// method (rather than an inline bus.Enabled call) because several
+// emission sites shadow the obs package name with an observer-node
+// variable.
+func (o *mediumObs) chanOn() bool { return o.bus.Enabled(obs.CatChannel) }
+
+// traceChannel emits one CatChannel record; callers gate on chanOn so
+// record construction stays off the disabled path.
+func (m *Medium) traceChannel(r obs.Record) {
+	r.Cat = obs.CatChannel
+	m.obs.bus.Emit(r)
+}
+
+// traceOutcome emits the per-observer completion outcome ("deliver",
+// "collision", "self-block", "fault-drop") for a frame ending at end.
+func (m *Medium) traceOutcome(event string, at *node, f frame.Frame, end sim.Time) {
+	m.obs.bus.Emit(obs.Record{
+		Cat: obs.CatChannel, Time: end, Node: at.id, Peer: f.Src,
+		Event: event, Aux: f.Type.String(), Seq: f.Seq,
+	})
+}

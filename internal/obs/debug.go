@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// DebugServer is the live introspection endpoint behind `macsim
+// -debug-addr`: net/http/pprof under /debug/pprof/, an expvar-style
+// registry snapshot at /debug/metrics, and sweep progress at
+// /debug/sweep. It observes the run from a separate goroutine through
+// atomics only — it cannot perturb the simulation, so determinism holds
+// with the endpoint up.
+type DebugServer struct {
+	mu       sync.Mutex
+	registry *Registry
+	progress func() any
+	ln       net.Listener
+	srv      *http.Server
+}
+
+// NewDebugServer returns an unstarted server.
+func NewDebugServer() *DebugServer {
+	d := &DebugServer{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", d.serveMetrics)
+	mux.HandleFunc("/debug/sweep", d.serveSweep)
+	mux.HandleFunc("/", d.serveIndex)
+	d.srv = &http.Server{Handler: mux}
+	return d
+}
+
+// SetRegistry publishes reg on /debug/metrics.
+func (d *DebugServer) SetRegistry(reg *Registry) {
+	d.mu.Lock()
+	d.registry = reg
+	d.mu.Unlock()
+}
+
+// SetProgress publishes the value returned by fn (typically an
+// experiment.SweepProgress snapshot) on /debug/sweep. fn is called per
+// request and must be safe to call concurrently with the run.
+func (d *DebugServer) SetProgress(fn func() any) {
+	d.mu.Lock()
+	d.progress = fn
+	d.mu.Unlock()
+}
+
+// Start listens on addr (host:port; ":0" picks a free port) and serves
+// in a background goroutine. It returns the bound address.
+func (d *DebugServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	d.mu.Lock()
+	d.ln = ln
+	d.mu.Unlock()
+	go func() { _ = d.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (d *DebugServer) Close() error {
+	d.mu.Lock()
+	ln := d.ln
+	d.ln = nil
+	d.mu.Unlock()
+	if ln == nil {
+		return nil
+	}
+	return d.srv.Close()
+}
+
+func (d *DebugServer) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, `<html><body><h1>macsim debug</h1><ul>
+<li><a href="/debug/metrics">/debug/metrics</a> — registry snapshot</li>
+<li><a href="/debug/sweep">/debug/sweep</a> — sweep progress</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — profiles</li>
+</ul></body></html>`)
+}
+
+func (d *DebugServer) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	reg := d.registry
+	d.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(reg.Snapshot())
+}
+
+func (d *DebugServer) serveSweep(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	fn := d.progress
+	d.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if fn == nil {
+		fmt.Fprintln(w, "{}")
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(fn())
+}

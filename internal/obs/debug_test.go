@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestDebugServer(t *testing.T) {
+	d := NewDebugServer()
+	reg := NewRegistry()
+	reg.Counter("medium", NoNode, "collisions").Add(5)
+	d.SetRegistry(reg)
+	d.SetProgress(func() any {
+		return map[string]int{"done": 3, "total": 10}
+	})
+
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + addr
+
+	var snap Snapshot
+	if err := json.Unmarshal(getBody(t, base+"/debug/metrics"), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 5 || snap.Counters[0].Name != "collisions" {
+		t.Errorf("metrics snapshot = %+v", snap)
+	}
+
+	var prog map[string]int
+	if err := json.Unmarshal(getBody(t, base+"/debug/sweep"), &prog); err != nil {
+		t.Fatalf("sweep not JSON: %v", err)
+	}
+	if prog["done"] != 3 || prog["total"] != 10 {
+		t.Errorf("sweep progress = %v", prog)
+	}
+
+	if idx := string(getBody(t, base+"/")); !strings.Contains(idx, "/debug/pprof/") {
+		t.Errorf("index = %q", idx)
+	}
+	// pprof index is wired (don't fetch a profile — just the listing).
+	if pp := string(getBody(t, base+"/debug/pprof/")); !strings.Contains(pp, "goroutine") {
+		t.Errorf("pprof index = %q", pp)
+	}
+}
+
+func TestDebugServerNoState(t *testing.T) {
+	d := NewDebugServer()
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + addr
+	// With no registry or progress source, both endpoints still answer.
+	var snap Snapshot
+	if err := json.Unmarshal(getBody(t, base+"/debug/metrics"), &snap); err != nil {
+		t.Fatalf("metrics (nil registry) not JSON: %v", err)
+	}
+	if body := strings.TrimSpace(string(getBody(t, base+"/debug/sweep"))); body != "{}" {
+		t.Errorf("sweep (no source) = %q", body)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil { // double close is a no-op
+		t.Fatal(err)
+	}
+}

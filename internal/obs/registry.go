@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/sim"
+)
+
+// Key identifies one metric: a scope (the subsystem — "mac", "medium",
+// "monitor"), the node it describes (NoNode for system-wide metrics),
+// and the metric name.
+type Key struct {
+	Scope string       `json:"scope"`
+	Node  frame.NodeID `json:"node"`
+	Name  string       `json:"name"`
+}
+
+// Counter is a monotonically increasing metric handle. All methods are
+// nil-safe: a nil *Counter no-ops, which is how a disabled registry
+// costs one branch per hook point.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value metric stamped with the simulated time of its
+// most recent update — the "sim-time-aware" half of the registry: a
+// snapshot shows not just a value but *when in the run* it was set.
+// Value and timestamp are separate atomics; a concurrent reader may see
+// a value paired with the neighbouring update's stamp, which is
+// acceptable for monitoring (the simulation goroutine itself always
+// observes its own writes).
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits of the value
+	at   atomic.Int64  // sim.Time of the last Set
+}
+
+// Set records v at simulated time now.
+func (g *Gauge) Set(v float64, now sim.Time) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	g.at.Store(int64(now))
+}
+
+// Value returns the last value and the simulated time it was set.
+func (g *Gauge) Value() (v float64, at sim.Time) {
+	if g == nil {
+		return 0, 0
+	}
+	return math.Float64frombits(g.bits.Load()), sim.Time(g.at.Load())
+}
+
+// Histogram counts observations into fixed buckets chosen at
+// registration; bucket i counts v <= Bounds[i], with one overflow
+// bucket above the last bound. Observe is lock-free.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		newBits := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, newBits) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Registry maps keys to metric handles. Handles are resolved once at
+// attach time (Counter/Gauge/Histogram take the registration lock);
+// after that every update is a lock-free atomic on the handle, so a
+// single registry can be shared by all concurrent cells of a sweep. A
+// nil *Registry resolves every lookup to a nil handle, and nil handles
+// no-op — the disabled path.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[Key]*Counter
+	gauges map[Key]*Gauge
+	hists  map[Key]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[Key]*Counter),
+		gauges: make(map[Key]*Gauge),
+		hists:  make(map[Key]*Histogram),
+	}
+}
+
+// Counter resolves (registering on first use) the counter handle for
+// (scope, node, name). Returns nil on a nil registry.
+func (r *Registry) Counter(scope string, node frame.NodeID, name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := Key{scope, node, name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[k]
+	if !ok {
+		c = &Counter{}
+		r.counts[k] = c
+	}
+	return c
+}
+
+// Gauge resolves (registering on first use) the gauge handle for
+// (scope, node, name). Returns nil on a nil registry.
+func (r *Registry) Gauge(scope string, node frame.NodeID, name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := Key{scope, node, name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram resolves (registering on first use) the histogram handle
+// for (scope, node, name) with the given ascending bucket bounds. The
+// bounds of the first registration win; later calls with different
+// bounds return the existing handle. Returns nil on a nil registry.
+func (r *Registry) Histogram(scope string, node frame.NodeID, name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := Key{scope, node, name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Key
+	Value uint64 `json:"value"`
+}
+
+// GaugePoint is one gauge in a snapshot, with the simulated time of its
+// last update.
+type GaugePoint struct {
+	Key
+	Value float64  `json:"value"`
+	At    sim.Time `json:"at"`
+}
+
+// HistogramPoint is one histogram in a snapshot.
+type HistogramPoint struct {
+	Key
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time view of a registry, ordered
+// deterministically by (scope, node, name).
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters"`
+	Gauges     []GaugePoint     `json:"gauges"`
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+func keyLess(a, b Key) bool {
+	if a.Scope != b.Scope {
+		return a.Scope < b.Scope
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Name < b.Name
+}
+
+// Snapshot captures every metric. Safe to call concurrently with
+// updates (values are read atomically; the result is a consistent-
+// enough monitoring view, not a transaction). Returns an empty snapshot
+// on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	countKeys := make([]Key, 0, len(r.counts))
+	for k := range r.counts {
+		countKeys = append(countKeys, k)
+	}
+	gaugeKeys := make([]Key, 0, len(r.gauges))
+	for k := range r.gauges {
+		gaugeKeys = append(gaugeKeys, k)
+	}
+	histKeys := make([]Key, 0, len(r.hists))
+	for k := range r.hists {
+		histKeys = append(histKeys, k)
+	}
+	sort.Slice(countKeys, func(i, j int) bool { return keyLess(countKeys[i], countKeys[j]) })
+	sort.Slice(gaugeKeys, func(i, j int) bool { return keyLess(gaugeKeys[i], gaugeKeys[j]) })
+	sort.Slice(histKeys, func(i, j int) bool { return keyLess(histKeys[i], histKeys[j]) })
+	for _, k := range countKeys {
+		s.Counters = append(s.Counters, CounterPoint{k, r.counts[k].Value()})
+	}
+	for _, k := range gaugeKeys {
+		v, at := r.gauges[k].Value()
+		s.Gauges = append(s.Gauges, GaugePoint{k, v, at})
+	}
+	for _, k := range histKeys {
+		h := r.hists[k]
+		hp := HistogramPoint{Key: k, Count: h.Count(), Sum: h.Sum()}
+		hp.Bounds = append(hp.Bounds, h.bounds...)
+		for i := range h.buckets {
+			hp.Buckets = append(hp.Buckets, h.buckets[i].Load())
+		}
+		s.Histograms = append(s.Histograms, hp)
+	}
+	r.mu.Unlock()
+	return s
+}
+
+// MarshalJSON renders the snapshot with stable ordering (it already is a
+// plain struct of sorted slices; this indirection exists so callers can
+// json.Marshal a Snapshot or the Registry interchangeably).
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"fmt"
+	"io/fs"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dcfguard/internal/atomicio"
+)
+
+// RingSink keeps the last N records: the crash-forensics buffer that
+// *experiment.SeedFailure dumps drain. Emission is O(1) and
+// allocation-free after the first lap; the mutex makes Records safe to
+// call from the failure-reporting goroutine while the watchdog may
+// still be interrupting the run.
+type RingSink struct {
+	mu   sync.Mutex
+	buf  []Record
+	next int
+	full bool
+}
+
+// NewRingSink returns a ring holding the last size records (min 1).
+func NewRingSink(size int) *RingSink {
+	if size < 1 {
+		size = 1
+	}
+	return &RingSink{buf: make([]Record, size)}
+}
+
+// Emit stores r, evicting the oldest record when full.
+func (s *RingSink) Emit(r Record) {
+	s.mu.Lock()
+	s.buf[s.next] = r
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+}
+
+// Records returns the buffered records oldest-first. The slice is a
+// copy; the ring keeps filling.
+func (s *RingSink) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		out := make([]Record, s.next)
+		copy(out, s.buf[:s.next])
+		return out
+	}
+	out := make([]Record, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Len returns the number of buffered records.
+func (s *RingSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.full {
+		return len(s.buf)
+	}
+	return s.next
+}
+
+// JSONLSink renders every record as one JSON object per line, buffered
+// in memory and written atomically (temp+fsync+rename via
+// internal/atomicio) on Close — a torn run never leaves a half-written
+// trace file. Fields are emitted in a fixed order and zero-valued
+// optional fields are omitted, so traces diff cleanly across runs.
+type JSONLSink struct {
+	path string
+	perm fs.FileMode
+	buf  strings.Builder
+	n    int
+}
+
+// NewJSONLSink buffers records destined for path (written on Close with
+// mode 0644).
+func NewJSONLSink(path string) *JSONLSink {
+	return &JSONLSink{path: path, perm: 0o644}
+}
+
+// Emit appends one line. Records carry only static strings and scalars,
+// so the hand-rolled encoder needs no reflection and no escaping.
+func (s *JSONLSink) Emit(r Record) {
+	b := &s.buf
+	b.WriteString(`{"cat":"`)
+	b.WriteString(r.Cat.String())
+	b.WriteString(`","t":`)
+	b.WriteString(strconv.FormatInt(int64(r.Time), 10))
+	b.WriteString(`,"node":`)
+	b.WriteString(strconv.Itoa(int(r.Node)))
+	if r.Peer != NoNode {
+		b.WriteString(`,"peer":`)
+		b.WriteString(strconv.Itoa(int(r.Peer)))
+	}
+	b.WriteString(`,"event":"`)
+	b.WriteString(r.Event)
+	b.WriteString(`"`)
+	if r.Aux != "" {
+		b.WriteString(`,"aux":"`)
+		b.WriteString(r.Aux)
+		b.WriteString(`"`)
+	}
+	if r.Seq != 0 {
+		b.WriteString(`,"seq":`)
+		b.WriteString(strconv.FormatUint(uint64(r.Seq), 10))
+	}
+	// Exact-zero elision is lossless here: an absent field decodes back
+	// to 0, and no simulation state ever branches on these comparisons.
+	if r.A != 0 { //detlint:allow floateq -- encoder field elision, exact zero is the wire default
+		b.WriteString(`,"a":`)
+		b.WriteString(strconv.FormatFloat(r.A, 'g', -1, 64))
+	}
+	if r.B != 0 { //detlint:allow floateq -- encoder field elision, exact zero is the wire default
+		b.WriteString(`,"b":`)
+		b.WriteString(strconv.FormatFloat(r.B, 'g', -1, 64))
+	}
+	if r.C != 0 { //detlint:allow floateq -- encoder field elision, exact zero is the wire default
+		b.WriteString(`,"c":`)
+		b.WriteString(strconv.FormatFloat(r.C, 'g', -1, 64))
+	}
+	b.WriteString("}\n")
+	s.n++
+}
+
+// Len returns the number of buffered records.
+func (s *JSONLSink) Len() int { return s.n }
+
+// Close writes the buffered trace atomically.
+func (s *JSONLSink) Close() error {
+	return atomicio.WriteFile(s.path, []byte(s.buf.String()), s.perm)
+}
+
+// DiagnosisCSV renders the diagnosis trail — every CatDiagnosis record —
+// as a CSV with one row per per-packet classification or proof, the
+// figure-ready export of the paper's windowed diagnosis scheme. Records
+// of other categories are ignored, so the sink can subscribe to a wider
+// set. Written atomically on Close.
+type DiagnosisCSV struct {
+	path string
+	buf  strings.Builder
+	n    int
+}
+
+// DiagnosisCSVHeader is the column schema of the diagnosis-trail
+// export (see DESIGN.md §9).
+const DiagnosisCSVHeader = "time,monitor,sender,seq,event,diff,window_sum,thresh,verdict"
+
+// NewDiagnosisCSV buffers diagnosis records destined for path.
+func NewDiagnosisCSV(path string) *DiagnosisCSV {
+	d := &DiagnosisCSV{path: path}
+	d.buf.WriteString(DiagnosisCSVHeader + "\n")
+	return d
+}
+
+// Emit appends one row for diagnosis records; other categories no-op.
+func (d *DiagnosisCSV) Emit(r Record) {
+	if r.Cat != CatDiagnosis {
+		return
+	}
+	fmt.Fprintf(&d.buf, "%d,%d,%d,%d,%s,%g,%g,%g,%s\n",
+		int64(r.Time), r.Node, r.Peer, r.Seq, r.Event, r.A, r.B, r.C, r.Aux)
+	d.n++
+}
+
+// Len returns the number of buffered rows (excluding the header).
+func (d *DiagnosisCSV) Len() int { return d.n }
+
+// CSV returns the buffered document (header plus rows).
+func (d *DiagnosisCSV) CSV() string { return d.buf.String() }
+
+// Close writes the trail atomically.
+func (d *DiagnosisCSV) Close() error {
+	return atomicio.WriteFile(d.path, []byte(d.buf.String()), 0o644)
+}
