@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint audit race bench bench-quick bench-full bench-large check check-v2 faults obs clean
+.PHONY: all build test vet lint audit race bench bench-quick bench-full bench-large bench-guard check check-v2 faults obs clean
 
 all: build
 
@@ -50,6 +50,15 @@ bench-full:
 bench-large:
 	$(GO) test -run '^$$' -bench 'RunRandom[24]00' -benchtime=1x -benchmem .
 
+# Kernel-throughput guard: RunRandom40V2 and RunRandom400 must sustain
+# ≥95% of the events/sec recorded in BENCH.json (same machine-local
+# caveat and env gate as the obs overhead guard). Writes a CPU profile
+# so a failing CI run ships the evidence as an artifact.
+bench-guard:
+	@mkdir -p results
+	DCFGUARD_OVERHEAD_GUARD=1 $(GO) test -count=1 -run 'KernelThroughputGuard' \
+		-cpuprofile results/bench-guard-cpu.prof -o results/bench-guard.test -v .
+
 # Channel-model-v2 correctness gate: the v2 golden checksums and the
 # grid-vs-brute-force equivalence quickcheck, under the race detector.
 check-v2:
@@ -80,7 +89,7 @@ obs:
 # The pre-merge gate (see README "Pre-merge gate"), cheapest stages
 # first so failures surface in seconds: vet and the determinism
 # analyzers, then build, then the minutes-long race/bench stages.
-check: vet lint build race check-v2 faults obs bench
+check: vet lint build race check-v2 faults obs bench bench-guard
 
 clean:
 	$(GO) clean ./...

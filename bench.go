@@ -1,6 +1,12 @@
 package dcfguard
 
-import "fmt"
+import (
+	"fmt"
+	"syscall"
+	"time"
+
+	"dcfguard/internal/rng"
+)
 
 // This file defines the canonical benchmark suite in one place, so the
 // in-repo benchmarks (bench_test.go) and the `macsim bench` subcommand
@@ -23,6 +29,7 @@ func BenchFigConfig() Config {
 // under plain 802.11, 2 simulated seconds.
 func BenchScenario80211Star() Scenario {
 	s := DefaultScenario()
+	s.Channel = ChannelV1 // historical v1-channel kernel baseline
 	s.Duration = 2 * Second
 	s.Protocol = Protocol80211
 	return s
@@ -32,6 +39,7 @@ func BenchScenario80211Star() Scenario {
 // active and the PM-80 misbehaver.
 func BenchScenarioCorrectStar() Scenario {
 	s := DefaultScenario()
+	s.Channel = ChannelV1 // historical v1-channel pipeline baseline
 	s.Duration = 2 * Second
 	s.Protocol = ProtocolCorrect
 	s.PM = 80
@@ -42,6 +50,7 @@ func BenchScenarioCorrectStar() Scenario {
 // 5 misbehaving senders at PM 80.
 func BenchScenarioRandom40() Scenario {
 	s := DefaultScenario()
+	s.Channel = ChannelV1 // the v1 pair of RunRandom40V2
 	s.Duration = 2 * Second
 	s.Topo = RandomTopo(40, 5)
 	s.PM = 80
@@ -123,8 +132,11 @@ func BenchTargets() []BenchTarget {
 	cfg := BenchFigConfig()
 	fig := func(name string, f func(Config) (*Table, error)) BenchTarget {
 		return BenchTarget{Name: name, Run: func(int) (uint64, error) {
-			_, err := f(cfg)
-			return 0, err
+			t, err := f(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return t.Events, nil
 		}}
 	}
 	return []BenchTarget{
@@ -140,14 +152,20 @@ func BenchTargets() []BenchTarget {
 		fig("Fig7Fairness", Fig7),
 		fig("Fig8Responsiveness", Fig8),
 		{Name: "Fig6NoMisbehavior", Run: func(int) (uint64, error) {
-			_, _, err := Fig6And7(cfg)
-			return 0, err
+			t6, _, err := Fig6And7(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return t6.Events, nil
 		}},
 		{Name: "Fig9RandomTopology", Run: func(int) (uint64, error) {
 			c := cfg
 			c.PMs = []int{80}
-			_, err := Fig9(c)
-			return 0, err
+			t, err := Fig9(c)
+			if err != nil {
+				return 0, err
+			}
+			return t.Events, nil
 		}},
 	}
 }
@@ -165,4 +183,56 @@ func FindBenchTarget(name string) (BenchTarget, error) {
 		names = append(names, t.Name)
 	}
 	return BenchTarget{}, fmt.Errorf("unknown bench target %q (have %v)", name, names)
+}
+
+// hostRefOps is the iteration count of the host-reference loop: enough
+// Mix64 rounds to run for tens of milliseconds — long enough to average
+// over scheduler jitter, short enough to repeat in every guard run.
+const hostRefOps = 1 << 23
+
+// hostRefSink defeats dead-code elimination of the reference loop.
+var hostRefSink uint64
+
+// HostReferenceRate measures this machine's current scalar throughput
+// as Mix64 rounds per second, best of three batches, each timed as
+// min(wall, process CPU). BENCH.json records it next to the kernel
+// numbers ("HostReference") so the throughput guard can tell a kernel
+// regression from the shared host simply clocking slower than it did
+// when the baseline was captured: the guard scales its floor by
+// (rate now / rate recorded), capped at 1 so a faster host never
+// loosens it. A pure ALU loop tracks frequency drift on both counts —
+// it shares no caches or allocator state with the simulator, which is
+// exactly why it isolates the host-speed factor.
+func HostReferenceRate() float64 {
+	best := 0.0
+	for batch := 0; batch < 3; batch++ {
+		wall0 := time.Now() //detlint:allow wallclock -- host benchmarking, outside the simulation
+		cpu0 := processCPUTime()
+		acc := uint64(batch)
+		for i := uint64(0); i < hostRefOps; i++ {
+			acc = rng.Mix64(acc, i)
+		}
+		hostRefSink += acc
+		wall := time.Since(wall0) //detlint:allow wallclock -- host benchmarking, outside the simulation
+		d := wall
+		if cpu := processCPUTime() - cpu0; cpu > 0 && cpu < d {
+			d = cpu
+		}
+		if s := d.Seconds(); s > 0 {
+			if r := float64(hostRefOps) / s; r > best {
+				best = r
+			}
+		}
+	}
+	return best
+}
+
+// processCPUTime returns this process's cumulative user+system CPU
+// time; zero if rusage is unavailable.
+func processCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
 }

@@ -1,0 +1,105 @@
+package dcfguard_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"dcfguard"
+)
+
+// The bench guard pins the kernel-throughput floor: RunRandom40V2 and
+// RunRandom400 must sustain at least 95% of the events/sec recorded in
+// BENCH.json, so a scheduler or channel-model regression that survives
+// the correctness suites still fails the pre-merge gate. Like the
+// observability overhead guard it is gated behind
+// DCFGUARD_OVERHEAD_GUARD=1 (run by `make bench-guard`) because
+// absolute throughput is only meaningful on the machine that captured
+// the baseline.
+//
+// The estimator mirrors TestDisabledObservabilityOverhead's
+// noisy-host discipline: each run is timed as min(wall, process-CPU) —
+// contention inflates wall but not CPU burned — the best per-run rate
+// accumulates across batches with a pause between failing ones, and a
+// real regression lowers the ceiling itself so no number of batches
+// rescues it.
+
+// benchGuardTargets are the guarded workloads; both run channel model
+// v2, the default, so they cover the slab kernel, the calendar queue,
+// and the batched counter-RNG fast path.
+func benchGuardTargets() map[string]dcfguard.Scenario {
+	return map[string]dcfguard.Scenario{
+		"RunRandom40V2": dcfguard.BenchScenarioRandom40V2(),
+		"RunRandom400":  dcfguard.BenchScenarioRandom400(),
+	}
+}
+
+func TestKernelThroughputGuard(t *testing.T) {
+	if os.Getenv(overheadGuardEnv) == "" {
+		t.Skipf("set %s=1 to run the kernel-throughput guard (make bench-guard)", overheadGuardEnv)
+	}
+	data, err := os.ReadFile("BENCH.json")
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	var bench struct {
+		Results []struct {
+			Name         string  `json:"name"`
+			EventsPerSec float64 `json:"events_per_sec"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	baseline := make(map[string]float64)
+	for _, r := range bench.Results {
+		baseline[r.Name] = r.EventsPerSec
+	}
+
+	// Host-speed normalization (see hostSpeedScale): without it, the
+	// host's minute-scale clock drift dwarfs the guard's 5% tolerance.
+	hostScale, refNow := hostSpeedScale(baseline["HostReference"])
+	t.Logf("host reference: recorded %.0f, now %.0f, floor scale %.3f",
+		baseline["HostReference"], refNow, hostScale)
+
+	for name, s := range benchGuardTargets() {
+		name, s := name, s
+		t.Run(name, func(t *testing.T) {
+			base := baseline[name]
+			if base <= 0 {
+				t.Fatalf("baseline: no events_per_sec for %s in BENCH.json", name)
+			}
+			floor := base * 0.95 * hostScale
+			best := 0.0
+			for batch := 0; batch < 10 && best < floor; batch++ {
+				if batch > 0 {
+					time.Sleep(500 * time.Millisecond)
+				}
+				for i := 0; i < 3; i++ {
+					wall0, cpu0 := time.Now(), cpuNow()
+					r, err := dcfguard.Run(s, uint64(i+1))
+					if err != nil {
+						t.Fatal(err)
+					}
+					wall, cpu := time.Since(wall0), cpuNow()-cpu0
+					d := wall
+					if cpu > 0 && cpu < d {
+						d = cpu
+					}
+					if secs := d.Seconds(); secs > 0 {
+						if rate := float64(r.EventsFired) / secs; rate > best {
+							best = rate
+						}
+					}
+				}
+				t.Logf("batch %d: best %.0f events/sec, baseline %.0f, floor %.0f",
+					batch+1, best, base, floor)
+			}
+			if best < floor {
+				t.Errorf("%s = %.0f events/sec, below %.0f (baseline %.0f - 5%%) — kernel throughput regressed",
+					name, best, floor, base)
+			}
+		})
+	}
+}

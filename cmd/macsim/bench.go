@@ -7,6 +7,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"syscall"
 	"testing"
 	"time"
 
@@ -96,6 +97,20 @@ func runBench(args []string) error {
 	if len(file.Results) == 0 {
 		return fmt.Errorf("no targets match filter %q", *filter)
 	}
+	// The host-reference entry calibrates the throughput guard: it
+	// rescales the recorded floors by how fast this machine runs a pure
+	// ALU loop at guard time versus now (see dcfguard.HostReferenceRate).
+	ref := benchEntry{
+		Name:         "HostReference",
+		Iterations:   1,
+		EventsPerOp:  float64(uint64(1) << 23),
+		EventsPerSec: dcfguard.HostReferenceRate(),
+	}
+	file.Results = append(file.Results, ref)
+	fmt.Printf("Benchmark%s\t%8d\t%12.0f events/sec\n", ref.Name, ref.Iterations, ref.EventsPerSec)
+	if base, ok := baseline[ref.Name]; ok && base.EventsPerSec > 0 {
+		fmt.Printf("  vs baseline:\tevents/sec %s\n", pctDelta(base.EventsPerSec, ref.EventsPerSec))
+	}
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return err
@@ -148,44 +163,97 @@ func pctDelta(base, cur float64) string {
 	return fmt.Sprintf("%+.1f%%", (cur-base)/base*100)
 }
 
+// benchBatches is how many independent testing.Benchmark batches
+// measure runs per target, keeping the fastest. One batch on a shared
+// host conflates the kernel's cost with whatever the hypervisor
+// scheduled alongside it; best-of-N with per-batch min(wall, CPU) is
+// the same noisy-host discipline the overhead and throughput guards
+// use, so BENCH.json records the machine's capability rather than its
+// worst moment.
+const benchBatches = 3
+
+// cpuTime returns this process's cumulative user+system CPU time.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
 // measure times one target: a single hand-timed iteration in quick
-// mode, testing.Benchmark (auto-scaled to ~1 s) otherwise.
+// mode, best-of-benchBatches testing.Benchmark runs otherwise.
 func measure(target dcfguard.BenchTarget, quick bool) (benchEntry, error) {
 	if quick {
 		return measureQuick(target)
 	}
-	var runErr error
-	var events uint64
-	var iters int
-	res := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		events, iters = 0, b.N
-		for i := 0; i < b.N; i++ {
-			ev, err := target.Run(i)
-			if err != nil {
-				runErr = err
-				b.FailNow()
+	var best benchEntry
+	for batch := 0; batch < benchBatches; batch++ {
+		var runErr error
+		var events uint64
+		var iters int
+		var spent, fastestRun time.Duration
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			events, iters = 0, b.N
+			fastestRun = 0
+			wall0, cpu0 := time.Now(), cpuTime()
+			for i := 0; i < b.N; i++ {
+				rw0, rc0 := time.Now(), cpuTime()
+				ev, err := target.Run(i)
+				if err != nil {
+					runErr = err
+					b.FailNow()
+				}
+				// Per-run min(wall, CPU), for the peak-throughput
+				// metric below. rusage reads cost ~1 µs against runs
+				// of tens of milliseconds.
+				rw, rc := time.Since(rw0), cpuTime()-rc0
+				if rc > 0 && rc < rw {
+					rw = rc
+				}
+				if fastestRun == 0 || rw < fastestRun {
+					fastestRun = rw
+				}
+				events += ev
 			}
-			events += ev
+			// min(wall, CPU): rusage strips hypervisor steal, wall
+			// strips any accounting skew the other way.
+			wall, cpu := time.Since(wall0), cpuTime()-cpu0
+			spent = wall
+			if cpu > 0 && cpu < wall {
+				spent = cpu
+			}
+		})
+		if runErr != nil {
+			return benchEntry{}, runErr
 		}
-	})
-	if runErr != nil {
-		return benchEntry{}, runErr
-	}
-	entry := benchEntry{
-		Name:        target.Name,
-		Iterations:  res.N,
-		NsPerOp:     float64(res.NsPerOp()),
-		AllocsPerOp: res.AllocsPerOp(),
-		BytesPerOp:  res.AllocedBytesPerOp(),
-	}
-	if events > 0 && iters > 0 {
-		entry.EventsPerOp = float64(events) / float64(iters)
-		if entry.NsPerOp > 0 {
-			entry.EventsPerSec = entry.EventsPerOp / entry.NsPerOp * 1e9
+		entry := benchEntry{
+			Name:       target.Name,
+			Iterations: res.N,
+			// Whole nanoseconds: ns_per_op is declared int64 by
+			// downstream consumers (the overhead guard among them).
+			NsPerOp:     float64(spent.Nanoseconds() / int64(iters)),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if events > 0 && iters > 0 {
+			entry.EventsPerOp = float64(events) / float64(iters)
+			// events_per_sec is peak sustained throughput — the batch's
+			// fastest single run — NOT events_per_op/ns_per_op. That is
+			// deliberately the exact quantity TestKernelThroughputGuard
+			// replays (best run of a batch, min(wall, CPU)); recording
+			// the batch average instead would hand the guard's 5 %
+			// tolerance an extra, host-noise-sized cushion.
+			if fastestRun > 0 {
+				entry.EventsPerSec = entry.EventsPerOp / float64(fastestRun.Nanoseconds()) * 1e9
+			}
+		}
+		if batch == 0 || entry.NsPerOp < best.NsPerOp {
+			best = entry
 		}
 	}
-	return entry, nil
+	return best, nil
 }
 
 // measureQuick runs the target exactly once, timing wall clock and

@@ -35,6 +35,7 @@ import (
 
 	"dcfguard"
 	"dcfguard/internal/atomicio"
+	"dcfguard/internal/sim"
 )
 
 func main() {
@@ -127,7 +128,8 @@ func run() error {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		execTr   = flag.String("trace", "", "write a Go execution trace to this file")
 		csvPath  = flag.String("csv", "", "with -seeds: write raw per-run metrics to this CSV file")
-		channel  = flag.String("channel", "v1", "channel model: v1 (sequential stream) or v2 (counter RNG + spatial index)")
+		channel  = flag.String("channel", "v2", "channel model: v2 (counter RNG + spatial index, default) or v1 (paper-exact sequential stream)")
+		queue    = flag.String("queue", "", "scheduler queue: calendar (default) or heap")
 		fer      = flag.Float64("fer", 0, "i.i.d. frame-error rate in [0,1) injected after collision resolution")
 		burst    = flag.String("burst", "", "Gilbert burst losses 'fer,r': mean FER and Bad→Good recovery prob (replaces -fer)")
 		churn    = flag.String("churn", "", "receiver churn 'mean[,down]': mean up-time and downtime durations, e.g. 5s,200ms")
@@ -171,6 +173,13 @@ func run() error {
 		s.Channel = dcfguard.ChannelV2
 	default:
 		return fmt.Errorf("unknown channel model %q (want v1 or v2)", *channel)
+	}
+	if *queue != "" {
+		k, err := sim.ParseQueueKind(*queue)
+		if err != nil {
+			return err
+		}
+		sim.SetDefaultQueue(k)
 	}
 	if *random > 0 {
 		s.Topo = dcfguard.RandomTopo(*random, *mis)

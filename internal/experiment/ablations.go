@@ -165,6 +165,7 @@ func AblationReceiverMisbehavior(cfg Config) (*Table, error) {
 			s := DefaultScenario()
 			s.Name = fmt.Sprintf("a5-greedy%t-audit%t", greedyRecv, audit)
 			s.Duration = cfg.Duration
+			s.Channel = cfg.Channel
 			s.Topo = receiverPairTopo()
 			s.Protocol = ProtocolCorrect
 			s.VerifyReceiverAtSenders = audit
@@ -282,6 +283,7 @@ func ExtHiddenTerminal(cfg Config) (*Table, error) {
 		s := DefaultScenario()
 		s.Name = fmt.Sprintf("hidden-basic%t", basic)
 		s.Duration = cfg.Duration
+		s.Channel = cfg.Channel
 		s.Protocol = Protocol80211
 		s.MAC.BasicAccess = basic
 		s.CsRangeM = 300

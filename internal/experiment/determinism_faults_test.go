@@ -36,12 +36,14 @@ func faultResultChecksum(r Result) uint64 {
 
 func faultGoldenScenarios() []Scenario {
 	fer := DefaultScenario()
+	fer.Channel = ChannelV1 // fault goldens captured on the v1 channel
 	fer.Name = "faults-fer20"
 	fer.PM = 80
 	fer.Duration = 2 * sim.Second
 	fer.Faults.FER = 0.20
 
 	burst := DefaultScenario()
+	burst.Channel = ChannelV1 // fault goldens captured on the v1 channel
 	burst.Name = "faults-burst20"
 	burst.PM = 80
 	burst.Duration = 2 * sim.Second
@@ -49,6 +51,7 @@ func faultGoldenScenarios() []Scenario {
 	burst.Faults.Burst = &ge
 
 	churn := DefaultScenario()
+	churn.Channel = ChannelV1 // fault goldens captured on the v1 channel
 	churn.Name = "faults-churn"
 	churn.PM = 80
 	churn.Duration = 2 * sim.Second

@@ -58,18 +58,21 @@ func resultChecksum(r Result) uint64 {
 // monitor pipeline; short enough for the ordinary test run).
 func goldenScenarios() []Scenario {
 	star80211 := DefaultScenario()
+	star80211.Channel = ChannelV1 // goldens captured on the v1 channel
 	star80211.Name = "star-802.11"
 	star80211.Protocol = Protocol80211
 	star80211.PM = 80
 	star80211.Duration = 2 * sim.Second
 
 	starCorrect := DefaultScenario()
+	starCorrect.Channel = ChannelV1
 	starCorrect.Name = "star-correct"
 	starCorrect.Protocol = ProtocolCorrect
 	starCorrect.PM = 80
 	starCorrect.Duration = 2 * sim.Second
 
 	random40 := DefaultScenario()
+	random40.Channel = ChannelV1
 	random40.Name = "random-40"
 	random40.Topo = RandomTopo(40, 5)
 	random40.PM = 80

@@ -32,6 +32,12 @@ type Config struct {
 	Fig8PMs []int
 	// FERs is the ExtFaultTolerance frame-error-rate sweep.
 	FERs []float64
+	// Channel selects the channel model for every generated scenario.
+	// The default configs use ChannelV2; ChannelV1 (cmd/figures
+	// -channel v1) reproduces tables recorded before the v2 default
+	// flip byte-for-byte (DESIGN.md §10). Note the zero value reads as
+	// ChannelV1 — construct configs via DefaultConfig/QuickConfig.
+	Channel ChannelModel
 }
 
 // DefaultConfig reproduces the paper's settings.
@@ -43,6 +49,7 @@ func DefaultConfig() Config {
 		NetworkSizes: []int{1, 2, 4, 8, 16, 32, 64},
 		Fig8PMs:      []int{40, 60, 80},
 		FERs:         []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30},
+		Channel:      ChannelV2,
 	}
 }
 
@@ -55,6 +62,7 @@ func QuickConfig() Config {
 		NetworkSizes: []int{1, 4, 8},
 		Fig8PMs:      []int{40, 80},
 		FERs:         []float64{0, 0.15, 0.30},
+		Channel:      ChannelV2,
 	}
 }
 
@@ -63,6 +71,7 @@ func (c Config) base(name string, twoFlow bool, mis ...int) Scenario {
 	s.Name = name
 	s.Duration = c.Duration
 	s.Topo = StarTopo(8, twoFlow, mis...)
+	s.Channel = c.Channel
 	return s
 }
 
@@ -91,6 +100,7 @@ func Fig4(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			t.Events += agg.EventsFired
 			row = append(row,
 				fmtCI(agg.CorrectDiagnosisPct.Mean, agg.CorrectDiagnosisPct.CI95),
 				fmtCI(agg.MisdiagnosisPct.Mean, agg.MisdiagnosisPct.CI95))
@@ -131,6 +141,8 @@ func Fig5WithDelay(cfg Config) (*Table, *Table, error) {
 			if err != nil {
 				return nil, nil, err
 			}
+			t5.Events += agg.EventsFired
+			tD.Events = t5.Events // same runs
 			row5 = append(row5,
 				fmtCI(agg.AvgMisbehaverKbps.Mean, agg.AvgMisbehaverKbps.CI95),
 				fmtCI(agg.AvgHonestKbps.Mean, agg.AvgHonestKbps.CI95))
@@ -179,6 +191,8 @@ func Fig6And7(cfg Config) (*Table, *Table, error) {
 				if err != nil {
 					return nil, nil, err
 				}
+				t6.Events += agg.EventsFired
+				t7.Events = t6.Events // same runs
 				row6 = append(row6, fmtCI(agg.AvgHonestKbps.Mean, agg.AvgHonestKbps.CI95))
 				row7 = append(row7, fmtF3(agg.Fairness.Mean))
 			}
@@ -223,6 +237,7 @@ func Fig8(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		t.Events += agg.EventsFired
 		vals := make([]float64, len(agg.Series))
 		for i, p := range agg.Series {
 			vals[i] = p.CorrectPct
@@ -291,10 +306,12 @@ func Fig9(cfg Config) (*Table, error) {
 		s.Topo = RandomTopo(40, 5)
 		s.Protocol = ProtocolCorrect
 		s.PM = pm
+		s.Channel = cfg.Channel
 		aggC, err := RunSeeds(s, cfg.Seeds)
 		if err != nil {
 			return nil, err
 		}
+		t.Events += aggC.EventsFired
 		row = append(row,
 			fmtCI(aggC.CorrectDiagnosisPct.Mean, aggC.CorrectDiagnosisPct.CI95),
 			fmtCI(aggC.MisdiagnosisPct.Mean, aggC.MisdiagnosisPct.CI95))
@@ -307,6 +324,7 @@ func Fig9(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		t.Events += agg80.EventsFired
 		row = append(row,
 			fmtCI(agg80.AvgMisbehaverKbps.Mean, agg80.AvgMisbehaverKbps.CI95),
 			fmtCI(agg80.AvgHonestKbps.Mean, agg80.AvgHonestKbps.CI95),

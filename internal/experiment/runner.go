@@ -163,7 +163,9 @@ func run(s Scenario, seed uint64, armed func(*sim.Scheduler, *obs.Runtime)) (Res
 		},
 	}
 
-	// Build nodes in ascending ID order (determinism).
+	// Build nodes in ascending ID order (determinism), allocated from
+	// one contiguous arena so per-station hot state stays cache-adjacent.
+	arena := mac.NewArena(len(tp.Positions))
 	nodes := make([]*mac.Node, len(tp.Positions))
 	monitors := make(map[frame.NodeID]*core.Monitor)
 	policies := make(map[frame.NodeID]mac.BackoffPolicy)
@@ -207,7 +209,7 @@ func run(s Scenario, seed uint64, armed func(*sim.Scheduler, *obs.Runtime)) (Res
 				}
 			}(id),
 		}
-		nodes[i] = mac.NewNode(id, s.MAC, &sched, med, policies[id], hook, cb)
+		nodes[i] = mac.NewNodeIn(arena, id, s.MAC, &sched, med, policies[id], hook, cb)
 		nodes[i].Instrument(rt.Reg(), rt.TraceBus())
 		med.Attach(id, tp.Positions[i], radio, nodes[i])
 	}

@@ -23,11 +23,13 @@ import (
 type ChannelModel = medium.ChannelModel
 
 const (
-	// ChannelV1 is the original sequential-stream channel (the default
-	// and the zero value; bit-identical to the seed implementation).
+	// ChannelV1 is the original sequential-stream channel (the zero
+	// value; bit-identical to the seed implementation). Kept selectable
+	// for byte-exact reproduction of pre-v2 runs and goldens.
 	ChannelV1 = medium.ChannelV1
-	// ChannelV2 is the counter-RNG + spatial-index channel for large
-	// topologies (see internal/medium/index.go).
+	// ChannelV2 is the counter-RNG + spatial-index channel (see
+	// internal/medium/index.go) — the default since DefaultScenario
+	// flipped to it (DESIGN.md §10).
 	ChannelV2 = medium.ChannelV2
 )
 
@@ -121,8 +123,9 @@ type Scenario struct {
 	// CoherenceInterval, when positive, enables sub-frame carrier-sense
 	// re-draws in the medium.
 	CoherenceInterval sim.Time
-	// Channel selects the medium's channel model: ChannelV1 (default,
-	// bit-identical to the original goldens) or ChannelV2 (per-pair
+	// Channel selects the medium's channel model: ChannelV1 (the
+	// zero value, bit-identical to the original goldens; the default
+	// from DefaultScenario is ChannelV2) or ChannelV2 (per-pair
 	// counter RNG + spatial neighbor index, for 200+ node topologies).
 	Channel ChannelModel
 	// BinSize enables the Figure-8 diagnosis time series when positive.
@@ -163,6 +166,10 @@ type Scenario struct {
 // DefaultScenario returns the paper's base configuration: Figure-3
 // ZERO-FLOW star with 8 senders, node 3 misbehaving with StrategyPartial,
 // 50 s runs, 512 B packets, 2 Mbps channel, shadowing with σ = 1 dB.
+// The channel model defaults to v2 (counter-RNG + spatial index);
+// results are statistically equivalent to v1 but not draw-for-draw
+// identical — set Channel = ChannelV1 (macsim -channel v1) to reproduce
+// the paper-exact v1 goldens.
 func DefaultScenario() Scenario {
 	return Scenario{
 		Name:         "zero-flow",
@@ -178,6 +185,7 @@ func DefaultScenario() Scenario {
 		BitRate:      2_000_000,
 		BinSize:      0,
 		QueueDepth:   8,
+		Channel:      ChannelV2,
 	}
 }
 

@@ -29,6 +29,10 @@ type Aggregate struct {
 
 	ProvenMisbehaviors int
 	GreedyDetections   int
+
+	// EventsFired is the total kernel event count across runs, so the
+	// figure generators can report events/op in the bench suite.
+	EventsFired uint64
 }
 
 // Seeds returns the paper's seed convention: the same fixed set
@@ -114,6 +118,7 @@ func aggregate(name string, results []Result) Aggregate {
 		fair.Add(r.Fairness)
 		agg.ProvenMisbehaviors += r.ProvenMisbehaviors
 		agg.GreedyDetections += r.GreedyDetections
+		agg.EventsFired += r.EventsFired
 		for i, p := range r.Series {
 			for len(bins) <= i {
 				bins = append(bins, binAcc{start: p.Start})

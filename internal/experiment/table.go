@@ -12,6 +12,10 @@ type Table struct {
 	Rows    [][]string
 	// Notes carry caveats (parameters used, substitutions).
 	Notes []string
+	// Events is the total kernel event count across every run behind
+	// the table, so `macsim bench` can record events/op for figure
+	// targets. Not rendered.
+	Events uint64
 }
 
 // AddRow appends a row of already-formatted cells.

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Eventalloc flags heap-boxed scheduler event records: `&Event{...}`
+// and `new(Event)` where Event is the record type of a slab scheduler.
+// Since the kernel round-2 refactor, Event records live in the
+// Scheduler's flat []Event slab and are addressed by uint32 index;
+// the only sanctioned allocation is the slab's own value append inside
+// Scheduler.alloc (a plain `Event{}` literal, which this analyzer
+// deliberately does not flag). A boxed record would dodge the free
+// list, scatter hot state back across the heap, and hand out a *Event
+// that dangles when the slab grows — so any `&Event{}` or `new(Event)`
+// is a bug or a fixture, and fixtures can say so with a
+// //detlint:allow eventalloc directive.
+//
+// Like the other analyzers the check is duck-typed: a named struct
+// type called Event counts as a slab record when its defining package
+// also declares a scheduler type (something with both At and AtArg),
+// which matches the real internal/sim and the testdata stub alike.
+var Eventalloc = &Analyzer{
+	Name: "eventalloc",
+	Doc:  "flag &Event{}/new(Event) boxing of slab scheduler event records",
+	Run:  runEventalloc,
+}
+
+func runEventalloc(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op != token.AND {
+					return true
+				}
+				lit, ok := n.X.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				if tv, ok := info.Types[lit]; ok && isSlabEventType(tv.Type) {
+					pass.Reportf(n.Pos(), "&Event{} boxes a scheduler event record outside the slab; events are slab records addressed by index — schedule through At/AtArg instead")
+				}
+			case *ast.CallExpr:
+				id, ok := n.Fun.(*ast.Ident)
+				if !ok || id.Name != "new" || len(n.Args) != 1 {
+					return true
+				}
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if tv, ok := info.Types[n.Args[0]]; ok && tv.IsType() && isSlabEventType(tv.Type) {
+					pass.Reportf(n.Pos(), "new(Event) boxes a scheduler event record outside the slab; events are slab records addressed by index — schedule through At/AtArg instead")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSlabEventType reports whether t is a named struct called Event
+// whose defining package also declares a scheduler (a type with both
+// At and AtArg methods).
+func isSlabEventType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Event" {
+		return false
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if n, ok := tn.Type().(*types.Named); ok && hasMethod(n, "At") && hasMethod(n, "AtArg") {
+			return true
+		}
+	}
+	return false
+}

@@ -23,6 +23,10 @@ func TestHotalloc(t *testing.T) {
 	linttest.Run(t, "./internal/lint/testdata/src/hotalloc", lint.Hotalloc)
 }
 
+func TestEventalloc(t *testing.T) {
+	linttest.Run(t, "./internal/lint/testdata/src/eventalloc", lint.Eventalloc)
+}
+
 func TestObshot(t *testing.T) {
 	linttest.Run(t, "./internal/lint/testdata/src/obshot", lint.Obshot)
 }

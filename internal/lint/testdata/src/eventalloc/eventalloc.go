@@ -1,0 +1,39 @@
+// Seeded violations for the eventalloc analyzer.
+package eventalloc
+
+import "dcfguard/internal/lint/testdata/src/sim"
+
+// Boxing a record with a composite literal bypasses the slab free list
+// and hands out a pointer that dangles when the slab grows.
+func box() *sim.Event {
+	return &sim.Event{} // want `&Event\{\} boxes a scheduler event record outside the slab`
+}
+
+// new(Event) is the same bug in builtin clothing.
+func viaNew() *sim.Event {
+	return new(sim.Event) // want `new\(Event\) boxes a scheduler event record outside the slab`
+}
+
+// Value literals are legal: the slab allocator itself grows with
+// `append(slab, Event{})`.
+func value() sim.Event {
+	return sim.Event{}
+}
+
+// A type named Event from a package without a slab scheduler is not a
+// kernel record; boxing it is fine.
+type Event struct{ n int }
+
+func other() *Event {
+	return &Event{n: 1}
+}
+
+// new over the local type is equally fine.
+func otherNew() *Event {
+	return new(Event)
+}
+
+// Test fixtures may opt out with a justification.
+func fixture() *sim.Event {
+	return &sim.Event{} //detlint:allow eventalloc -- fixture record, never scheduled
+}

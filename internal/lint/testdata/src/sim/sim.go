@@ -28,3 +28,11 @@ func (s *Scheduler) AfterArg(d Time, fn func(arg any, when Time), arg any) Event
 type PlainTimer struct{}
 
 func (p *PlainTimer) At(when Time, fn func()) {}
+
+// Event mirrors the real slab record type, so the eventalloc corpus
+// can box it. The slab's own value-literal append (`Event{}`) is the
+// sanctioned allocation and stays unflagged.
+type Event struct {
+	when Time
+	next uint32
+}

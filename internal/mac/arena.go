@@ -1,0 +1,34 @@
+package mac
+
+// Arena is contiguous preallocated Node storage. A sweep-scale run
+// builds hundreds of stations whose hot state the kernel touches every
+// event; boxing each Node separately scatters that state across the
+// heap, while an arena keeps consecutive stations on adjacent cache
+// lines (see the Node layout comment). The experiment runner allocates
+// one arena per run, sized to the scenario's node count.
+//
+// Capacity is fixed at construction: Node pointers are registered as
+// medium listeners and must never move, so the arena refuses to grow.
+// Allocations beyond capacity fall back to individual boxing — slower,
+// never wrong.
+type Arena struct {
+	nodes []Node
+}
+
+// NewArena returns an arena with room for capacity contiguous nodes.
+func NewArena(capacity int) *Arena {
+	return &Arena{nodes: make([]Node, 0, capacity)}
+}
+
+// take returns the next node slot, or a heap-boxed spill past capacity.
+func (a *Arena) take() *Node {
+	if a == nil || len(a.nodes) == cap(a.nodes) {
+		return &Node{}
+	}
+	a.nodes = a.nodes[:len(a.nodes)+1]
+	return &a.nodes[len(a.nodes)-1]
+}
+
+// Len returns how many nodes have been allocated from the arena proper
+// (spills excluded).
+func (a *Arena) Len() int { return len(a.nodes) }

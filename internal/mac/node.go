@@ -106,34 +106,49 @@ type packet struct {
 
 // Node is one 802.11 DCF station: a transmit queue with the sender state
 // machine, and the receiver responder. It implements medium.Listener.
+//
+// Field layout: the channel-view and backoff fields touched by every
+// carrier transition are grouped at the top of the struct so they share
+// cache lines with each other (and with the scheduler/medium pointers
+// every callback dereferences) rather than with cold configuration.
+// Nodes themselves are best allocated contiguously via Arena — the
+// experiment runner does — so a sweep over stations walks memory
+// linearly instead of chasing individually-boxed structs.
 type Node struct {
-	id     frame.NodeID
+	id    frame.NodeID
+	sched *sim.Scheduler
+	med   *medium.Medium
+
+	// Channel view + backoff engine (hot: touched on every carrier
+	// transition and countdown event).
+	physBusy   bool
+	counting   bool     // countdown currently running
+	committed  bool     // countdown expired this instant; transmit regardless of CS
+	eifsNext   bool     // next resume waits EIFS (corrupted reception seen)
+	state      senderState
+	remaining  int      // backoff slots left to count
+	navUntil   sim.Time
+	lastBusyAt sim.Time // most recent carrier busy transition
+	resumeWait sim.Time // the interframe space the current countdown waited
+	idleStart  sim.Time
+	// cachedBitRate memoises med.Radio(id).BitRate — immutable once the
+	// node is attached, but looked up on every RTS/DATA/EIFS airtime
+	// computation. Zero until the first bitRate() call (the radio is not
+	// attached yet when NewNode runs).
+	cachedBitRate int64
+
 	params Params
-	sched  *sim.Scheduler
-	med    *medium.Medium
 	policy BackoffPolicy
 	hook   ReceiverHook
 	cb     Callbacks
 
-	// Channel view.
-	physBusy   bool
-	navUntil   sim.Time
-	lastBusyAt sim.Time // most recent carrier busy transition
-
 	// Sender side.
-	state      senderState
-	queue      []packet
-	nextSeq    uint32
-	attempt    int
-	remaining  int      // backoff slots left to count
-	counting   bool     // countdown currently running
-	committed  bool     // countdown expired this instant; transmit regardless of CS
-	eifsNext   bool     // next resume waits EIFS (corrupted reception seen)
-	resumeWait sim.Time // the interframe space the current countdown waited
-	idleStart  sim.Time
-	doneTimer  *sim.Timer // fires when countdown reaches zero
-	navTimer   *sim.Timer // re-evaluates the channel when the NAV expires
-	respTimer  *sim.Timer // CTS/ACK timeout
+	queue     []packet
+	nextSeq   uint32
+	attempt   int
+	doneTimer *sim.Timer // fires when countdown reaches zero
+	navTimer  *sim.Timer // re-evaluates the channel when the NAV expires
+	respTimer *sim.Timer // CTS/ACK timeout
 
 	// Receiver side.
 	lastSeq map[frame.NodeID]uint32 // highest delivered seq per sender
@@ -198,7 +213,7 @@ func (n *Node) scheduleResponse(f frame.Frame, isAck bool) {
 // the fire time, so the event needs no capturing closure.
 func navProbeEvent(arg any, when sim.Time) {
 	n := arg.(*Node)
-	bitRate := n.med.Radio(n.id).BitRate
+	bitRate := n.bitRate()
 	probe := n.params.SIFS + frame.Airtime(frame.CTSBytes, bitRate) + 2*n.params.SlotTime
 	n.maybeResetNAV(when - probe)
 }
@@ -212,13 +227,21 @@ var (
 // the radio configured in the medium's Attach call (the caller attaches).
 func NewNode(id frame.NodeID, params Params, sched *sim.Scheduler, med *medium.Medium,
 	policy BackoffPolicy, hook ReceiverHook, cb Callbacks) *Node {
+	return NewNodeIn(nil, id, params, sched, med, policy, hook, cb)
+}
+
+// NewNodeIn is NewNode with the Node allocated from a (nil-safe) Arena,
+// so a run's stations occupy one contiguous block.
+func NewNodeIn(a *Arena, id frame.NodeID, params Params, sched *sim.Scheduler, med *medium.Medium,
+	policy BackoffPolicy, hook ReceiverHook, cb Callbacks) *Node {
 	if err := params.Validate(); err != nil {
 		panic(fmt.Sprintf("mac: node %d: %v", id, err))
 	}
 	if policy == nil {
 		panic(fmt.Sprintf("mac: node %d: nil policy", id))
 	}
-	n := &Node{
+	n := a.take()
+	*n = Node{
 		id:      id,
 		params:  params,
 		sched:   sched,
@@ -238,6 +261,16 @@ func NewNode(id frame.NodeID, params Params, sched *sim.Scheduler, med *medium.M
 
 // ID returns the node's identifier.
 func (n *Node) ID() frame.NodeID { return n.id }
+
+// bitRate returns the node's radio bit rate, resolved from the medium
+// once and memoised (phys.Radio.Validate rejects BitRate <= 0, so zero
+// safely means "not yet resolved").
+func (n *Node) bitRate() int64 {
+	if n.cachedBitRate == 0 {
+		n.cachedBitRate = n.med.Radio(n.id).BitRate
+	}
+	return n.cachedBitRate
+}
 
 // Counters returns (packets acknowledged as sender, packets dropped as
 // sender, packets delivered as receiver).
@@ -368,7 +401,7 @@ func (n *Node) resumeCountdown() {
 	n.idleStart = n.sched.Now()
 	n.resumeWait = n.params.DIFS()
 	if n.params.UseEIFS && n.eifsNext {
-		n.resumeWait = n.params.EIFS(n.med.Radio(n.id).BitRate)
+		n.resumeWait = n.params.EIFS(n.bitRate())
 		n.eifsNext = false
 	}
 	n.doneTimer.Reset(n.resumeWait + sim.Time(n.remaining)*n.params.SlotTime)
@@ -422,7 +455,7 @@ func (n *Node) backoffDone() {
 
 func (n *Node) sendRTS() {
 	head := n.queue[0]
-	bitRate := n.med.Radio(n.id).BitRate
+	bitRate := n.bitRate()
 	ctsAir := frame.Airtime(frame.CTSBytes, bitRate)
 	dataAir := frame.Airtime(frame.DataOverhead+head.bytes, bitRate)
 	ackAir := frame.Airtime(frame.AckBytes, bitRate)
@@ -456,7 +489,7 @@ func (n *Node) sendRTS() {
 // receiver-side estimator needs.
 func (n *Node) sendDataDirect() {
 	head := n.queue[0]
-	bitRate := n.med.Radio(n.id).BitRate
+	bitRate := n.bitRate()
 	ackAir := frame.Airtime(frame.AckBytes, bitRate)
 	attemptField := n.policy.ReportAttempt(n.attempt)
 	if attemptField < 1 {
@@ -481,7 +514,7 @@ func (n *Node) sendDataDirect() {
 
 func (n *Node) sendData() {
 	head := n.queue[0]
-	bitRate := n.med.Radio(n.id).BitRate
+	bitRate := n.bitRate()
 	ackAir := frame.Airtime(frame.AckBytes, bitRate)
 	data := frame.Frame{
 		Type:         frame.Data,
@@ -588,7 +621,7 @@ func (n *Node) FrameReceived(f frame.Frame, now sim.Time) {
 				// 802.11 §9.2.5.4 NAV-reset rule: if the channel stays
 				// idle for a CTS turnaround after an overheard RTS, the
 				// reservation never materialised — release the NAV.
-				bitRate := n.med.Radio(n.id).BitRate
+				bitRate := n.bitRate()
 				probe := n.params.SIFS + frame.Airtime(frame.CTSBytes, bitRate) + 2*n.params.SlotTime
 				n.sched.AfterArg(probe, navProbeEvent, n)
 			}
@@ -616,7 +649,7 @@ func (n *Node) onRTS(rts frame.Frame, end sim.Time) {
 	if n.sched.Now() < n.navUntil {
 		return
 	}
-	bitRate := n.med.Radio(n.id).BitRate
+	bitRate := n.bitRate()
 	start := end - rts.Airtime(bitRate)
 	respond, assigned := true, -1
 	if n.hook != nil {
@@ -643,7 +676,7 @@ func (n *Node) onRTS(rts frame.Frame, end sim.Time) {
 func (n *Node) onData(data frame.Frame, end sim.Time) {
 	ack, assigned := true, -1
 	if n.hook != nil {
-		start := end - data.Airtime(n.med.Radio(n.id).BitRate)
+		start := end - data.Airtime(n.bitRate())
 		ack, assigned = n.hook.OnData(data, start, end)
 	}
 	if !ack {

@@ -184,13 +184,19 @@ func uniformThresh(threshDBm, meanDBm, sigma float64) float64 {
 // power feeds capture resolution); sensed-only observers never touch
 // the inverse CDF.
 func (m *Medium) fanOutV2(tx *node, f frame.Frame, now, end sim.Time) {
-	frameIdx := tx.txCount
+	// One Mix64 base per transmission: the frame index's contribution to
+	// every per-observer key is the same (frameIdx+1)·γ term, so it is
+	// computed once and each observer pays one add + finalize.
+	// Mix64Pre(pairKey, delta) ≡ Mix64(pairKey, frameIdx) bit-for-bit
+	// (rng.TestMix64BatchedIdentity), so draws — and goldens — are
+	// unchanged.
+	delta := rng.Mix64Delta(tx.txCount)
 	tx.txCount++
 	sigma := m.cfg.Model.SigmaDB
 	if m.cfg.CoherenceInterval > 0 {
 		for i := range tx.neighbors {
 			nb := &tx.neighbors[i]
-			frameKey := rng.Mix64(nb.pairKey, frameIdx)
+			frameKey := rng.Mix64Pre(nb.pairKey, delta)
 			power := nb.meanDBm + sigma*rng.CounterNorm(frameKey, 0)
 			m.arriveAtV2Coherent(nb, f, power, frameKey, now, end)
 		}
@@ -198,7 +204,7 @@ func (m *Medium) fanOutV2(tx *node, f frame.Frame, now, end sim.Time) {
 	}
 	for i := range tx.neighbors {
 		nb := &tx.neighbors[i]
-		u := rng.CounterUniform(rng.Mix64(nb.pairKey, frameIdx), 0)
+		u := rng.CounterUniform(rng.Mix64Pre(nb.pairKey, delta), 0)
 		if u < nb.uCs {
 			continue // neither sensed nor decodable
 		}

@@ -141,6 +141,11 @@ type Medium struct {
 
 	nodes []*node // ascending NodeID (binary-inserted on Attach)
 	byID  map[frame.NodeID]*node
+	// dense is the NodeID-indexed fast lookup for the common
+	// contiguous-small-ID case: Transmit and the MAC's per-event
+	// Radio/Busy/Transmitting queries hit it instead of the map. IDs
+	// beyond denseLimit fall back to byID.
+	dense []*node
 	// Tap, if non-nil, observes every transmission (for traces/tests).
 	Tap func(src frame.NodeID, f frame.Frame, start, end sim.Time)
 	// DeliveryTap, if non-nil, observes every frame successfully
@@ -272,7 +277,28 @@ func (m *Medium) Attach(id frame.NodeID, pos phys.Point, radio phys.Radio, l Lis
 	copy(m.nodes[i+1:], m.nodes[i:])
 	m.nodes[i] = n
 	m.byID[id] = n
+	if id >= 0 && id < denseLimit {
+		if int(id) >= len(m.dense) {
+			m.dense = append(m.dense, make([]*node, int(id)+1-len(m.dense))...)
+		}
+		m.dense[id] = n
+	}
 	m.cacheDirty = true
+}
+
+// denseLimit bounds the dense lookup table so a single huge sparse ID
+// cannot balloon it; every repo scenario numbers nodes contiguously
+// from zero and stays far below it.
+const denseLimit = 1 << 20
+
+// lookup resolves a NodeID to its node, preferring the dense table.
+func (m *Medium) lookup(id frame.NodeID) *node {
+	if id >= 0 && int(id) < len(m.dense) {
+		if n := m.dense[id]; n != nil {
+			return n
+		}
+	}
+	return m.byID[id]
 }
 
 // buildCache precomputes the mean RX power and the out-of-range proof
@@ -326,8 +352,8 @@ func (m *Medium) newArrival() *arrival {
 // returns the instant the transmission ends. The caller (the MAC) must
 // not already be transmitting.
 func (m *Medium) Transmit(srcID frame.NodeID, f frame.Frame) sim.Time {
-	tx, ok := m.byID[srcID]
-	if !ok {
+	tx := m.lookup(srcID)
+	if tx == nil {
 		panic(fmt.Sprintf("medium: transmit from unattached node %d", srcID))
 	}
 	if m.cacheDirty {
@@ -604,8 +630,8 @@ func (m *Medium) busyEnd(n *node, now sim.Time) {
 // Transmitting reports whether the given node's own transmission is in
 // progress at the current instant.
 func (m *Medium) Transmitting(id frame.NodeID) bool {
-	n, ok := m.byID[id]
-	if !ok {
+	n := m.lookup(id)
+	if n == nil {
 		panic(fmt.Sprintf("medium: Transmitting on unattached node %d", id))
 	}
 	return n.txUntil > m.sched.Now()
@@ -613,8 +639,8 @@ func (m *Medium) Transmitting(id frame.NodeID) bool {
 
 // Busy reports whether the given node currently senses the channel busy.
 func (m *Medium) Busy(id frame.NodeID) bool {
-	n, ok := m.byID[id]
-	if !ok {
+	n := m.lookup(id)
+	if n == nil {
 		panic(fmt.Sprintf("medium: Busy on unattached node %d", id))
 	}
 	return n.busyDepth > 0
@@ -622,8 +648,8 @@ func (m *Medium) Busy(id frame.NodeID) bool {
 
 // Position returns the attached node's position.
 func (m *Medium) Position(id frame.NodeID) phys.Point {
-	n, ok := m.byID[id]
-	if !ok {
+	n := m.lookup(id)
+	if n == nil {
 		panic(fmt.Sprintf("medium: Position on unattached node %d", id))
 	}
 	return n.pos
@@ -631,8 +657,8 @@ func (m *Medium) Position(id frame.NodeID) phys.Point {
 
 // Radio returns the attached node's radio parameters.
 func (m *Medium) Radio(id frame.NodeID) phys.Radio {
-	n, ok := m.byID[id]
-	if !ok {
+	n := m.lookup(id)
+	if n == nil {
 		panic(fmt.Sprintf("medium: Radio on unattached node %d", id))
 	}
 	return n.radio

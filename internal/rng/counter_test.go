@@ -28,6 +28,30 @@ func TestMix64Deterministic(t *testing.T) {
 	}
 }
 
+// TestMix64BatchedIdentity pins the algebraic identity the v2 medium's
+// batched fan-out rests on: hoisting the value contribution through
+// Mix64Delta/Mix64Pre is bit-identical to calling Mix64 directly, for
+// every (key, v) — including the wrap-around extremes. If this ever
+// broke, every v2 shadowing draw (and so every v2 golden) would change.
+func TestMix64BatchedIdentity(t *testing.T) {
+	keys := []uint64{0, 1, 12345, math.MaxUint64, 0x9e3779b97f4a7c15}
+	vals := []uint64{0, 1, 2, 1 << 40, math.MaxUint64, math.MaxUint64 - 1}
+	for _, key := range keys {
+		for _, v := range vals {
+			if got, want := Mix64Pre(key, Mix64Delta(v)), Mix64(key, v); got != want {
+				t.Fatalf("Mix64Pre(%#x, Mix64Delta(%#x)) = %#x, want Mix64 = %#x",
+					key, v, got, want)
+			}
+		}
+	}
+	for i := uint64(0); i < 10000; i++ {
+		key, v := Mix64(1, i), Mix64(2, i)
+		if Mix64Pre(key, Mix64Delta(v)) != Mix64(key, v) {
+			t.Fatalf("batched identity broke at derived pair %d", i)
+		}
+	}
+}
+
 // TestCounterNormBound drives CounterNorm's uniform input to its bit
 // extremes and checks the result stays inside NormBound — the guarantee
 // the v2 out-of-range pruning proof rests on. The extremes of

@@ -223,7 +223,27 @@ func (s *Source) NormFloat64() float64 {
 // gamma), giving full avalanche: chaining Mix64 over a tuple of IDs
 // yields statistically independent keys per tuple.
 func Mix64(key, v uint64) uint64 {
-	z := key + (v+1)*0x9e3779b97f4a7c15
+	return Mix64Pre(key, Mix64Delta(v))
+}
+
+// Mix64Delta returns the additive contribution of v to Mix64's input —
+// (v+1)·γ. Hot loops that derive many keys from one value (the v2
+// medium derives one key per feasible observer from a single frame
+// index) hoist the multiply out of the loop:
+//
+//	delta := Mix64Delta(frameIdx)       // once per transmission
+//	key   := Mix64Pre(pairKey, delta)   // per observer: one add + finalize
+//
+// Mix64Pre(key, Mix64Delta(v)) ≡ Mix64(key, v) bit-for-bit (pinned by
+// TestMix64BatchedIdentity), so batching never changes a draw.
+func Mix64Delta(v uint64) uint64 {
+	return (v + 1) * 0x9e3779b97f4a7c15
+}
+
+// Mix64Pre is Mix64 with the value contribution already in delta form;
+// see Mix64Delta.
+func Mix64Pre(key, delta uint64) uint64 {
+	z := key + delta
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)

@@ -11,13 +11,13 @@ import (
 func TestPoolReusesFiredEvents(t *testing.T) {
 	var s Scheduler
 	r1 := s.After(Microsecond, func() {})
-	ev1 := r1.ev
+	ev1 := r1.idx
 	s.Run(Second)
 	if s.PoolSize() != 1 {
 		t.Fatalf("PoolSize = %d after fire, want 1", s.PoolSize())
 	}
 	r2 := s.After(Microsecond, func() {})
-	if r2.ev != ev1 {
+	if r2.idx != ev1 {
 		t.Fatal("second schedule did not reuse the fired event's storage")
 	}
 	if s.PoolSize() != 0 {
@@ -29,13 +29,13 @@ func TestPoolReusesFiredEvents(t *testing.T) {
 func TestPoolReusesCancelledEvents(t *testing.T) {
 	var s Scheduler
 	r := s.After(Millisecond, func() { t.Fatal("cancelled event fired") })
-	ev := r.ev
+	ev := r.idx
 	s.Cancel(r)
 	if s.PoolSize() != 1 {
 		t.Fatalf("PoolSize = %d after cancel, want 1", s.PoolSize())
 	}
 	r2 := s.After(Microsecond, func() {})
-	if r2.ev != ev {
+	if r2.idx != ev {
 		t.Fatal("schedule after cancel did not reuse the cancelled event's storage")
 	}
 	s.Run(Second)
@@ -51,7 +51,7 @@ func TestStaleRefCannotCancelReusedEvent(t *testing.T) {
 
 	fired := false
 	fresh := s.After(Microsecond, func() { fired = true })
-	if fresh.ev != stale.ev {
+	if fresh.idx != stale.idx {
 		t.Fatal("test premise broken: storage was not reused")
 	}
 	if !stale.Cancelled() {

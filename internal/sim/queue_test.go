@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestStaleRefAcrossSlabGrowth pins the slab-kernel guarantee the old
+// pointer-based pool got for free: a ref held across arbitrary slab
+// growth (and the reallocation/moves growth implies) stays exactly as
+// inert as it was. Refs are indices, so a moved slab must not
+// resurrect or misdirect them.
+func TestStaleRefAcrossSlabGrowth(t *testing.T) {
+	var s Scheduler
+	fired := false
+	stale := s.After(Microsecond, func() { fired = true })
+	s.Run(Second)
+	if !fired || !stale.Cancelled() {
+		t.Fatal("premise: first event did not fire")
+	}
+
+	// Grow the slab well past any realistic append-in-place: the
+	// backing array is guaranteed to have been reallocated.
+	refs := make([]EventRef, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		refs = append(refs, s.After(Microsecond, func() {}))
+	}
+	if stale.Cancelled() != true {
+		t.Fatal("stale ref came back to life across slab growth")
+	}
+	s.Cancel(stale) // must not disturb any live event
+	for i, r := range refs {
+		if r.Cancelled() {
+			t.Fatalf("live ref %d reported Cancelled after stale cancel across growth", i)
+		}
+	}
+	s.Run(2 * Second)
+	for i, r := range refs {
+		if !r.Cancelled() {
+			t.Fatalf("ref %d still live after horizon", i)
+		}
+	}
+}
+
+// TestCancelAfterRecycle drives the cancel-after-recycle interleaving
+// explicitly: cancel a ref whose slab slot has been recycled (possibly
+// several times) and confirm only the original event was affected.
+func TestCancelAfterRecycle(t *testing.T) {
+	var s Scheduler
+	stale := s.After(Microsecond, func() { t.Fatal("cancelled event fired") })
+	s.Cancel(stale)
+
+	// Recycle the same slot through several generations.
+	for cycle := 0; cycle < 5; cycle++ {
+		fired := false
+		r := s.After(Microsecond, func() { fired = true })
+		if r.idx != stale.idx {
+			t.Fatalf("cycle %d: slot %d not recycled (got %d)", cycle, stale.idx, r.idx)
+		}
+		s.Cancel(stale) // a generation (or five) behind: must be inert
+		if r.Cancelled() {
+			t.Fatalf("cycle %d: stale cancel killed the recycled occupant", cycle)
+		}
+		if cycle%2 == 0 {
+			s.Run(s.Now() + Microsecond)
+			if !fired {
+				t.Fatalf("cycle %d: recycled event did not fire", cycle)
+			}
+		} else {
+			s.Cancel(r)
+		}
+	}
+}
+
+// queueOp is the fuzzed workload alphabet for the equivalence check.
+type queueOp struct {
+	Kind  uint8  // %3: 0,1 = schedule, 2 = cancel/reschedule
+	Delay uint16 // schedule delay in µs
+	Pick  uint16 // which live event to cancel
+}
+
+// TestQueueEquivalenceQuick pins pop-order equivalence between the heap
+// and the calendar queue: the same random schedule/cancel/reschedule
+// workload, driven through two schedulers differing only in QueueKind,
+// must fire identical (time, seq-FIFO) sequences.
+func TestQueueEquivalenceQuick(t *testing.T) {
+	run := func(kind QueueKind, ops []queueOp) []Time {
+		var s Scheduler
+		s.SetQueue(kind)
+		var fireLog []Time
+		var live []EventRef
+		record := func() { fireLog = append(fireLog, s.Now()) }
+		for _, op := range ops {
+			switch op.Kind % 3 {
+			case 0, 1:
+				d := Time(op.Delay%512) * Microsecond
+				live = append(live, s.After(d, record))
+			case 2:
+				if len(live) == 0 {
+					continue
+				}
+				i := int(op.Pick) % len(live)
+				if !live[i].Cancelled() {
+					s.Cancel(live[i])
+					// Reschedule: the cancelled slot's recycled storage
+					// immediately hosts a new event (timer Reset shape).
+					live[i] = s.After(Time(op.Delay%512)*Microsecond, record)
+				}
+			}
+			if op.Kind%7 == 3 {
+				s.Run(s.Now() + Time(op.Delay%64)*Microsecond)
+			}
+		}
+		s.Drain()
+		return fireLog
+	}
+	f := func(ops []queueOp) bool {
+		heapLog := run(QueueHeap, ops)
+		calLog := run(QueueCalendar, ops)
+		if len(heapLog) != len(calLog) {
+			return false
+		}
+		for i := range heapLog {
+			if heapLog[i] != calLog[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueEquivalenceFIFOBurst checks the tie-break directly: many
+// same-instant events must pop in scheduling order on both queues.
+func TestQueueEquivalenceFIFOBurst(t *testing.T) {
+	for _, kind := range []QueueKind{QueueHeap, QueueCalendar} {
+		var s Scheduler
+		s.SetQueue(kind)
+		var order []int
+		for i := 0; i < 500; i++ {
+			i := i
+			// Two instants interleaved, plus a shared burst at time 2µs.
+			s.At(Time(i%2)*Microsecond, func() { order = append(order, i) })
+		}
+		s.Drain()
+		seenEven, seenOdd := -1, -1
+		for pos, i := range order {
+			if i%2 == 1 && seenEven < 500/2-1 && pos >= 500/2 {
+				t.Fatalf("%v: odd-time event %d popped before all even-time events", kind, i)
+			}
+			if i%2 == 0 {
+				if i <= seenEven {
+					t.Fatalf("%v: FIFO violation at t=0: %d after %d", kind, i, seenEven)
+				}
+				seenEven = i
+			} else {
+				if i <= seenOdd {
+					t.Fatalf("%v: FIFO violation at t=1µs: %d after %d", kind, i, seenOdd)
+				}
+				seenOdd = i
+			}
+		}
+		if len(order) != 500 {
+			t.Fatalf("%v: fired %d of 500", kind, len(order))
+		}
+	}
+}
+
+// TestCalendarResizeCycles walks the calendar through growth and
+// shrink: a large burst (forcing doublings), then a drain (forcing
+// halvings), then a second burst — popping in order throughout.
+func TestCalendarResizeCycles(t *testing.T) {
+	var s Scheduler
+	s.SetQueue(QueueCalendar)
+	fired := 0
+	last := Time(-1)
+	check := func() {
+		if s.Now() < last {
+			t.Fatalf("time went backwards: %v after %v", s.Now(), last)
+		}
+		last = s.Now()
+		fired++
+	}
+	for i := 0; i < 3000; i++ {
+		s.After(Time(i%977)*Microsecond, check)
+	}
+	s.Run(s.Now() + 500*Microsecond)
+	for i := 0; i < 100; i++ {
+		s.After(Time(i)*Millisecond, check)
+	}
+	s.Drain()
+	if fired != 3100 {
+		t.Fatalf("fired %d of 3100", fired)
+	}
+}
+
+// TestSetQueueAfterScheduleRejected pins the SetQueue precondition.
+func TestSetQueueAfterScheduleRejected(t *testing.T) {
+	var s Scheduler
+	s.After(Microsecond, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetQueue after scheduling did not panic")
+		}
+	}()
+	s.SetQueue(QueueCalendar)
+}
+
+// TestParseQueueKind covers the flag surface.
+func TestParseQueueKind(t *testing.T) {
+	for name, want := range map[string]QueueKind{"heap": QueueHeap, "calendar": QueueCalendar} {
+		got, err := ParseQueueKind(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseQueueKind(%q) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Fatalf("%v.String() = %q, want %q", got, got.String(), name)
+		}
+	}
+	if _, err := ParseQueueKind("ladder"); err == nil {
+		t.Fatal("ParseQueueKind accepted an unknown kind")
+	}
+}
+
+// TestCompactBoundsStaleEntries pins the lazy-deletion safety valve: a
+// workload that cancels far more than it fires must not accumulate
+// unbounded queue entries.
+func TestCompactBoundsStaleEntries(t *testing.T) {
+	for _, kind := range []QueueKind{QueueHeap, QueueCalendar} {
+		var s Scheduler
+		s.SetQueue(kind)
+		keep := s.After(Second, func() {})
+		for i := 0; i < 100_000; i++ {
+			r := s.After(Millisecond, func() { t.Fatal("cancelled event fired") })
+			s.Cancel(r)
+		}
+		if qlen := s.q.len(); qlen > 1024 {
+			t.Fatalf("%v: queue holds %d entries for 1 live event; compaction failed", kind, qlen)
+		}
+		if s.Pending() != 1 {
+			t.Fatalf("%v: Pending = %d, want 1", kind, s.Pending())
+		}
+		s.Cancel(keep)
+		s.Drain()
+	}
+}

@@ -9,10 +9,12 @@ import (
 // equal times fire in scheduling order (FIFO), which keeps runs
 // deterministic.
 //
-// Events are pooled: when an event fires or is cancelled, the Scheduler
-// recycles its storage for a later schedule and bumps the generation
-// counter. User code therefore never holds a *Event directly — it holds
-// an EventRef, whose generation check makes stale handles inert.
+// Event records live in the Scheduler's slab — a growable flat []Event
+// arena — and are addressed by uint32 index, never by pointer: the slab
+// may move when it grows, and fired or cancelled records are recycled
+// through an intrusive free list. User code therefore never holds a
+// *Event — it holds an EventRef, whose generation check makes stale
+// handles inert across recycling and slab growth alike.
 type Event struct {
 	when Time
 	seq  uint64
@@ -22,11 +24,13 @@ type Event struct {
 	afn func(arg any, when Time)
 	arg any
 
-	// gen is incremented every time the event is recycled, invalidating
-	// outstanding EventRefs.
+	// gen is incremented every time the record is released (fired or
+	// cancelled), invalidating outstanding EventRefs. A matching gen
+	// therefore means "currently scheduled".
 	gen uint32
-	// index is the event's position in the heap, or -1 while pooled.
-	index int32
+	// next links the free list while the record is pooled: the index+1
+	// of the next free record, 0 terminating the list.
+	next uint32
 }
 
 // EventRef is a by-value handle to a scheduled event. The zero value is
@@ -35,14 +39,15 @@ type Event struct {
 // every operation on a stale ref is safe (the generation check detects
 // recycling), so callers can cancel unconditionally.
 type EventRef struct {
-	ev  *Event
+	s   *Scheduler
+	idx uint32
 	gen uint32
 }
 
 // Cancelled reports whether the event has fired, been cancelled, or was
 // never scheduled.
 func (r EventRef) Cancelled() bool {
-	return r.ev == nil || r.ev.gen != r.gen || r.ev.index < 0
+	return r.s == nil || r.s.slab[r.idx].gen != r.gen
 }
 
 // When returns the simulated instant the event is scheduled for. It
@@ -51,27 +56,48 @@ func (r EventRef) When() Time {
 	if r.Cancelled() {
 		panic("sim: When on a fired, cancelled, or zero EventRef")
 	}
-	return r.ev.when
+	return r.s.slab[r.idx].when
 }
 
 // Scheduler is the discrete-event executor. The zero value is ready to
 // use. Scheduler is not safe for concurrent use; a run owns its
 // scheduler exclusively.
 //
-// The queue is a 4-ary min-heap ordered by (when, seq): shallower than a
-// binary heap (fewer cache-missing levels per sift) at the cost of more
-// comparisons per level, which is the right trade for the simulator's
-// queue sizes (tens to a few thousand pending events).
+// Storage layout: event records live in the slab and are recycled
+// through an intrusive free list, so a steady-state run allocates
+// nothing per event. The priority queue holds compact 24-byte
+// (when, seq, idx, gen) entries by value — comparisons never chase an
+// event pointer — behind the eventQueue interface (see queue.go), with
+// the implementation selectable per scheduler or process-wide.
+// Cancellation is lazy: Cancel releases the slab record (bumping its
+// generation) and leaves the queue entry in place; the pop loop skips
+// entries whose generation no longer matches.
 type Scheduler struct {
 	now     Time
-	queue   []*Event
+	q       eventQueue
+	// hq/cq are the concrete queue, exactly one non-nil once q is set:
+	// the hot paths branch on hq rather than dispatching through the
+	// interface, which keeps push/pop direct (and inlinable) calls.
+	hq      *heapQueue
+	cq      *calendarQueue
+	kind    QueueKind // 0 = unset: resolve from the package default
 	nextSeq uint64
 	fired   uint64
 	stopped bool
 
-	// free is the event pool: storage recycled from fired/cancelled
-	// events, reused by the next schedule.
-	free []*Event
+	// slab is the flat event arena; freeHead/freeCount the intrusive
+	// free list over it (index+1 links, 0 = empty).
+	slab      []Event
+	freeHead  uint32
+	freeCount int
+
+	// live counts scheduled (not yet fired or cancelled) events; stale
+	// counts lazily-deleted queue entries awaiting a skip at pop.
+	live  int
+	stale int
+
+	// scratch is reused by compact().
+	scratch []entry
 
 	// interrupted is the one concurrency-safe bit of scheduler state:
 	// Interrupt (callable from any goroutine) sets it, and Run polls it
@@ -93,38 +119,92 @@ func (s *Scheduler) Now() Time { return s.now }
 // EventsFired returns the number of events executed so far.
 func (s *Scheduler) EventsFired() uint64 { return s.fired }
 
-// Pending returns the number of events currently queued.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// Pending returns the number of events currently scheduled.
+func (s *Scheduler) Pending() int { return s.live }
 
-// PoolSize returns the number of recycled events currently in the free
-// list (observability for pool tests and benchmarks).
-func (s *Scheduler) PoolSize() int { return len(s.free) }
+// PoolSize returns the number of recycled event records currently on
+// the slab's free list (observability for pool tests and benchmarks).
+func (s *Scheduler) PoolSize() int { return s.freeCount }
 
-// alloc takes an event from the pool, or allocates a fresh one.
-func (s *Scheduler) alloc(when Time) *Event {
-	var ev *Event
-	if n := len(s.free); n > 0 {
-		ev = s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-	} else {
-		ev = &Event{}
+// ensureQueue resolves the queue implementation on first use.
+func (s *Scheduler) ensureQueue() {
+	if s.q != nil {
+		return
 	}
+	k := s.kind
+	if k == 0 {
+		k = DefaultQueue()
+	}
+	s.q = newQueue(k)
+	switch q := s.q.(type) {
+	case *heapQueue:
+		s.hq = q
+	case *calendarQueue:
+		s.cq = q
+	}
+}
+
+// qpush and qpop dispatch to the concrete queue without an interface
+// call; the hq-nil branch is perfectly predicted within a run.
+func (s *Scheduler) qpush(e entry) {
+	if s.hq != nil {
+		s.hq.push(e)
+	} else {
+		s.cq.push(e)
+	}
+}
+
+func (s *Scheduler) qpop() (entry, bool) {
+	if s.hq != nil {
+		return s.hq.pop()
+	}
+	return s.cq.pop()
+}
+
+// SetQueue selects the priority-queue implementation for this scheduler.
+// It must be called before any event is scheduled; both implementations
+// pop in identical (when, seq) order (pinned by the equivalence
+// quickcheck), so the choice affects performance only.
+func (s *Scheduler) SetQueue(k QueueKind) {
+	if s.q != nil || s.live > 0 {
+		panic("sim: SetQueue after events were scheduled")
+	}
+	if _, err := k.queueName(); err != nil {
+		panic(err.Error())
+	}
+	s.kind = k
+}
+
+// alloc takes a record from the slab free list, or grows the slab.
+func (s *Scheduler) alloc(when Time) uint32 {
+	var idx uint32
+	if s.freeHead != 0 {
+		idx = s.freeHead - 1
+		s.freeHead = s.slab[idx].next
+		s.freeCount--
+	} else {
+		s.slab = append(s.slab, Event{})
+		idx = uint32(len(s.slab) - 1)
+	}
+	ev := &s.slab[idx]
 	ev.when = when
 	ev.seq = s.nextSeq
 	s.nextSeq++
-	return ev
+	return idx
 }
 
-// release returns a popped or removed event to the pool. The generation
-// bump is what makes every outstanding EventRef to it stale.
-func (s *Scheduler) release(ev *Event) {
+// release returns a fired or cancelled record to the free list. The
+// generation bump is what makes every outstanding EventRef (and every
+// queue entry) to it stale.
+func (s *Scheduler) release(idx uint32) {
+	ev := &s.slab[idx]
 	ev.fn = nil
 	ev.afn = nil
 	ev.arg = nil
 	ev.gen++
-	ev.index = -1
-	s.free = append(s.free, ev)
+	ev.next = s.freeHead
+	s.freeHead = idx + 1
+	s.freeCount++
 }
 
 // At schedules fn to run at the absolute simulated instant when.
@@ -134,10 +214,13 @@ func (s *Scheduler) At(when Time, fn func()) EventRef {
 	if when < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", when, s.now))
 	}
-	ev := s.alloc(when)
+	s.ensureQueue()
+	idx := s.alloc(when)
+	ev := &s.slab[idx]
 	ev.fn = fn
-	s.push(ev)
-	return EventRef{ev: ev, gen: ev.gen}
+	s.qpush(entry{when: when, seq: ev.seq, idx: idx, gen: ev.gen})
+	s.live++
+	return EventRef{s: s, idx: idx, gen: ev.gen}
 }
 
 // AtArg schedules fn(arg, when) at the absolute instant when. It exists
@@ -148,11 +231,14 @@ func (s *Scheduler) AtArg(when Time, fn func(arg any, when Time), arg any) Event
 	if when < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", when, s.now))
 	}
-	ev := s.alloc(when)
+	s.ensureQueue()
+	idx := s.alloc(when)
+	ev := &s.slab[idx]
 	ev.afn = fn
 	ev.arg = arg
-	s.push(ev)
-	return EventRef{ev: ev, gen: ev.gen}
+	s.qpush(entry{when: when, seq: ev.seq, idx: idx, gen: ev.gen})
+	s.live++
+	return EventRef{s: s, idx: idx, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current instant.
@@ -175,12 +261,40 @@ func (s *Scheduler) AfterArg(d Time, fn func(arg any, when Time), arg any) Event
 // already-cancelled, or zero ref is a no-op, so callers can cancel
 // unconditionally; the generation check guarantees a stale ref can never
 // cancel an event that reused the same storage.
+//
+// Cancellation is lazy: the queue entry stays behind and is skipped when
+// it reaches the front. A timer-heavy workload that cancels far more
+// than it fires is bounded by compact(), which rebuilds the queue once
+// stale entries outnumber live ones.
 func (s *Scheduler) Cancel(r EventRef) {
 	if r.Cancelled() {
 		return
 	}
-	s.remove(int(r.ev.index))
-	s.release(r.ev)
+	s.release(r.idx)
+	s.live--
+	s.stale++
+	if s.stale > 64 && s.stale > 2*s.live {
+		s.compact()
+	}
+}
+
+// compact drains the queue and re-pushes only the live entries,
+// reclaiming the space held by lazily-deleted ones.
+func (s *Scheduler) compact() {
+	s.scratch = s.scratch[:0]
+	for {
+		e, ok := s.qpop()
+		if !ok {
+			break
+		}
+		if s.slab[e.idx].gen == e.gen {
+			s.scratch = append(s.scratch, e)
+		}
+	}
+	for _, e := range s.scratch {
+		s.qpush(e)
+	}
+	s.stale = 0
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -206,15 +320,23 @@ func (s *Scheduler) ClearInterrupt() { s.interrupted.Store(false) }
 // beyond until).
 func (s *Scheduler) Run(until Time) {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
+	for s.live > 0 && !s.stopped {
 		if s.fired&(interruptStride-1) == 0 && s.interrupted.Load() {
 			return // cancelled: leave the clock at the last fired event
 		}
-		next := s.queue[0]
-		if next.when > until {
+		e, ok := s.qpop()
+		if !ok {
 			break
 		}
-		s.fire(next)
+		if s.slab[e.idx].gen != e.gen {
+			s.stale--
+			continue // lazily-deleted entry
+		}
+		if e.when > until {
+			s.qpush(e) // at most once per Run call
+			break
+		}
+		s.fire(e)
 	}
 	if s.now < until {
 		s.now = until
@@ -225,128 +347,36 @@ func (s *Scheduler) Run(until Time) {
 // tests; experiment runs use Run with a horizon.
 func (s *Scheduler) Drain() {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
+	for s.live > 0 && !s.stopped {
 		if s.fired&(interruptStride-1) == 0 && s.interrupted.Load() {
 			return
 		}
-		s.fire(s.queue[0])
+		e, ok := s.qpop()
+		if !ok {
+			break
+		}
+		if s.slab[e.idx].gen != e.gen {
+			s.stale--
+			continue
+		}
+		s.fire(e)
 	}
 }
 
-// fire pops the root event, recycles its storage, and runs its callback.
-// The callback state is copied out first, so the callback is free to
-// schedule new events that reuse this very Event.
-func (s *Scheduler) fire(ev *Event) {
-	s.popRoot()
-	s.now = ev.when
-	s.fired++
+// fire recycles the popped entry's slab record and runs its callback.
+// The callback state is copied out first — and the record released
+// before the call — so the callback is free to schedule new events that
+// reuse this very record or grow (and move) the slab.
+func (s *Scheduler) fire(e entry) {
+	ev := &s.slab[e.idx]
 	fn, afn, arg, when := ev.fn, ev.afn, ev.arg, ev.when
-	s.release(ev)
+	s.release(e.idx)
+	s.live--
+	s.now = when
+	s.fired++
 	if afn != nil {
 		afn(arg, when)
 	} else {
 		fn()
 	}
-}
-
-// ---- 4-ary min-heap ----------------------------------------------------
-
-// less orders events by (when, seq): time first, FIFO within a time.
-func less(a, b *Event) bool {
-	if a.when != b.when {
-		return a.when < b.when
-	}
-	return a.seq < b.seq
-}
-
-// push appends ev and restores the heap property upward.
-func (s *Scheduler) push(ev *Event) {
-	ev.index = int32(len(s.queue))
-	s.queue = append(s.queue, ev)
-	s.siftUp(len(s.queue) - 1)
-}
-
-// popRoot removes the minimum event (queue[0]) from the heap.
-func (s *Scheduler) popRoot() {
-	last := len(s.queue) - 1
-	root := s.queue[0]
-	s.queue[0] = s.queue[last]
-	s.queue[0].index = 0
-	s.queue[last] = nil
-	s.queue = s.queue[:last]
-	root.index = -1
-	if last > 0 {
-		s.siftDown(0)
-	}
-}
-
-// remove deletes the event at heap position i.
-func (s *Scheduler) remove(i int) {
-	last := len(s.queue) - 1
-	removed := s.queue[i]
-	removed.index = -1
-	if i == last {
-		s.queue[last] = nil
-		s.queue = s.queue[:last]
-		return
-	}
-	s.queue[i] = s.queue[last]
-	s.queue[i].index = int32(i)
-	s.queue[last] = nil
-	s.queue = s.queue[:last]
-	// The moved element may violate the property in either direction.
-	if !s.siftDown(i) {
-		s.siftUp(i)
-	}
-}
-
-// siftUp moves queue[i] toward the root until ordered.
-func (s *Scheduler) siftUp(i int) {
-	ev := s.queue[i]
-	for i > 0 {
-		parent := (i - 1) / 4
-		p := s.queue[parent]
-		if !less(ev, p) {
-			break
-		}
-		s.queue[i] = p
-		p.index = int32(i)
-		i = parent
-	}
-	s.queue[i] = ev
-	ev.index = int32(i)
-}
-
-// siftDown moves queue[i] toward the leaves until ordered, reporting
-// whether it moved.
-func (s *Scheduler) siftDown(i int) bool {
-	ev := s.queue[i]
-	n := len(s.queue)
-	start := i
-	for {
-		first := 4*i + 1
-		if first >= n {
-			break
-		}
-		// Find the smallest of the up-to-four children.
-		min := first
-		end := first + 4
-		if end > n {
-			end = n
-		}
-		for c := first + 1; c < end; c++ {
-			if less(s.queue[c], s.queue[min]) {
-				min = c
-			}
-		}
-		if !less(s.queue[min], ev) {
-			break
-		}
-		s.queue[i] = s.queue[min]
-		s.queue[i].index = int32(i)
-		i = min
-	}
-	s.queue[i] = ev
-	ev.index = int32(i)
-	return i != start
 }
