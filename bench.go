@@ -104,6 +104,59 @@ func BenchScenarioRandom400V1() Scenario {
 	return s
 }
 
+// benchScenarioRandomV3 builds the channel-model-v3 kernel-scaling
+// workload: n nodes, n/8 misbehaving senders, plain 802.11 (no monitor
+// pipeline), sharded onto the given scheduler count (1 = serial).
+// Durations shrink with n so every size stays a tractable single
+// iteration; events/sec is the comparable metric across sizes.
+func benchScenarioRandomV3(n int, d Time, shards int) Scenario {
+	s := DefaultScenario()
+	s.Name = fmt.Sprintf("random-%dk-v3", n/1000)
+	if shards > 1 {
+		s.Name = fmt.Sprintf("%s-sharded", s.Name)
+	}
+	s.Duration = d
+	s.Protocol = Protocol80211
+	s.Topo = ScaledRandomTopo(n, n/8)
+	s.PM = 80
+	s.Channel = ChannelV3
+	s.Shards = shards
+	return s
+}
+
+// benchShards is the shard count of the *Sharded bench targets — the
+// 4-way partition the ISSUE's speedup target is stated against.
+const benchShards = 4
+
+// BenchScenarioRandom1kV3 and friends are the sharded-kernel scaling
+// suite: each size runs serial and sharded over the SAME workload, so
+// BENCH.json's speedup_vs_1shard is a pure kernel comparison. On a
+// single-core host the sharded runs measure barrier overhead instead of
+// speedup — BENCH.json records GOMAXPROCS so readers can tell which.
+func BenchScenarioRandom1kV3() Scenario { return benchScenarioRandomV3(1000, 400*Millisecond, 1) }
+
+// BenchScenarioRandom1kV3Sharded is the 4-shard pair of BenchScenarioRandom1kV3.
+func BenchScenarioRandom1kV3Sharded() Scenario {
+	return benchScenarioRandomV3(1000, 400*Millisecond, benchShards)
+}
+
+// BenchScenarioRandom4kV3 is the 4000-node serial v3 workload.
+func BenchScenarioRandom4kV3() Scenario { return benchScenarioRandomV3(4000, 200*Millisecond, 1) }
+
+// BenchScenarioRandom4kV3Sharded is the 4-shard pair of BenchScenarioRandom4kV3.
+func BenchScenarioRandom4kV3Sharded() Scenario {
+	return benchScenarioRandomV3(4000, 200*Millisecond, benchShards)
+}
+
+// BenchScenarioRandom10kV3 is the 10000-node serial v3 workload — the
+// ISSUE's headline size.
+func BenchScenarioRandom10kV3() Scenario { return benchScenarioRandomV3(10000, 100*Millisecond, 1) }
+
+// BenchScenarioRandom10kV3Sharded is the 4-shard pair of BenchScenarioRandom10kV3.
+func BenchScenarioRandom10kV3Sharded() Scenario {
+	return benchScenarioRandomV3(10000, 100*Millisecond, benchShards)
+}
+
 // BenchTarget is one workload of the canonical suite. Run executes a
 // single iteration and returns the kernel events it fired (zero when
 // the workload has no single meaningful event count, e.g. figure
@@ -147,6 +200,12 @@ func BenchTargets() []BenchTarget {
 		scenarioTarget("RunRandom200", BenchScenarioRandom200()),
 		scenarioTarget("RunRandom400", BenchScenarioRandom400()),
 		scenarioTarget("RunRandom400V1", BenchScenarioRandom400V1()),
+		scenarioTarget("RunRandom1k", BenchScenarioRandom1kV3()),
+		scenarioTarget("RunRandom1kSharded", BenchScenarioRandom1kV3Sharded()),
+		scenarioTarget("RunRandom4k", BenchScenarioRandom4kV3()),
+		scenarioTarget("RunRandom4kSharded", BenchScenarioRandom4kV3Sharded()),
+		scenarioTarget("RunRandom10k", BenchScenarioRandom10kV3()),
+		scenarioTarget("RunRandom10kSharded", BenchScenarioRandom10kV3Sharded()),
 		fig("Fig4DiagnosisAccuracy", Fig4),
 		fig("Fig5Throughput", Fig5),
 		fig("Fig7Fairness", Fig7),

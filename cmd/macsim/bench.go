@@ -7,6 +7,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -28,16 +29,24 @@ type benchEntry struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	EventsPerOp  float64 `json:"events_per_op,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// SpeedupVs1Shard is filled on "<Name>Sharded" entries whose serial
+	// pair "<Name>" ran in the same suite: sharded events/sec over serial
+	// events/sec. On a single-core host (see the file's gomaxprocs) it
+	// measures barrier overhead, not parallel speedup.
+	SpeedupVs1Shard float64 `json:"speedup_vs_1shard,omitempty"`
 }
 
 // benchFile is the BENCH.json schema.
 type benchFile struct {
-	GeneratedAt string       `json:"generated_at"`
-	GoVersion   string       `json:"go_version"`
-	GOOS        string       `json:"goos"`
-	GOARCH      string       `json:"goarch"`
-	Quick       bool         `json:"quick,omitempty"`
-	Results     []benchEntry `json:"results"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	// GOMAXPROCS qualifies the sharded-kernel numbers: speedups are only
+	// meaningful when the host actually ran shards in parallel.
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Quick      bool         `json:"quick,omitempty"`
+	Results    []benchEntry `json:"results"`
 }
 
 // runBench executes the canonical suite (see BenchTargets) and writes
@@ -72,6 +81,7 @@ func runBench(args []string) error {
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Quick:       *quick,
 	}
 	for _, target := range dcfguard.BenchTargets() {
@@ -97,6 +107,7 @@ func runBench(args []string) error {
 	if len(file.Results) == 0 {
 		return fmt.Errorf("no targets match filter %q", *filter)
 	}
+	fillShardSpeedups(file.Results)
 	// The host-reference entry calibrates the throughput guard: it
 	// rescales the recorded floors by how fast this machine runs a pure
 	// ALU loop at guard time versus now (see dcfguard.HostReferenceRate).
@@ -121,6 +132,27 @@ func runBench(args []string) error {
 	}
 	fmt.Printf("wrote %s (%d targets)\n", *out, len(file.Results))
 	return nil
+}
+
+// fillShardSpeedups pairs every "<Name>Sharded" entry with its serial
+// "<Name>" partner from the same run and records the events/sec ratio,
+// the suite's sharded-kernel headline number.
+func fillShardSpeedups(results []benchEntry) {
+	serial := make(map[string]float64, len(results))
+	for _, e := range results {
+		serial[e.Name] = e.EventsPerSec
+	}
+	for i := range results {
+		e := &results[i]
+		base, ok := strings.CutSuffix(e.Name, "Sharded")
+		if !ok || e.EventsPerSec <= 0 {
+			continue
+		}
+		if s := serial[base]; s > 0 {
+			e.SpeedupVs1Shard = e.EventsPerSec / s
+			fmt.Printf("  %s: %.2fx events/sec vs %s\n", e.Name, e.SpeedupVs1Shard, base)
+		}
+	}
 }
 
 // loadBaseline reads the committed results at path (normally the same

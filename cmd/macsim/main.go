@@ -128,7 +128,9 @@ func run() error {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		execTr   = flag.String("trace", "", "write a Go execution trace to this file")
 		csvPath  = flag.String("csv", "", "with -seeds: write raw per-run metrics to this CSV file")
-		channel  = flag.String("channel", "v2", "channel model: v2 (counter RNG + spatial index, default) or v1 (paper-exact sequential stream)")
+		channel  = flag.String("channel", "v2", "channel model: v2 (counter RNG + spatial index, default), v1 (paper-exact sequential stream), or v3 (v2 + propagation delay; required for -shards)")
+		shards   = flag.Int("shards", 1, "partition the nodes onto this many parallel schedulers (requires -channel v3; 1 = serial)")
+		scaled   = flag.Bool("scaled", false, "with -random: scale the arena with node count (constant density) instead of the fixed Figure-9 area")
 		queue    = flag.String("queue", "", "scheduler queue: calendar (default) or heap")
 		fer      = flag.Float64("fer", 0, "i.i.d. frame-error rate in [0,1) injected after collision resolution")
 		burst    = flag.String("burst", "", "Gilbert burst losses 'fer,r': mean FER and Bad→Good recovery prob (replaces -fer)")
@@ -171,9 +173,15 @@ func run() error {
 		s.Channel = dcfguard.ChannelV1
 	case "v2":
 		s.Channel = dcfguard.ChannelV2
+	case "v3":
+		s.Channel = dcfguard.ChannelV3
 	default:
-		return fmt.Errorf("unknown channel model %q (want v1 or v2)", *channel)
+		return fmt.Errorf("unknown channel model %q (want v1, v2, or v3)", *channel)
 	}
+	if *shards > 1 && s.Channel != dcfguard.ChannelV3 {
+		return fmt.Errorf("-shards %d requires -channel v3 (the only model with the propagation delay sharding needs)", *shards)
+	}
+	s.Shards = *shards
 	if *queue != "" {
 		k, err := sim.ParseQueueKind(*queue)
 		if err != nil {
@@ -182,7 +190,11 @@ func run() error {
 		sim.SetDefaultQueue(k)
 	}
 	if *random > 0 {
-		s.Topo = dcfguard.RandomTopo(*random, *mis)
+		if *scaled {
+			s.Topo = dcfguard.ScaledRandomTopo(*random, *mis)
+		} else {
+			s.Topo = dcfguard.RandomTopo(*random, *mis)
+		}
 		s.Name = fmt.Sprintf("random-%d", *random)
 	} else if *misNode > 0 {
 		s.Topo = dcfguard.StarTopo(*senders, *twoFlow, *misNode)

@@ -157,10 +157,12 @@ const (
 
 // Channel model constants: v1 is the original sequential-stream channel
 // (the default), v2 the counter-RNG + spatial-index channel for large
-// topologies.
+// topologies, v3 the propagation-delay channel required for sharded
+// runs (Scenario.Shards > 1).
 const (
 	ChannelV1 = experiment.ChannelV1
 	ChannelV2 = experiment.ChannelV2
+	ChannelV3 = experiment.ChannelV3
 )
 
 // Simulated-time units.

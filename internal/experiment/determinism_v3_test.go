@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"testing"
+
+	"dcfguard/internal/sim"
+)
+
+// Channel-model-v3 determinism goldens and the shard-equivalence
+// quickcheck (DESIGN.md §11). v3's defining property is that the event
+// stream is a pure function of (scenario, seed) for ANY shard count, so
+// one golden pins serial and sharded runs alike:
+//
+//   - TestDeterminismGoldenV3 pins serial v3 runs, like the v1/v2
+//     golden tests pin theirs.
+//   - TestShardGoldenV3 re-runs the 400-node golden sharded and demands
+//     the SAME checksum — the sharded kernel has no goldens of its own,
+//     by construction.
+//   - TestShardCountInvariance quickchecks shard counts {1, 2, 4, 7}
+//     against each other across seeds (run under -race via `make
+//     shards`).
+//
+// The pinned checksums were captured when v3 was introduced and must
+// never be updated to "make the test pass": a mismatch means a change
+// perturbed the counter-RNG keys, the keyed event order, or the
+// propagation-delay bookkeeping.
+
+// goldenScenarioV3Star is the monitored star under v3 — the small-
+// topology path where every node hears every other.
+func goldenScenarioV3Star() Scenario {
+	s := DefaultScenario()
+	s.Name = "star-correct-v3"
+	s.Protocol = ProtocolCorrect
+	s.PM = 80
+	s.Duration = 2 * sim.Second
+	s.Channel = ChannelV3
+	return s
+}
+
+// goldenScenarioV3Random400 is the 400-node spatial workload — the
+// partitionable topology the sharded kernel exists for, at a duration
+// short enough for the ordinary test run.
+func goldenScenarioV3Random400() Scenario {
+	s := DefaultScenario()
+	s.Name = "random-400-v3"
+	s.Protocol = Protocol80211
+	s.Topo = ScaledRandomTopo(400, 50)
+	s.PM = 80
+	s.Duration = 400 * sim.Millisecond
+	s.Channel = ChannelV3
+	return s
+}
+
+// goldenChecksumsV3 holds the pinned per-seed checksums (seeds 1..3),
+// captured from the initial channel-model-v3 implementation.
+var goldenChecksumsV3 = map[string][3]uint64{
+	"star-correct-v3": {0x576e8f00762fa40e, 0x7512bae2c90c8593, 0x831281796d0fd816},
+	"random-400-v3":   {0xb6b16d8a980d180e, 0x8eb2858c80922d8c, 0x6f90b6b7fd8a883b},
+}
+
+func TestDeterminismGoldenV3(t *testing.T) {
+	for _, s := range []Scenario{goldenScenarioV3Star(), goldenScenarioV3Random400()} {
+		want, ok := goldenChecksumsV3[s.Name]
+		if !ok {
+			t.Fatalf("no golden for scenario %q", s.Name)
+		}
+		for seed := uint64(1); seed <= 3; seed++ {
+			r, err := Run(s, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", s.Name, seed, err)
+			}
+			got := resultChecksum(r)
+			if got != want[seed-1] {
+				t.Errorf("%s seed %d: checksum %#x, golden %#x — a change perturbed the v3 keyed ordering, counter-RNG keys, or propagation delay",
+					s.Name, seed, got, want[seed-1])
+			}
+		}
+	}
+}
+
+// TestShardGoldenV3 pins the sharded 400-node run to the SERIAL golden:
+// partitioning must not move a single bit of the results.
+func TestShardGoldenV3(t *testing.T) {
+	s := goldenScenarioV3Random400()
+	want := goldenChecksumsV3[s.Name]
+	for _, shards := range []int{2, 4} {
+		s.Shards = shards
+		for seed := uint64(1); seed <= 3; seed++ {
+			r, err := Run(s, seed)
+			if err != nil {
+				t.Fatalf("%s shards=%d seed %d: %v", s.Name, shards, seed, err)
+			}
+			if got := resultChecksum(r); got != want[seed-1] {
+				t.Errorf("%s shards=%d seed %d: checksum %#x, serial golden %#x — sharding changed the results",
+					s.Name, shards, seed, got, want[seed-1])
+			}
+		}
+	}
+}
+
+// TestShardCountInvariance is the shard-vs-unsharded equivalence
+// quickcheck: the full result set (every metric, every counter, the
+// kernel event count) must be identical for shard counts {1, 2, 4, 7}.
+// `make shards` runs it under -race, which also exercises the barrier
+// protocol's happens-before edges.
+func TestShardCountInvariance(t *testing.T) {
+	s := DefaultScenario()
+	s.Name = "shard-invariance"
+	s.Protocol = ProtocolCorrect
+	s.Topo = ScaledRandomTopo(120, 15)
+	s.PM = 80
+	s.Duration = 300 * sim.Millisecond
+	s.Channel = ChannelV3
+
+	for seed := uint64(1); seed <= 2; seed++ {
+		s.Shards = 1
+		ref, err := Run(s, seed)
+		if err != nil {
+			t.Fatalf("serial seed %d: %v", seed, err)
+		}
+		refSum := resultChecksum(ref)
+		if ref.EventsFired == 0 {
+			t.Fatalf("serial seed %d fired no events", seed)
+		}
+		for _, shards := range []int{2, 4, 7} {
+			s.Shards = shards
+			r, err := Run(s, seed)
+			if err != nil {
+				t.Fatalf("shards=%d seed %d: %v", shards, seed, err)
+			}
+			if r.EventsFired != ref.EventsFired {
+				t.Errorf("shards=%d seed %d: %d events fired, serial fired %d",
+					shards, seed, r.EventsFired, ref.EventsFired)
+			}
+			if got := resultChecksum(r); got != refSum {
+				t.Errorf("shards=%d seed %d: checksum %#x, serial %#x — shard count changed the results",
+					shards, seed, got, refSum)
+			}
+		}
+	}
+}

@@ -97,19 +97,20 @@ func (f *SeedFailure) Dump() string {
 // Every returned failure is a *SeedFailure (errors.As-able); successful
 // runs are bit-identical to Run for the same (scenario, seed).
 func RunGuarded(s Scenario, seed uint64, timeout time.Duration) (res Result, err error) {
-	var sched *sim.Scheduler
+	var kernel sim.Kernel
 	var rt *obs.Runtime
 	var watchdog *time.Timer
-	armed := func(sc *sim.Scheduler, r *obs.Runtime) {
-		sched = sc
+	armed := func(k sim.Kernel, r *obs.Runtime) {
+		kernel = k
 		rt = r
 		if timeout > 0 {
 			// The watchdog measures the host's wall clock on purpose: it
 			// guards against a hung *process*, not simulated time, and the
 			// sim clock cannot advance once the loop is stuck. Interrupt is
-			// the scheduler's goroutine-safe cancellation point, so no
+			// the kernel's goroutine-safe cancellation point (for sharded
+			// runs it stops every shard and the barrier loop), so no
 			// wall-clock value ever reaches simulation state.
-			watchdog = time.AfterFunc(timeout, sched.Interrupt) //detlint:allow wallclock -- wall-time budget for hung runs; touches only the atomic interrupt flag
+			watchdog = time.AfterFunc(timeout, kernel.Interrupt) //detlint:allow wallclock -- wall-time budget for hung runs; touches only the atomic interrupt flag
 		}
 	}
 	defer func() {
@@ -126,9 +127,9 @@ func RunGuarded(s Scenario, seed uint64, timeout time.Duration) (res Result, err
 				// enables no tracing or the panic predates armed().
 				TraceTail: rt.TraceTail(),
 			}
-			if sched != nil {
-				f.Events = sched.EventsFired()
-				f.SimTime = sched.Now()
+			if kernel != nil {
+				f.Events = kernel.EventsFired()
+				f.SimTime = kernel.Now()
 			}
 			res, err = Result{}, f
 		}

@@ -94,6 +94,37 @@ func TestRunGuardedWatchdogTimeout(t *testing.T) {
 	}
 }
 
+// TestRunGuardedShardedTimeout: the watchdog must stop a SHARDED run
+// too — Interrupt reaches every shard scheduler and the barrier loop,
+// the group exits at a window boundary, and the SeedFailure snapshot is
+// coherent (events from all shards, a clock inside the run).
+func TestRunGuardedShardedTimeout(t *testing.T) {
+	s := quickScenario("guarded-sharded-timeout")
+	s.Protocol = Protocol80211
+	s.Topo = ScaledRandomTopo(200, 25)
+	s.Channel = ChannelV3
+	s.Shards = 4
+	// Hours of simulated traffic: only the watchdog can end the run.
+	s.Duration = 10_000 * sim.Second
+	_, err := RunGuarded(s, 1, 50*time.Millisecond)
+	var f *SeedFailure
+	if !errors.As(err, &f) {
+		t.Fatalf("got %v, want *SeedFailure", err)
+	}
+	if !f.TimedOut {
+		t.Fatalf("failure not marked TimedOut: %v", f)
+	}
+	if f.Events == 0 {
+		t.Fatal("interrupted sharded run reports zero events fired")
+	}
+	if f.SimTime <= 0 || f.SimTime >= s.Duration {
+		t.Fatalf("interrupted sharded run's sim clock %v outside (0, %v)", f.SimTime, s.Duration)
+	}
+	if !strings.Contains(f.Dump(), "watchdog") {
+		t.Fatalf("Dump() missing the watchdog cause:\n%s", f.Dump())
+	}
+}
+
 // TestRunGuardedWrapsSetupError: plain setup/validation errors also come
 // back as *SeedFailure so sweep plumbing handles exactly one error shape.
 func TestRunGuardedWrapsSetupError(t *testing.T) {

@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"dcfguard/internal/core"
 	"dcfguard/internal/faults"
@@ -84,13 +86,46 @@ func Run(s Scenario, seed uint64) (Result, error) {
 	return run(s, seed, nil)
 }
 
+// shardAssignments partitions node positions into `shards` spatial
+// strips of near-equal node count: nodes are ranked by (X, Y, id) and
+// the ranking split into contiguous runs. Strips only affect which
+// scheduler a node lives on — cross-shard traffic volume, never results
+// (keyed ordering makes those shard-count-invariant) — so a simple
+// equal-count x-sweep is enough; it keeps each shard's neighbors mostly
+// local for any roughly uniform topology.
+func shardAssignments(positions []phys.Point, shards int) []int {
+	n := len(positions)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := positions[order[a]], positions[order[b]]
+		//detlint:allow floateq -- sort tie-break on exact coordinate equality, no tolerance wanted
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		//detlint:allow floateq -- sort tie-break on exact coordinate equality, no tolerance wanted
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return order[a] < order[b]
+	})
+	out := make([]int, n)
+	for rank, idx := range order {
+		out[idx] = rank * shards / n
+	}
+	return out
+}
+
 // run is the executor behind Run. armed, when non-nil, is invoked with
-// the run's scheduler and observability runtime immediately before the
-// event loop starts: the watchdog in RunGuarded uses it to plant its
-// cancellation hook and to capture the trace ring for crash dumps. When
-// the loop exits on an Interrupt, run reports a *SeedFailure instead of
-// the (incomplete) metrics.
-func run(s Scenario, seed uint64, armed func(*sim.Scheduler, *obs.Runtime)) (Result, error) {
+// the run's kernel (the scheduler, or the shard group for Shards > 1)
+// and observability runtime immediately before the event loop starts:
+// the watchdog in RunGuarded uses it to plant its cancellation hook and
+// to capture the trace ring for crash dumps. When the loop exits on an
+// Interrupt, run reports a *SeedFailure instead of the (incomplete)
+// metrics.
+func run(s Scenario, seed uint64, armed func(sim.Kernel, *obs.Runtime)) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -99,7 +134,33 @@ func run(s Scenario, seed uint64, armed func(*sim.Scheduler, *obs.Runtime)) (Res
 		return Result{}, fmt.Errorf("experiment: %s: %w", s.Name, err)
 	}
 
-	var sched sim.Scheduler
+	// The kernel: one scheduler per shard (one total for serial runs).
+	// Channel model v3 switches every scheduler to keyed event ordering
+	// — also at Shards <= 1, which is what makes a serial v3 run
+	// bit-identical to a sharded one. Owner IDs are node IDs; the
+	// watchdog, when present, is the extra owner at len(Positions).
+	shards := s.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	scheds := make([]*sim.Scheduler, shards)
+	for i := range scheds {
+		scheds[i] = new(sim.Scheduler)
+	}
+	sched := scheds[0]
+	keyed := s.Channel == ChannelV3
+	if keyed {
+		for _, sc := range scheds {
+			sc.EnableKeyed(len(tp.Positions) + 1)
+		}
+	}
+	// setOwner brackets setup-time scheduling with the owner whose key
+	// it should carry; a no-op for non-keyed runs.
+	setOwner := func(sc *sim.Scheduler, id int) {
+		if keyed {
+			sc.SetOwner(id)
+		}
+	}
 	root := rng.New(seed)
 	// Fault injection. The injector's key stream is derived only when an
 	// error model is enabled, so disabled runs consume exactly the same
@@ -110,7 +171,7 @@ func run(s Scenario, seed uint64, armed func(*sim.Scheduler, *obs.Runtime)) (Res
 		injector = faults.NewInjector(s.Faults, root.Stream("faults-frame").Uint64())
 		frameFaults = injector
 	}
-	med := medium.New(&sched, medium.Config{
+	med := medium.New(sched, medium.Config{
 		Model:             s.Shadowing,
 		CoherenceInterval: s.CoherenceInterval,
 		Channel:           s.Channel,
@@ -156,11 +217,34 @@ func run(s Scenario, seed uint64, armed func(*sim.Scheduler, *obs.Runtime)) (Res
 		med.DeliveryTap = func(f frame.Frame, now sim.Time) { rec.MarkDelivered(f, now) }
 	}
 
+	// Monitors run on whichever shard their node lives on, so this
+	// order-free tally is atomic rather than a plain increment.
+	var proven atomic.Int64
 	events := core.Events{
 		OnClassified: collector.OnClassified,
 		OnProvenMisbehavior: func(frame.NodeID, sim.Time) {
-			result.ProvenMisbehaviors++
+			proven.Add(1)
 		},
+	}
+
+	// Spatial shard assignment for every owner, including the watchdog's
+	// centroid slot at index len(Positions). All zeros for serial runs.
+	var dogPos phys.Point
+	if s.Watchdog {
+		var cx, cy float64
+		for _, p := range tp.Positions {
+			cx += p.X
+			cy += p.Y
+		}
+		n := float64(len(tp.Positions))
+		dogPos = phys.Point{X: cx / n, Y: cy / n}
+	}
+	shardOf := make([]int, len(tp.Positions)+1)
+	if shards > 1 {
+		all := make([]phys.Point, 0, len(tp.Positions)+1)
+		all = append(all, tp.Positions...)
+		all = append(all, dogPos) // harmless filler when no watchdog
+		shardOf = shardAssignments(all, shards)
 	}
 
 	// Build nodes in ascending ID order (determinism), allocated from
@@ -186,6 +270,8 @@ func run(s Scenario, seed uint64, armed func(*sim.Scheduler, *obs.Runtime)) (Res
 	}
 	for i := range tp.Positions {
 		id := frame.NodeID(i)
+		nsched := scheds[shardOf[i]]
+		setOwner(nsched, i)
 		var hook mac.ReceiverHook
 		if s.Protocol == ProtocolCorrect && receiverSet[id] {
 			params := s.Core
@@ -209,7 +295,7 @@ func run(s Scenario, seed uint64, armed func(*sim.Scheduler, *obs.Runtime)) (Res
 				}
 			}(id),
 		}
-		nodes[i] = mac.NewNodeIn(arena, id, s.MAC, &sched, med, policies[id], hook, cb)
+		nodes[i] = mac.NewNodeIn(arena, id, s.MAC, nsched, med, policies[id], hook, cb)
 		nodes[i].Instrument(rt.Reg(), rt.TraceBus())
 		med.Attach(id, tp.Positions[i], radio, nodes[i])
 	}
@@ -227,34 +313,40 @@ func run(s Scenario, seed uint64, armed func(*sim.Scheduler, *obs.Runtime)) (Res
 			result.ColludingPairs = append(result.ColludingPairs,
 				[2]frame.NodeID{sender, receiver})
 		}
-		var cx, cy float64
-		for _, p := range tp.Positions {
-			cx += p.X
-			cy += p.Y
-		}
-		n := float64(len(tp.Positions))
-		med.Attach(frame.NodeID(len(tp.Positions)),
-			phys.Point{X: cx / n, Y: cy / n}, radio, dog)
+		setOwner(scheds[shardOf[len(tp.Positions)]], len(tp.Positions))
+		med.Attach(frame.NodeID(len(tp.Positions)), dogPos, radio, dog)
+	}
+
+	// Sharded runs: bind every node to its shard's scheduler. Must
+	// follow the last Attach (the medium's index builds eagerly here)
+	// and precede traffic wiring.
+	if shards > 1 {
+		med.ConfigureShards(scheds, func(id frame.NodeID) int { return shardOf[id] })
 	}
 
 	// Node churn: arm each monitor's crash/restart schedule. Monitors
 	// are visited in ascending node-ID order with per-monitor streams,
 	// so schedules are independent of map iteration and of each other.
 	if s.Faults.ChurnEnabled() {
+		// Churn is serial-only (Validate); sched is the one scheduler.
 		churnRoot := root.Stream("faults-churn")
 		for i := range tp.Positions {
 			if m, ok := monitors[frame.NodeID(i)]; ok {
-				faults.ScheduleChurn(&sched, churnRoot.StreamN("node-", uint64(i)),
+				setOwner(sched, i)
+				faults.ScheduleChurn(sched, churnRoot.StreamN("node-", uint64(i)),
 					s.Faults, m, s.Duration)
 			}
 		}
 	}
 
-	// Wire traffic.
+	// Wire traffic. Each flow's source events go on (and are keyed to)
+	// the sending node's scheduler.
 	for _, f := range tp.Flows {
 		n := nodes[f.Src]
+		fsched := scheds[shardOf[f.Src]]
+		setOwner(fsched, int(f.Src))
 		if f.RateBps > 0 {
-			traffic.NewCBR(&sched, n, f.Dst, s.PayloadBytes, f.RateBps).Start()
+			traffic.NewCBR(fsched, n, f.Dst, s.PayloadBytes, f.RateBps).Start()
 			continue
 		}
 		src := traffic.NewBacklogged(n, f.Dst, s.PayloadBytes, s.QueueDepth)
@@ -262,19 +354,32 @@ func run(s Scenario, seed uint64, armed func(*sim.Scheduler, *obs.Runtime)) (Res
 		src.Start()
 	}
 
-	if armed != nil {
-		armed(&sched, rt)
+	var kernel sim.Kernel = sched
+	if shards > 1 {
+		// Lookahead: the minimum delay by which an event on one shard
+		// can affect another — v3's propagation delay, floored by the
+		// slot time for form's sake (Validate guarantees slot > delay).
+		la := medium.V3PropDelay
+		if st := s.MAC.SlotTime; st < la {
+			la = st
+		}
+		grp := sim.NewShardGroup(scheds, la)
+		grp.Exchange = med.ExchangeShardMessages
+		kernel = grp
 	}
-	sched.Run(s.Duration)
-	if sched.Interrupted() {
+	if armed != nil {
+		armed(kernel, rt)
+	}
+	kernel.Run(s.Duration)
+	if kernel.Interrupted() {
 		return Result{}, &SeedFailure{
 			Scenario: s.Name, Seed: seed, TimedOut: true,
-			Events: sched.EventsFired(), SimTime: sched.Now(),
+			Events: kernel.EventsFired(), SimTime: kernel.Now(),
 			TraceTail: rt.TraceTail(),
 		}
 	}
 	if result.Trace != nil {
-		result.Trace.Finalize(sched.Now())
+		result.Trace.Finalize(kernel.Now())
 	}
 
 	// Collect metrics.
@@ -295,7 +400,8 @@ func run(s Scenario, seed uint64, armed func(*sim.Scheduler, *obs.Runtime)) (Res
 	for _, p := range senderPolicies {
 		result.GreedyDetections += p.GreedyDetections()
 	}
-	result.EventsFired = sched.EventsFired()
+	result.ProvenMisbehaviors = int(proven.Load())
+	result.EventsFired = kernel.EventsFired()
 	result.FaultDrops = med.FaultDrops()
 	for i := range tp.Positions {
 		if m, ok := monitors[frame.NodeID(i)]; ok {

@@ -31,6 +31,11 @@ const (
 	// internal/medium/index.go) — the default since DefaultScenario
 	// flipped to it (DESIGN.md §10).
 	ChannelV2 = medium.ChannelV2
+	// ChannelV3 is v2 plus a uniform per-link propagation delay and
+	// keyed event ordering (see internal/medium/v3.go) — required for
+	// (and designed around) sharded runs with Scenario.Shards > 1,
+	// DESIGN.md §11.
+	ChannelV3 = medium.ChannelV3
 )
 
 // Protocol selects the MAC variant under test.
@@ -128,6 +133,12 @@ type Scenario struct {
 	// from DefaultScenario is ChannelV2) or ChannelV2 (per-pair
 	// counter RNG + spatial neighbor index, for 200+ node topologies).
 	Channel ChannelModel
+	// Shards is the number of scheduler shards the run is spatially
+	// partitioned across (0 and 1 both mean the serial kernel).
+	// Shards > 1 requires ChannelV3, whose keyed event order makes
+	// results independent of the shard count: a sharded run is
+	// bit-identical to the serial run of the same scenario and seed.
+	Shards int
 	// BinSize enables the Figure-8 diagnosis time series when positive.
 	BinSize sim.Time
 	// QueueDepth is the backlogged-source refill depth.
@@ -228,9 +239,46 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("experiment: %s: invalid strategy %d", s.Name, s.Strategy)
 	}
 	switch s.Channel {
-	case ChannelV1, ChannelV2:
+	case ChannelV1, ChannelV2, ChannelV3:
 	default:
 		return fmt.Errorf("experiment: %s: invalid channel model %d", s.Name, int(s.Channel))
+	}
+	if s.Channel == ChannelV3 {
+		if s.CoherenceInterval > 0 {
+			return fmt.Errorf("experiment: %s: channel model v3 does not support a coherence interval", s.Name)
+		}
+		// v3's propagation delay must hide inside DCF's 2-slot response
+		// timeout slack (internal/medium/v3.go); δ ≥ slot would make
+		// CTS/ACK timeouts fire before the delayed response lands.
+		if s.MAC.SlotTime <= medium.V3PropDelay {
+			return fmt.Errorf("experiment: %s: channel model v3 needs slot time > %v propagation delay, have %v",
+				s.Name, medium.V3PropDelay, s.MAC.SlotTime)
+		}
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("experiment: %s: negative shard count %d", s.Name, s.Shards)
+	}
+	if s.Shards > 1 {
+		// The sharded kernel's correctness argument (DESIGN.md §11)
+		// needs v3's propagation-delay lookahead, and its concurrency
+		// model needs every per-event side channel to be either
+		// node-local, commutative, or off. Traces and the obs record bus
+		// are ordered logs; fault hooks consult shared injector state in
+		// completion order; both would need their own merge rules.
+		switch {
+		case s.Channel != ChannelV3:
+			return fmt.Errorf("experiment: %s: %d shards require channel model v3, have %v",
+				s.Name, s.Shards, s.Channel)
+		case s.Faults.Enabled():
+			return fmt.Errorf("experiment: %s: fault injection is not supported with %d shards",
+				s.Name, s.Shards)
+		case s.TraceEvents > 0:
+			return fmt.Errorf("experiment: %s: frame tracing is not supported with %d shards",
+				s.Name, s.Shards)
+		case s.Observe != nil && s.Observe.Categories != 0:
+			return fmt.Errorf("experiment: %s: decision tracing is not supported with %d shards (metrics are)",
+				s.Name, s.Shards)
+		}
 	}
 	if err := s.MAC.Validate(); err != nil {
 		return fmt.Errorf("experiment: %s: %w", s.Name, err)

@@ -32,11 +32,29 @@ func runHotalloc(pass *Pass) {
 				return true
 			}
 			name := sel.Sel.Name
-			if name != "At" && name != "After" {
+			if name != "At" && name != "After" && name != "AtKeyedArg" {
 				return true
 			}
 			named := namedRecvOf(info, sel)
-			if named == nil || !hasMethod(named, name+"Arg") {
+			if named == nil {
+				return true
+			}
+			if name == "AtKeyedArg" {
+				// Already trampoline-shaped, but a closure in the fn slot
+				// still allocates per call — and this is the sharded
+				// medium's per-arrival hot path.
+				if !hasMethod(named, "AtArg") {
+					return true
+				}
+				for _, arg := range call.Args {
+					if _, isClosure := arg.(*ast.FuncLit); isClosure {
+						pass.Reportf(arg.Pos(), "closure literal passed to %s.AtKeyedArg allocates per call; pass a package-level trampoline func",
+							named.Obj().Name())
+					}
+				}
+				return true
+			}
+			if !hasMethod(named, name+"Arg") {
 				return true
 			}
 			for _, arg := range call.Args {

@@ -31,6 +31,10 @@ func TestObshot(t *testing.T) {
 	linttest.Run(t, "./internal/lint/testdata/src/obshot", lint.Obshot)
 }
 
+func TestShardmail(t *testing.T) {
+	linttest.Run(t, "./internal/lint/testdata/src/shardmail", lint.Shardmail)
+}
+
 // TestDirectives drives every analyzer at once over the directive
 // corpus: placement on the wrong line, unknown analyzer names, unknown
 // verbs, and stacked/multi-name directives.

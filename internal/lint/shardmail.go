@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Shardmail guards the sharded kernel's determinism invariant at its
+// most fragile point: the cross-shard mailboxes. Boundary messages
+// buffered during a window MUST be injected at the barrier in a fixed
+// order — the medium keeps per-(src, dst) outbox slices and drains them
+// by ascending shard index (medium.ExchangeShardMessages). Two shapes
+// break that silently:
+//
+//   - declaring a mailbox as a map: Go randomises iteration order, so
+//     any drain over it injects in a different order every run. The
+//     keyed (when, key) total order masks most of the damage — until
+//     two messages race for one pool slot or a panic's blame order
+//     flips — so the bug would surface as a once-a-month flake;
+//   - calling AtKeyedArg from inside any map iteration, which is the
+//     same hazard without the naming hint.
+//
+// Mailboxes are recognised by name (outbox/inbox/mailbox/mailboxes in
+// a field or variable identifier); the blessed shape is a slice indexed
+// by shard. //detlint:allow shardmail opts out with a justification.
+var Shardmail = &Analyzer{
+	Name: "shardmail",
+	Doc:  "flag map-typed cross-shard mailboxes and keyed event injection from map iteration",
+	Run:  runShardmail,
+}
+
+func runShardmail(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field:
+				for _, name := range n.Names {
+					if mailboxName(name.Name) && isMapType(info.TypeOf(n.Type)) {
+						pass.Reportf(name.Pos(), "cross-shard mailbox %q is a map; drain order would be randomised — use a slice indexed by shard", name.Name)
+					}
+				}
+
+			case *ast.AssignStmt:
+				// Short variable declarations: `outbox := map[...]{...}`.
+				for _, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || !mailboxName(id.Name) || info.Defs[id] == nil {
+						continue
+					}
+					if isMapType(info.TypeOf(lhs)) {
+						pass.Reportf(id.Pos(), "cross-shard mailbox %q is a map; drain order would be randomised — use a slice indexed by shard", id.Name)
+					}
+				}
+
+			case *ast.ValueSpec:
+				for _, name := range n.Names {
+					if mailboxName(name.Name) && isMapType(info.TypeOf(name)) {
+						pass.Reportf(name.Pos(), "cross-shard mailbox %q is a map; drain order would be randomised — use a slice indexed by shard", name.Name)
+					}
+				}
+
+			case *ast.RangeStmt:
+				t := info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "AtKeyedArg" {
+						return true
+					}
+					if named := namedRecvOf(info, sel); named != nil && hasMethod(named, "AtKeyedArg") {
+						pass.Reportf(call.Pos(), "AtKeyedArg inside map iteration injects events in randomised order; drain mailboxes via sorted slices (see medium.ExchangeShardMessages)")
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+}
+
+// mailboxName reports whether an identifier names a cross-shard
+// message buffer by the codebase's conventions.
+func mailboxName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "outbox") || strings.Contains(l, "inbox") || strings.Contains(l, "mailbox")
+}
+
+// isMapType reports whether t (possibly nil) is a map, or a slice or
+// array of maps — a per-shard slice of map mailboxes is just as
+// order-randomised when drained.
+func isMapType(t types.Type) bool {
+	for t != nil {
+		switch u := t.Underlying().(type) {
+		case *types.Map:
+			return true
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		default:
+			return false
+		}
+	}
+	return false
+}

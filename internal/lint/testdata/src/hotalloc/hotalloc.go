@@ -41,3 +41,14 @@ func plain(p *sim.PlainTimer, at sim.Time) {
 func (n *node) armOnce(at sim.Time) {
 	n.sched.At(at, func() { n.nav = 0 }) //detlint:allow hotalloc -- runs once at scenario setup, never per frame
 }
+
+// A closure in AtKeyedArg's fn slot allocates per call too — it is the
+// sharded medium's per-arrival hot path.
+func (n *node) armKeyed(at sim.Time) {
+	n.sched.AtKeyedArg(at, 7, func(arg any, when sim.Time) { n.nav = when }, n) // want `closure literal passed to Scheduler\.AtKeyedArg allocates per call`
+}
+
+// The package-level trampoline form stays silent.
+func (n *node) armKeyedFast(at sim.Time) {
+	n.sched.AtKeyedArg(at, 7, fireTimeout, n)
+}

@@ -1,0 +1,55 @@
+// Seeded violations for the shardmail analyzer.
+package shardmail
+
+import "dcfguard/internal/lint/testdata/src/sim"
+
+type msg struct {
+	when sim.Time
+	key  uint64
+}
+
+// Map-typed mailboxes randomise drain order: struct fields...
+type shard struct {
+	outbox map[int][]*msg // want `cross-shard mailbox "outbox" is a map`
+	inbox  map[int]*msg   // want `cross-shard mailbox "inbox" is a map`
+	// A slice of maps is just as order-randomised when drained.
+	mailboxes []map[int]*msg // want `cross-shard mailbox "mailboxes" is a map`
+}
+
+// ...package-level variables...
+var globalOutbox map[string][]*msg // want `cross-shard mailbox "globalOutbox" is a map`
+
+// ...and short variable declarations.
+func buildMailbox() {
+	outbox := make(map[int][]*msg) // want `cross-shard mailbox "outbox" is a map`
+	_ = outbox
+}
+
+// The blessed shape: per-(src, dst) slices indexed by shard.
+type goodShard struct {
+	outbox [][]*msg
+}
+
+func (s *goodShard) buffered() int { return len(s.outbox) }
+
+// Injecting keyed events from inside a map iteration is the same
+// hazard without the naming hint.
+func onArrival(arg any, when sim.Time) {}
+
+func drainWrong(sched *sim.Scheduler, pending map[uint64]*msg) {
+	for _, m := range pending {
+		sched.AtKeyedArg(m.when, m.key, onArrival, m) // want `AtKeyedArg inside map iteration injects events in randomised order`
+	}
+}
+
+// Slice drains are deterministic: no report.
+func drainRight(sched *sim.Scheduler, pending []*msg) {
+	for _, m := range pending {
+		sched.AtKeyedArg(m.when, m.key, onArrival, m)
+	}
+}
+
+// Opting out requires a justification.
+type auditedShard struct {
+	outbox map[int][]*msg //detlint:allow shardmail -- debug-only mirror, drained through sortedKeys
+}

@@ -36,3 +36,9 @@ type Event struct {
 	when Time
 	next uint32
 }
+
+// AtKeyedArg mirrors the keyed-scheduling entry point the shardmail
+// and hotalloc corpora exercise.
+func (s *Scheduler) AtKeyedArg(when Time, key uint64, fn func(arg any, when Time), arg any) EventRef {
+	return EventRef{}
+}

@@ -101,6 +101,12 @@ const (
 	// O(reachable) instead of O(n). Results are independent of
 	// iteration order and carry their own determinism goldens.
 	ChannelV2
+	// ChannelV3 is v2 plus a uniform per-link propagation delay
+	// (V3PropDelay) and keyed event ordering — the model whose results
+	// are independent of how nodes are partitioned across scheduler
+	// shards, and hence the only model that supports Scenario.Shards > 1
+	// (see v3.go). Serial v3 runs carry their own determinism goldens.
+	ChannelV3
 )
 
 // String returns the model name as used by the macsim -channel flag.
@@ -110,6 +116,8 @@ func (c ChannelModel) String() string {
 		return "v1"
 	case ChannelV2:
 		return "v2"
+	case ChannelV3:
+		return "v3"
 	default:
 		return fmt.Sprintf("ChannelModel(%d)", int(c))
 	}
@@ -161,7 +169,16 @@ type Medium struct {
 	outOfRange []bool
 
 	// freeArrivals pools arrival records (recycled in complete).
+	// Sharded runs use the per-shard pools instead (see v3.go).
 	freeArrivals []*arrival
+	// freeMsgs pools v3 arrival messages for serial (unsharded) v3 runs.
+	freeMsgs []*v3msg
+
+	// Sharded-run state (channel model v3 only, see v3.go): sharded is
+	// set by ConfigureShards, after which per-node scheduling goes
+	// through node.sched and pooling/counting through shards[i].
+	sharded bool
+	shards  []*mediumShard
 
 	// v2Base is the counter-RNG base key (channel model v2 only),
 	// derived once from the medium's stream at New.
@@ -182,9 +199,16 @@ type Medium struct {
 }
 
 type node struct {
-	id       frame.NodeID
-	idx      int // position in Medium.nodes, fixed at cache build
-	m        *Medium
+	id frame.NodeID
+	// idx is the position in Medium.nodes, fixed at cache build.
+	idx int
+	m   *Medium
+	// sched is the scheduler this node's events run on: Medium.sched
+	// normally, the node's shard scheduler after ConfigureShards. All
+	// per-node scheduling and clock reads go through it.
+	sched *sim.Scheduler
+	// shard is the node's shard index (0 until ConfigureShards).
+	shard    int
 	pos      phys.Point
 	radio    phys.Radio
 	listener Listener
@@ -247,13 +271,21 @@ func New(sched *sim.Scheduler, cfg Config, src *rng.Source) *Medium {
 	}
 	switch cfg.Channel {
 	case ChannelV1:
-	case ChannelV2:
+	case ChannelV2, ChannelV3:
 		// Derive the counter-RNG base key. This consumes one draw from
-		// the medium stream, but only on the v2 path — v1's sequence is
-		// untouched, keeping its goldens bit-identical.
+		// the medium stream, but only on the v2/v3 paths — v1's sequence
+		// is untouched, keeping its goldens bit-identical. v3 reuses the
+		// v2 stream name: at equal seeds the two models share shadowing
+		// draws, differing only in delay and event keying.
 		m.v2Base = src.Stream("channel-v2").Uint64()
 	default:
 		panic(fmt.Sprintf("medium: invalid channel model %d", int(cfg.Channel)))
+	}
+	if cfg.Channel == ChannelV3 && cfg.CoherenceInterval > 0 {
+		// v3 has no coherence path: sub-frame re-draws would need their
+		// own keyed sub-events, and no paper experiment combines them
+		// with large topologies.
+		panic("medium: channel model v3 does not support a coherence interval")
 	}
 	return m
 }
@@ -271,7 +303,10 @@ func (m *Medium) Attach(id frame.NodeID, pos phys.Point, radio phys.Radio, l Lis
 	if err := radio.Validate(); err != nil {
 		panic(fmt.Sprintf("medium: node %d: %v", id, err))
 	}
-	n := &node{id: id, m: m, pos: pos, radio: radio, listener: l}
+	if m.sharded {
+		panic(fmt.Sprintf("medium: Attach of node %d after ConfigureShards", id))
+	}
+	n := &node{id: id, m: m, sched: m.sched, pos: pos, radio: radio, listener: l}
 	i := sort.Search(len(m.nodes), func(i int) bool { return m.nodes[i].id > id })
 	m.nodes = append(m.nodes, nil)
 	copy(m.nodes[i+1:], m.nodes[i:])
@@ -329,13 +364,27 @@ func (m *Medium) buildCache() {
 
 // Stats returns cumulative channel counters: transmissions started,
 // frames delivered, and frames lost to collisions at their addressee.
+// Sharded runs sum the per-shard counters (call between windows or
+// after the run).
 func (m *Medium) Stats() (transmissions, deliveries, collisions uint64) {
-	return m.transmissions, m.deliveries, m.collisions
+	transmissions, deliveries, collisions = m.transmissions, m.deliveries, m.collisions
+	for _, sh := range m.shards {
+		transmissions += sh.transmissions
+		deliveries += sh.deliveries
+		collisions += sh.collisions
+	}
+	return transmissions, deliveries, collisions
 }
 
 // FaultDrops returns the number of frames destroyed by the
 // fault-injection hook (zero when Config.FrameFaults is nil).
-func (m *Medium) FaultDrops() uint64 { return m.faultDrops }
+func (m *Medium) FaultDrops() uint64 {
+	n := m.faultDrops
+	for _, sh := range m.shards {
+		n += sh.faultDrops
+	}
+	return n
+}
 
 // newArrival takes an arrival record from the pool, or allocates one.
 func (m *Medium) newArrival() *arrival {
@@ -357,13 +406,13 @@ func (m *Medium) Transmit(srcID frame.NodeID, f frame.Frame) sim.Time {
 		panic(fmt.Sprintf("medium: transmit from unattached node %d", srcID))
 	}
 	if m.cacheDirty {
-		if m.cfg.Channel == ChannelV2 {
+		if m.cfg.Channel != ChannelV1 {
 			m.buildIndex()
 		} else {
 			m.buildCache()
 		}
 	}
-	now := m.sched.Now()
+	now := tx.sched.Now()
 	if tx.txUntil > now {
 		panic(fmt.Sprintf("medium: node %d transmit at %v while transmitting until %v",
 			srcID, now, tx.txUntil))
@@ -373,7 +422,11 @@ func (m *Medium) Transmit(srcID frame.NodeID, f frame.Frame) sim.Time {
 	}
 	end := now + f.Airtime(tx.radio.BitRate)
 	tx.txUntil = end
-	m.transmissions++
+	if m.sharded {
+		m.shards[tx.shard].transmissions++
+	} else {
+		m.transmissions++
+	}
 	m.obs.transmissions.Inc()
 	if m.obs.chanOn() {
 		m.traceChannel(obs.Record{
@@ -401,9 +454,12 @@ func (m *Medium) Transmit(srcID frame.NodeID, f frame.Frame) sim.Time {
 	clearTail(tx.arrivals, len(live))
 	tx.arrivals = live
 
-	if m.cfg.Channel == ChannelV2 {
+	switch m.cfg.Channel {
+	case ChannelV3:
+		m.fanOutV3(tx, f, now, end)
+	case ChannelV2:
 		m.fanOutV2(tx, f, now, end)
-	} else {
+	default:
 		// Per-observer outcomes, in ascending ID order for determinism.
 		// The shadowing draw is consumed for every observer — the RNG
 		// sequence is part of the reproducible result — but pairs the
@@ -427,7 +483,7 @@ func (m *Medium) Transmit(srcID frame.NodeID, f frame.Frame) sim.Time {
 	// Self busy-end. Scheduled after arrivals so that, at instant
 	// `end`, deliveries (scheduled inside arriveAt) precede carrier
 	// transitions only per-observer; the transmitter has no delivery.
-	m.sched.AtArg(end, busyEndEvent, tx)
+	tx.sched.AtArg(end, busyEndEvent, tx)
 	return end
 }
 
@@ -480,13 +536,22 @@ func (m *Medium) arriveAt(tx, obs *node, f frame.Frame, power float64, start, en
 }
 
 // admitArrival registers a decodable arrival at obs: it creates the
-// pooled record, applies the half-duplex self-block, resolves
-// collisions (with capture) against other live arrivals — compacting
-// dead entries in the same pass — and schedules completion. Shared by
-// both channel models; the returned record lets the v2 fast path set
-// withBusyEnd.
+// pooled record, resolves it, and schedules completion. Shared by the
+// v1 and v2 models; the returned record lets the v2 fast path set
+// withBusyEnd. v3 allocates from its shard pool and schedules with a
+// keyed event, so it calls resolveArrival directly (see deliverV3).
 func (m *Medium) admitArrival(obs *node, f frame.Frame, power float64, start, end sim.Time) *arrival {
 	a := m.newArrival()
+	m.resolveArrival(obs, a, f, power, start, end)
+	m.sched.AtArg(end, completeEvent, a)
+	return a
+}
+
+// resolveArrival fills the pooled record a with the arrival's outcome:
+// the half-duplex self-block, then collision resolution (with capture)
+// against obs's other live arrivals — compacting dead entries in the
+// same pass. The caller schedules the completion event.
+func (m *Medium) resolveArrival(obs *node, a *arrival, f frame.Frame, power float64, start, end sim.Time) {
 	*a = arrival{obs: obs, f: f, start: start, end: end, powerDBm: power}
 	// Half-duplex: if the observer is mid-transmission now, it cannot
 	// lock onto the arriving frame.
@@ -511,8 +576,6 @@ func (m *Medium) admitArrival(obs *node, f frame.Frame, power float64, start, en
 	}
 	clearTail(obs.arrivals, len(live))
 	obs.arrivals = append(live, a)
-	m.sched.AtArg(end, completeEvent, a)
-	return a
 }
 
 // scheduleBusyRun arms one busy interval [runStart, runEnd) at obs.
@@ -544,7 +607,12 @@ func (m *Medium) complete(obs *node, a *arrival) {
 	corrupted, selfBlocked, f, end := a.corrupted, a.selfBlocked, a.f, a.end
 	withBusyEnd := a.withBusyEnd
 	*a = arrival{}
-	m.freeArrivals = append(m.freeArrivals, a)
+	if m.sharded {
+		sh := m.shards[obs.shard]
+		sh.freeArrivals = append(sh.freeArrivals, a)
+	} else {
+		m.freeArrivals = append(m.freeArrivals, a)
+	}
 
 	// Fault injection: a frame that survived collisions and half-duplex
 	// blocking can still be destroyed by the channel-error model. The
@@ -555,14 +623,22 @@ func (m *Medium) complete(obs *node, a *arrival) {
 	if !corrupted && !selfBlocked && m.cfg.FrameFaults != nil {
 		faultDropped = m.cfg.FrameFaults.Drop(f.Src, obs.id)
 		if faultDropped {
-			m.faultDrops++
+			if m.sharded {
+				m.shards[obs.shard].faultDrops++
+			} else {
+				m.faultDrops++
+			}
 			m.obs.faultDrops.Inc()
 		}
 	}
 
 	if corrupted || selfBlocked || faultDropped {
 		if f.Dst == obs.id && !faultDropped {
-			m.collisions++
+			if m.sharded {
+				m.shards[obs.shard].collisions++
+			} else {
+				m.collisions++
+			}
 			m.obs.collisions.Inc()
 		}
 		if m.obs.chanOn() {
@@ -581,7 +657,11 @@ func (m *Medium) complete(obs *node, a *arrival) {
 			}
 		}
 	} else {
-		m.deliveries++
+		if m.sharded {
+			m.shards[obs.shard].deliveries++
+		} else {
+			m.deliveries++
+		}
 		m.obs.deliveries.Inc()
 		if m.obs.chanOn() {
 			m.traceOutcome("deliver", obs, f, end)
@@ -634,7 +714,7 @@ func (m *Medium) Transmitting(id frame.NodeID) bool {
 	if n == nil {
 		panic(fmt.Sprintf("medium: Transmitting on unattached node %d", id))
 	}
-	return n.txUntil > m.sched.Now()
+	return n.txUntil > n.sched.Now()
 }
 
 // Busy reports whether the given node currently senses the channel busy.

@@ -99,6 +99,14 @@ type Scheduler struct {
 	// scratch is reused by compact().
 	scratch []entry
 
+	// Keyed ordering state (see key.go). When keyed is set, seq fields
+	// carry explicit partition-invariant keys instead of the FIFO
+	// counter: curOwner is the node context implicit scheduling charges
+	// its key to, and ownerCtr holds each owner's private counter.
+	keyed    bool
+	curOwner int
+	ownerCtr []uint64
+
 	// interrupted is the one concurrency-safe bit of scheduler state:
 	// Interrupt (callable from any goroutine) sets it, and Run polls it
 	// every interruptStride events — the hook that lets a wall-time
@@ -188,8 +196,14 @@ func (s *Scheduler) alloc(when Time) uint32 {
 	}
 	ev := &s.slab[idx]
 	ev.when = when
-	ev.seq = s.nextSeq
-	s.nextSeq++
+	if s.keyed {
+		// The caller assigns the key: At/AtArg charge the current
+		// owner's counter, AtKeyedArg carries an explicit fan key.
+		ev.seq = 0
+	} else {
+		ev.seq = s.nextSeq
+		s.nextSeq++
+	}
 	return idx
 }
 
@@ -217,6 +231,9 @@ func (s *Scheduler) At(when Time, fn func()) EventRef {
 	s.ensureQueue()
 	idx := s.alloc(when)
 	ev := &s.slab[idx]
+	if s.keyed {
+		ev.seq = s.nextOwnerKey()
+	}
 	ev.fn = fn
 	s.qpush(entry{when: when, seq: ev.seq, idx: idx, gen: ev.gen})
 	s.live++
@@ -234,6 +251,9 @@ func (s *Scheduler) AtArg(when Time, fn func(arg any, when Time), arg any) Event
 	s.ensureQueue()
 	idx := s.alloc(when)
 	ev := &s.slab[idx]
+	if s.keyed {
+		ev.seq = s.nextOwnerKey()
+	}
 	ev.afn = fn
 	ev.arg = arg
 	s.qpush(entry{when: when, seq: ev.seq, idx: idx, gen: ev.gen})
@@ -343,6 +363,56 @@ func (s *Scheduler) Run(until Time) {
 	}
 }
 
+// RunWindow executes events strictly before horizon, in (when, seq)
+// order. Unlike Run it never advances the clock past the last fired
+// event: the shard barrier needs the clock to stay at (or before) every
+// instant a cross-shard message may still be injected at, and horizon
+// is by construction ≤ any such instant. Interrupt is polled on the
+// same stride as Run, so a watchdog stops a window mid-drain.
+func (s *Scheduler) RunWindow(horizon Time) {
+	s.stopped = false
+	for s.live > 0 && !s.stopped {
+		if s.fired&(interruptStride-1) == 0 && s.interrupted.Load() {
+			return
+		}
+		e, ok := s.qpop()
+		if !ok {
+			break
+		}
+		if s.slab[e.idx].gen != e.gen {
+			s.stale--
+			continue
+		}
+		if e.when >= horizon {
+			s.qpush(e) // at most once per RunWindow call
+			break
+		}
+		s.fire(e)
+	}
+}
+
+// NextTime reports the instant of the earliest pending event without
+// firing it, skipping (and reclaiming) lazily-cancelled entries. The
+// shard coordinator uses it to derive each window's horizon.
+func (s *Scheduler) NextTime() (Time, bool) {
+	if s.live == 0 {
+		// Also covers a scheduler that never had an event (nil queue).
+		return 0, false
+	}
+	for {
+		e, ok := s.qpop()
+		if !ok {
+			return 0, false
+		}
+		if s.slab[e.idx].gen != e.gen {
+			s.stale--
+			continue
+		}
+		s.qpush(e)
+		return e.when, true
+	}
+}
+
 // Drain executes all remaining events regardless of time. Intended for
 // tests; experiment runs use Run with a horizon.
 func (s *Scheduler) Drain() {
@@ -370,6 +440,13 @@ func (s *Scheduler) Drain() {
 func (s *Scheduler) fire(e entry) {
 	ev := &s.slab[e.idx]
 	fn, afn, arg, when := ev.fn, ev.afn, ev.arg, ev.when
+	if s.keyed {
+		// Everything the callback schedules is charged to the owner the
+		// firing event's key names, so implicit rescheduling (timers,
+		// backoffs) stays keyed to its node without the MAC layer ever
+		// knowing keys exist.
+		s.curOwner = ownerOfKey(ev.seq)
+	}
 	s.release(e.idx)
 	s.live--
 	s.now = when

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Kernel is the surface the experiment harness drives a run through,
+// satisfied by both *Scheduler (serial runs) and *ShardGroup (sharded
+// runs): the wall-time watchdog needs Interrupt, the result plumbing
+// needs the counters and the final clock.
+type Kernel interface {
+	// Run executes events until no event at or before until remains, or
+	// the kernel is interrupted.
+	Run(until Time)
+	// Interrupt requests a stop at an event (or window) boundary; safe
+	// from any goroutine.
+	Interrupt()
+	// Interrupted reports whether Interrupt has been called.
+	Interrupted() bool
+	// EventsFired returns the total events executed.
+	EventsFired() uint64
+	// Now returns the current simulated time (for a group, the furthest
+	// shard clock).
+	Now() Time
+}
+
+// ShardGroup runs several keyed schedulers in lockstep conservative
+// time windows (Chandy–Misra-style bounded lag with a fixed lookahead):
+//
+//	T       = min over shards of the next pending event time
+//	horizon = min(T + lookahead, until + 1)
+//
+// Every cross-shard interaction is a medium fan-out with delay ≥
+// lookahead, so an event firing inside [T, horizon) can only schedule
+// onto another shard at ≥ T + lookahead ≥ horizon — never inside the
+// window being drained. Each shard therefore drains [.., horizon)
+// independently on its own goroutine; at the barrier the coordinator
+// calls Exchange, which injects the buffered boundary messages
+// single-threadedly before the next window is computed. Keyed (when,
+// key) ordering makes the merged stream — and thus every result — a
+// pure function of the model, not of goroutine interleaving.
+type ShardGroup struct {
+	scheds    []*Scheduler
+	lookahead Time
+
+	// Exchange is called at every barrier with all shards parked; it
+	// must move buffered cross-shard messages into their destination
+	// schedulers (the medium's outbox drain) in a deterministic order.
+	Exchange func()
+
+	interrupted atomic.Bool
+}
+
+// NewShardGroup assembles a group over scheds. lookahead must be
+// positive: it is the minimum cross-shard scheduling delay the model
+// guarantees (for channel model v3, min(V3PropDelay, slot time)).
+func NewShardGroup(scheds []*Scheduler, lookahead Time) *ShardGroup {
+	if len(scheds) < 2 {
+		panic("sim: ShardGroup needs at least 2 shards")
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: ShardGroup lookahead %v must be positive", lookahead))
+	}
+	for _, s := range scheds {
+		if !s.Keyed() {
+			panic("sim: ShardGroup over a non-keyed scheduler")
+		}
+	}
+	return &ShardGroup{scheds: scheds, lookahead: lookahead}
+}
+
+// Run drives all shards until no events at or before until remain, or
+// the group is interrupted. Workers are persistent goroutines fed one
+// horizon per window over a channel; the coordinator owns every
+// scheduler between barriers, so NextTime, Exchange, and the final
+// clock advance all run single-threaded.
+func (g *ShardGroup) Run(until Time) {
+	n := len(g.scheds)
+	starts := make([]chan Time, n)
+	for i := range starts {
+		starts[i] = make(chan Time, 1)
+	}
+	done := make(chan struct{}, n)
+	for i, s := range g.scheds {
+		go func(s *Scheduler, start <-chan Time) {
+			for h := range start {
+				s.RunWindow(h)
+				done <- struct{}{}
+			}
+		}(s, starts[i])
+	}
+	for !g.interrupted.Load() {
+		// T: the earliest pending event anywhere. Events beyond until
+		// stay queued, exactly like the serial Run's push-back.
+		var t Time
+		have := false
+		for _, s := range g.scheds {
+			if w, ok := s.NextTime(); ok && (!have || w < t) {
+				t, have = w, true
+			}
+		}
+		if !have || t > until {
+			break
+		}
+		horizon := t + g.lookahead
+		if horizon > until+1 {
+			// Clamp into the run: without this, a late-run window could
+			// admit events past until that the serial kernel leaves
+			// unfired. until+1 (not until) so events at exactly until
+			// fire — RunWindow's bound is strict.
+			horizon = until + 1
+		}
+		for i := range starts {
+			starts[i] <- horizon
+		}
+		for range g.scheds {
+			<-done
+		}
+		if g.Exchange != nil {
+			g.Exchange()
+		}
+	}
+	for i := range starts {
+		close(starts[i])
+	}
+	if g.interrupted.Load() {
+		return // leave every clock at its last fired event
+	}
+	// Windows leave each clock at its shard's last fired event; finish
+	// exactly like the serial kernel by advancing every clock to until.
+	// No events at or before until remain, so nothing fires.
+	for _, s := range g.scheds {
+		s.Run(until)
+	}
+}
+
+// Interrupt stops the group at the next window boundary and every shard
+// at its next event-stride poll within the current window. Safe from
+// any goroutine; used by the per-seed wall-time watchdog.
+func (g *ShardGroup) Interrupt() {
+	g.interrupted.Store(true)
+	for _, s := range g.scheds {
+		s.Interrupt()
+	}
+}
+
+// Interrupted reports whether Interrupt has been called.
+func (g *ShardGroup) Interrupted() bool { return g.interrupted.Load() }
+
+// EventsFired returns the total events executed across all shards.
+func (g *ShardGroup) EventsFired() uint64 {
+	var n uint64
+	for _, s := range g.scheds {
+		n += s.EventsFired()
+	}
+	return n
+}
+
+// Now returns the furthest shard clock.
+func (g *ShardGroup) Now() Time {
+	var t Time
+	for _, s := range g.scheds {
+		if w := s.Now(); w > t {
+			t = w
+		}
+	}
+	return t
+}
+
+// Shards returns the group's schedulers (indexed by shard).
+func (g *ShardGroup) Shards() []*Scheduler { return g.scheds }

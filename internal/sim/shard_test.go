@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// --- keyed ordering -------------------------------------------------
+
+// TestKeyedTieBreakByKey: at equal instants a keyed scheduler fires fan
+// keys (bit 63 clear — physical arrivals) before owner keys (local
+// timers), and within each class in ascending key order, regardless of
+// the order the events were scheduled in.
+func TestKeyedTieBreakByKey(t *testing.T) {
+	var s Scheduler
+	s.EnableKeyed(8)
+	var got []string
+	rec := func(name string) func(any, Time) {
+		return func(any, Time) { got = append(got, name) }
+	}
+	at := Millisecond
+	// Schedule in deliberately scrambled order.
+	s.SetOwner(5)
+	s.At(at, func() { got = append(got, "owner5") }) // owner key, owner 5
+	s.AtKeyedArg(at, FanKey(3, 0, 1), rec("fan3->1"), nil)
+	s.SetOwner(2)
+	s.At(at, func() { got = append(got, "owner2") }) // owner key, owner 2
+	s.AtKeyedArg(at, FanKey(1, 0, 4), rec("fan1->4"), nil)
+	s.Run(Second)
+	want := []string{"fan1->4", "fan3->1", "owner2", "owner5"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keyed tie-break order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestKeyedOwnerFollowsFiringEvent: events scheduled from inside a
+// firing callback inherit the firing event's owner, so a node's private
+// counter advances identically on any shard layout.
+func TestKeyedOwnerFollowsFiringEvent(t *testing.T) {
+	var s Scheduler
+	s.EnableKeyed(4)
+	var fromThree EventRef
+	s.SetOwner(3)
+	s.At(Millisecond, func() {
+		// Implicit rescheduling: must be keyed to owner 3, not to the
+		// last SetOwner (which will be 1 by the time this fires).
+		fromThree = s.At(2*Millisecond, func() {})
+	})
+	s.SetOwner(1)
+	s.Run(Second)
+	if fromThree.s == nil {
+		t.Fatal("inner event never scheduled")
+	}
+	if s.ownerCtr[3] != 2 {
+		t.Fatalf("owner 3 counter = %d, want 2 (setup event + rescheduled event)", s.ownerCtr[3])
+	}
+	if s.ownerCtr[1] != 0 {
+		t.Fatalf("owner 1 counter = %d, want 0", s.ownerCtr[1])
+	}
+}
+
+func TestFanKeyOverflowPanics(t *testing.T) {
+	for _, c := range [][3]uint64{
+		{MaxKeyedOwner + 1, 0, 0},
+		{0, MaxFanFrame + 1, 0},
+		{0, 0, MaxKeyedOwner + 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FanKey(%d,%d,%d) did not panic", c[0], c[1], c[2])
+				}
+			}()
+			FanKey(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestEnableKeyedAfterSchedulingPanics(t *testing.T) {
+	var s Scheduler
+	s.At(Millisecond, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableKeyed after scheduling did not panic")
+		}
+	}()
+	s.EnableKeyed(4)
+}
+
+// --- windows --------------------------------------------------------
+
+// TestRunWindowStopsAtHorizon: RunWindow fires strictly before the
+// horizon, leaves later events queued, and never advances the clock
+// past the last fired event (the coordinator owns inter-window time).
+func TestRunWindowStopsAtHorizon(t *testing.T) {
+	var s Scheduler
+	s.EnableKeyed(1)
+	s.SetOwner(0)
+	var fired []Time
+	for _, at := range []Time{1 * Microsecond, 5 * Microsecond, 9 * Microsecond, 10 * Microsecond, 30 * Microsecond} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunWindow(10 * Microsecond)
+	if len(fired) != 3 || fired[2] != 9*Microsecond {
+		t.Fatalf("window [0,10µs) fired %v", fired)
+	}
+	if s.Now() != 9*Microsecond {
+		t.Fatalf("clock %v after window, want 9µs (last fired event)", s.Now())
+	}
+	if w, ok := s.NextTime(); !ok || w != 10*Microsecond {
+		t.Fatalf("NextTime = %v,%v, want 10µs", w, ok)
+	}
+	s.RunWindow(31 * Microsecond)
+	if len(fired) != 5 {
+		t.Fatalf("second window left events unfired: %v", fired)
+	}
+}
+
+// TestNextTimeSkipsStale: cancelled events must not show up as a
+// shard's next pending time — they would deadlock window computation.
+func TestNextTimeSkipsStale(t *testing.T) {
+	var s Scheduler
+	s.EnableKeyed(1)
+	s.SetOwner(0)
+	r := s.At(Millisecond, func() {})
+	s.At(2*Millisecond, func() {})
+	s.Cancel(r)
+	if w, ok := s.NextTime(); !ok || w != 2*Millisecond {
+		t.Fatalf("NextTime = %v,%v, want 2ms (stale head skipped)", w, ok)
+	}
+}
+
+// --- shard group ----------------------------------------------------
+
+// TestShardGroupPingPong drives two shards whose only coupling is a
+// cross-shard "message" injected at the barrier with the lookahead
+// delay — a miniature of the medium's outbox protocol. The resulting
+// trace must interleave both shards deterministically and the group
+// counters must be coherent.
+func TestShardGroupPingPong(t *testing.T) {
+	const la = 10 * Microsecond
+	a, b := &Scheduler{}, &Scheduler{}
+	a.EnableKeyed(2)
+	b.EnableKeyed(2)
+
+	type msg struct {
+		at  Time
+		key uint64
+	}
+	var aOut, bOut []msg // messages for the OTHER shard, drained at barriers
+	var trace []string
+	var hops int
+	var bounce func(dst *Scheduler, out *[]msg, name string) func(any, Time)
+	bounce = func(dst *Scheduler, out *[]msg, name string) func(any, Time) {
+		return func(_ any, now Time) {
+			trace = append(trace, name)
+			if hops++; hops < 8 {
+				*out = append(*out, msg{at: now + la, key: FanKey(uint64(hops), uint64(hops), 0)})
+			}
+		}
+	}
+	onA := bounce(a, &aOut, "a")
+	onB := bounce(b, &bOut, "b")
+
+	g := NewShardGroup([]*Scheduler{a, b}, la)
+	g.Exchange = func() {
+		for _, m := range aOut {
+			b.AtKeyedArg(m.at, m.key, onB, nil)
+		}
+		aOut = aOut[:0]
+		for _, m := range bOut {
+			a.AtKeyedArg(m.at, m.key, onA, nil)
+		}
+		bOut = bOut[:0]
+	}
+	a.SetOwner(0)
+	a.At(Microsecond, func() { onA(nil, a.Now()) })
+	g.Run(Second)
+
+	want := []string{"a", "b", "a", "b", "a", "b", "a", "b"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+	if g.EventsFired() != a.EventsFired()+b.EventsFired() {
+		t.Fatal("group EventsFired is not the shard sum")
+	}
+	if g.Now() != Second {
+		t.Fatalf("group Now = %v, want %v (clocks advanced to until)", g.Now(), Second)
+	}
+	if a.Now() != Second || b.Now() != Second {
+		t.Fatalf("shard clocks %v/%v, want both at until", a.Now(), b.Now())
+	}
+}
+
+// TestShardGroupInterrupt: Interrupt from another goroutine stops the
+// group at a window boundary mid-run, leaving coherent progress.
+func TestShardGroupInterrupt(t *testing.T) {
+	a, b := &Scheduler{}, &Scheduler{}
+	a.EnableKeyed(1)
+	b.EnableKeyed(1)
+	a.SetOwner(0)
+	b.SetOwner(0)
+	var fired atomic.Uint64
+	// Self-perpetuating load on both shards: without an interrupt this
+	// runs ~1e9 windows.
+	var tick func(s *Scheduler) func()
+	tick = func(s *Scheduler) func() {
+		return func() {
+			fired.Add(1)
+			s.After(Microsecond, tick(s))
+		}
+	}
+	a.At(Microsecond, tick(a))
+	b.At(Microsecond, tick(b))
+
+	g := NewShardGroup([]*Scheduler{a, b}, Microsecond)
+	go func() {
+		for fired.Load() < 1000 {
+		}
+		g.Interrupt()
+	}()
+	g.Run(1000 * Second)
+	if !g.Interrupted() {
+		t.Fatal("group not marked interrupted")
+	}
+	if g.EventsFired() == 0 {
+		t.Fatal("no events fired before interrupt")
+	}
+	if g.Now() <= 0 || g.Now() >= 1000*Second {
+		t.Fatalf("interrupted group clock %v outside the run", g.Now())
+	}
+}
+
+func TestNewShardGroupPanics(t *testing.T) {
+	keyed := func() *Scheduler {
+		s := &Scheduler{}
+		s.EnableKeyed(1)
+		return s
+	}
+	cases := map[string]func(){
+		"one shard": func() { NewShardGroup([]*Scheduler{keyed()}, Microsecond) },
+		"zero la":   func() { NewShardGroup([]*Scheduler{keyed(), keyed()}, 0) },
+		"non-keyed": func() { NewShardGroup([]*Scheduler{keyed(), {}}, Microsecond) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -2,9 +2,13 @@
 // drives the wireless network model: simulated time, a stable
 // priority-ordered event queue, and cancellable timers.
 //
-// The kernel is deliberately single-threaded: a simulation run is a pure
-// function of its inputs, and parallelism is applied across runs (seeds,
-// sweep points) by the experiment harness, never within a run.
+// Each Scheduler is deliberately single-threaded: a simulation run is a
+// pure function of its inputs. Parallelism is applied across runs
+// (seeds, sweep points) by the experiment harness — and, for large
+// topologies, within a run by ShardGroup, which drives several
+// schedulers in lockstep conservative time windows while keyed event
+// ordering (key.go) keeps the merged event stream independent of the
+// shard count.
 package sim
 
 import (

@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dcfguard/internal/frame"
 	"dcfguard/internal/sim"
@@ -12,9 +13,17 @@ import (
 // per-packet classifications at monitors — and computes the paper's
 // metrics. Wire OnDeliver into mac.Callbacks and OnClassified into
 // core.Events.
+//
+// The event hooks (OnDeliver, OnSendComplete, OnClassified) take a
+// mutex: in sharded runs they are called from several shard goroutines,
+// and every quantity they accumulate is commutative (sums, counts,
+// Welford moments per sender), so locking is all the coordination the
+// results need. The read-side accessors are for after the run.
 type Collector struct {
 	misbehaving map[frame.NodeID]bool
 	binSize     sim.Time
+
+	mu sync.Mutex
 
 	bytesBySender   map[frame.NodeID]int64
 	packetsBySender map[frame.NodeID]int64
@@ -52,19 +61,23 @@ func NewCollector(misbehaving []frame.NodeID, binSize sim.Time) *Collector {
 
 // OnDeliver records a delivered packet from src.
 func (c *Collector) OnDeliver(src frame.NodeID, _ uint32, payloadBytes int, _ sim.Time) {
+	c.mu.Lock()
 	c.bytesBySender[src] += int64(payloadBytes)
 	c.packetsBySender[src]++
+	c.mu.Unlock()
 }
 
 // OnSendComplete records a packet's total MAC delay (enqueue → ACK) at
 // the sender src.
 func (c *Collector) OnSendComplete(src frame.NodeID, delay sim.Time) {
+	c.mu.Lock()
 	w, ok := c.delayBySender[src]
 	if !ok {
 		w = &Welford{}
 		c.delayBySender[src] = w
 	}
 	w.Add(delay.Seconds() * 1000) // milliseconds
+	c.mu.Unlock()
 }
 
 // MeanDelayMs returns sender src's mean packet delay in milliseconds
@@ -105,6 +118,8 @@ func (c *Collector) SplitDelayMs(senders []frame.NodeID) (avgHonest, avgMis floa
 
 // OnClassified records one diagnosis-scheme verdict.
 func (c *Collector) OnClassified(src frame.NodeID, mis bool, _ float64, now sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	truth := c.misbehaving[src]
 	switch {
 	case truth && mis:
