@@ -10,10 +10,15 @@ build:
 vet:
 	$(GO) vet ./...
 
-# detlint: the determinism analyzers (wallclock, maporder, floateq,
-# hotalloc) over every simulation package. See DESIGN.md §7.
+# detlint: the determinism analyzers over the whole module — cmd/ and
+# the top-level package included, internal/lint itself excluded — with
+# per-package results cached under .dcflint-cache (content-hashed, so a
+# warm run re-analyzes only what an edit could have changed). The
+# second step audits //detlint:allow directives: every suppression must
+# carry a "-- justification" trailer. See DESIGN.md §7 and §12.
 lint:
 	$(GO) run ./cmd/dcflint ./...
+	@$(GO) run ./cmd/dcflint -audit-allows ./... >/dev/null
 
 # Deeper, slower checks that are not part of the pre-merge gate: vet's
 # unsafe-pointer analyzer, plus govulncheck when installed (best-effort —
@@ -96,7 +101,7 @@ obs:
 shards:
 	$(GO) test -race -run 'Keyed|FanKey|Window|NextTime|ShardGroup|NewShardGroup|V3|Shard' \
 		./internal/sim ./internal/medium ./internal/experiment
-	$(GO) test -run 'Shardmail' ./internal/lint
+	$(GO) test -run 'Shardmail|Shardsafe' ./internal/lint
 
 # The pre-merge gate (see README "Pre-merge gate"), cheapest stages
 # first so failures surface in seconds: vet and the determinism

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dcfguard/internal/lint"
+)
+
+// The result cache stores one JSON file of diagnostics per analyzed
+// package, named by a content hash that captures everything the result
+// can depend on:
+//
+//   - the cache format version and the analyzer set;
+//   - the package's own file names and contents;
+//   - recursively, the keys of every imported package that was loaded
+//     in this run (in-module deps — their sources feed both type
+//     checking and the interprocedural facts);
+//   - the compiled export data of every other import (stdlib and
+//     friends — a toolchain upgrade changes the export files and
+//     invalidates everything, which is exactly right).
+//
+// A hit therefore needs no validation: if the key matches, the stored
+// diagnostics are what analysis would produce. Misses re-analyze and
+// overwrite. Stored positions are relative to the working directory so
+// a cache restored into the same workspace layout (CI) stays correct.
+const cacheVersion = "dcflint-cache-v1"
+
+type resultCache struct {
+	dir  string
+	keys map[string]string // pkgPath -> hex key, memoized
+}
+
+// openCache builds the key table for every loaded package. A nil
+// receiver (empty dir) disables caching; load always misses and store
+// is a no-op.
+func openCache(dir string, all []*lint.Package, run []*lint.Analyzer) *resultCache {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "dcflint: cache disabled: %v\n", err)
+		return nil
+	}
+	c := &resultCache{dir: dir, keys: make(map[string]string)}
+
+	var analyzerNames []string
+	for _, a := range run {
+		analyzerNames = append(analyzerNames, a.Name)
+	}
+	sort.Strings(analyzerNames)
+
+	targets := make(map[string]*lint.Package, len(all))
+	for _, p := range all {
+		targets[p.PkgPath] = p
+	}
+	exportHash := make(map[string]string)
+
+	// hashExport memoizes the content hash of a dependency's compiled
+	// export data. Missing export data hashes as a constant: the
+	// importer would have failed already if it mattered.
+	hashExport := func(pkg *lint.Package, path string) string {
+		if h, ok := exportHash[path]; ok {
+			return h
+		}
+		h := "no-export"
+		if file, ok := pkg.Exports[path]; ok {
+			if b, err := os.ReadFile(file); err == nil {
+				sum := sha256.Sum256(b)
+				h = hex.EncodeToString(sum[:])
+			}
+		}
+		exportHash[path] = h
+		return h
+	}
+
+	var keyOf func(p *lint.Package) string
+	keyOf = func(p *lint.Package) string {
+		if k, ok := c.keys[p.PkgPath]; ok {
+			return k
+		}
+		// Mark in-progress to terminate on (impossible) import cycles.
+		c.keys[p.PkgPath] = "cycle"
+
+		h := sha256.New()
+		fmt.Fprintln(h, cacheVersion)
+		fmt.Fprintln(h, analyzerNames)
+		fmt.Fprintln(h, p.PkgPath)
+		files := make([]string, 0, len(p.Src))
+		for name := range p.Src {
+			files = append(files, name)
+		}
+		sort.Strings(files)
+		for _, name := range files {
+			fmt.Fprintln(h, filepath.Base(name), len(p.Src[name]))
+			h.Write(p.Src[name])
+		}
+		imports := append([]string(nil), p.Imports...)
+		sort.Strings(imports)
+		for _, imp := range imports {
+			if dep, ok := targets[imp]; ok {
+				fmt.Fprintln(h, "dep", imp, keyOf(dep))
+			} else {
+				fmt.Fprintln(h, "ext", imp, hashExport(p, imp))
+			}
+		}
+		k := hex.EncodeToString(h.Sum(nil))
+		c.keys[p.PkgPath] = k
+		return k
+	}
+	for _, p := range all {
+		keyOf(p)
+	}
+	return c
+}
+
+// cacheEntry is the on-disk record: the key it was computed under (for
+// sanity, the filename already encodes it) and the findings.
+type cacheEntry struct {
+	Key   string            `json:"key"`
+	Pkg   string            `json:"pkg"`
+	Diags []lint.Diagnostic `json:"diags"`
+}
+
+func (c *resultCache) path(p *lint.Package) (string, bool) {
+	if c == nil {
+		return "", false
+	}
+	k, ok := c.keys[p.PkgPath]
+	if !ok || k == "cycle" {
+		return "", false
+	}
+	return filepath.Join(c.dir, k+".json"), true
+}
+
+func (c *resultCache) load(p *lint.Package) ([]lint.Diagnostic, bool) {
+	path, ok := c.path(p)
+	if !ok {
+		return nil, false
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(b, &e); err != nil || e.Pkg != p.PkgPath {
+		return nil, false
+	}
+	for i := range e.Diags {
+		e.Diags[i].Pos.Filename = abspath(e.Diags[i].Pos.Filename)
+	}
+	return e.Diags, true
+}
+
+func (c *resultCache) store(p *lint.Package, diags []lint.Diagnostic) {
+	path, ok := c.path(p)
+	if !ok {
+		return
+	}
+	e := cacheEntry{Key: c.keys[p.PkgPath], Pkg: p.PkgPath, Diags: append([]lint.Diagnostic(nil), diags...)}
+	for i := range e.Diags {
+		e.Diags[i].Pos.Filename = relpath(e.Diags[i].Pos.Filename)
+	}
+	b, err := json.MarshalIndent(e, "", "\t")
+	if err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, path)
+}
+
+// relpath renders a position filename relative to the working directory
+// when possible — for cache portability and stable baseline/SARIF
+// output.
+func relpath(name string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	rel, err := filepath.Rel(wd, name)
+	if err != nil || rel == "" || rel[0] == '.' && len(rel) > 1 && rel[1] == '.' {
+		return name
+	}
+	return rel
+}
+
+func abspath(name string) string {
+	if filepath.IsAbs(name) {
+		return name
+	}
+	abs, err := filepath.Abs(name)
+	if err != nil {
+		return name
+	}
+	return abs
+}

@@ -1,43 +1,63 @@
-// Command dcflint runs the detlint static-analysis suite: four
-// analyzers (wallclock, maporder, floateq, hotalloc) that mechanically
-// enforce the simulator's determinism invariants. See internal/lint and
-// DESIGN.md §7.
+// Command dcflint runs the detlint static-analysis suite: the analyzers
+// in internal/lint that mechanically enforce the simulator's determinism
+// invariants, interprocedurally since v2. See internal/lint and
+// DESIGN.md §7 and §12.
 //
 // Usage:
 //
 //	dcflint [flags] [package patterns]
 //
-// With no patterns it analyses ./... . By default only the simulation
-// packages (internal/..., excluding the lint tooling itself) are
-// checked; -all lifts the scope filter, and -analyzers selects a subset
-// of checks. Exits non-zero if any diagnostic is reported.
+// With no patterns it analyses ./... . By default every module package
+// is checked — simulation internals, cmd/ binaries, and the top-level
+// package alike — except the lint tooling itself (it shells out to the
+// go command and formats host paths, none of which feeds simulation
+// results). -all lifts the scope filter, -analyzers selects a subset of
+// checks. Exits non-zero if any diagnostic survives.
+//
+// v2 surface:
+//
+//	-format text|json|sarif   output format (sarif uploads to code scanning)
+//	-o file                   write the report to file instead of stdout
+//	-baseline file            suppress findings recorded in file
+//	-write-baseline           rewrite the baseline with current findings
+//	-fix                      apply suggested fixes in place
+//	-audit-allows             list //detlint:allow sites; fail on missing justifications
+//	-cache-dir dir            content-hashed result cache ("" disables)
+//
+// Analysis is parallel across packages, and per-package results are
+// cached under -cache-dir keyed by the SHA-256 of the package's source,
+// its transitive in-module dependencies' keys, and its external
+// dependencies' export data — so a warm run re-analyzes only what an
+// edit could actually have changed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"dcfguard/internal/lint"
 )
-
-// defaultScope holds the import-path fragments that mark a package as
-// simulation code: everything under internal/ participates in producing
-// or aggregating deterministic results. The lint tooling itself is
-// excluded — it shells out to the go command and formats host paths,
-// none of which feeds simulation results.
-var defaultScope = "internal/"
 
 var defaultExclude = "internal/lint"
 
 func main() {
 	var (
-		all       = flag.Bool("all", false, "analyze every matched package, ignoring the scope filter")
-		scope     = flag.String("scope", defaultScope, "comma-separated import-path fragments a package must contain to be analyzed")
-		exclude   = flag.String("exclude", defaultExclude, "comma-separated import-path fragments that exempt a package")
-		analyzers = flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
-		list      = flag.Bool("list", false, "list analyzers and exit")
+		all           = flag.Bool("all", false, "analyze every matched package, ignoring the scope filter")
+		scope         = flag.String("scope", "", "comma-separated import-path fragments a package must contain to be analyzed (empty: all)")
+		exclude       = flag.String("exclude", defaultExclude, "comma-separated import-path fragments that exempt a package")
+		analyzers     = flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+		list          = flag.Bool("list", false, "list analyzers and exit")
+		format        = flag.String("format", "text", "output format: text, json, or sarif")
+		out           = flag.String("o", "", "write the report to this file instead of stdout")
+		baseline      = flag.String("baseline", "", "suppress findings recorded in this baseline file")
+		writeBaseline = flag.Bool("write-baseline", false, "rewrite -baseline with the current findings and exit clean")
+		applyFix      = flag.Bool("fix", false, "apply suggested fixes to the source in place")
+		auditAllows   = flag.Bool("audit-allows", false, "list //detlint:allow directives; exit non-zero if any lacks a -- justification")
+		cacheDir      = flag.String("cache-dir", ".dcflint-cache", "directory for the content-hashed result cache (empty disables)")
 	)
 	flag.Parse()
 
@@ -52,8 +72,7 @@ func main() {
 	if *analyzers != "" {
 		run = lint.ByName(strings.Split(*analyzers, ",")...)
 		if run == nil {
-			fmt.Fprintf(os.Stderr, "dcflint: unknown analyzer in -analyzers=%s\n", *analyzers)
-			os.Exit(2)
+			fatalf("unknown analyzer in -analyzers=%s", *analyzers)
 		}
 	}
 
@@ -63,28 +82,158 @@ func main() {
 	}
 	pkgs, err := lint.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dcflint: %v\n", err)
-		os.Exit(2)
+		fatalf("%v", err)
 	}
 
+	kept := pkgs
 	if !*all {
-		var kept []*lint.Package
+		kept = nil
 		for _, p := range pkgs {
-			if inScope(p.PkgPath, *scope) && !inScope(p.PkgPath, *exclude) {
-				kept = append(kept, p)
+			if *scope != "" && !inScope(p.PkgPath, *scope) {
+				continue
 			}
+			if inScope(p.PkgPath, *exclude) {
+				continue
+			}
+			kept = append(kept, p)
 		}
-		pkgs = kept
 	}
 
-	diags := lint.Run(pkgs, run)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *auditAllows {
+		os.Exit(runAuditAllows(kept))
+	}
+
+	diags := analyze(pkgs, kept, run, *cacheDir)
+
+	if *applyFix {
+		diags = applyFixes(pkgs, diags)
+	}
+
+	if *baseline != "" {
+		if *writeBaseline {
+			if err := saveBaseline(*baseline, diags); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "dcflint: wrote %d finding(s) to baseline %s\n", len(diags), *baseline)
+			return
+		}
+		diags, err = filterBaseline(*baseline, diags)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	report, err := render(*format, diags)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, report, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		os.Stdout.Write(report)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dcflint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// analyze runs the analyzers over the kept packages — facts are computed
+// over every loaded package regardless, so scoped runs still see callees
+// outside the scope — consulting the content-hashed cache per package.
+func analyze(all, kept []*lint.Package, run []*lint.Analyzer, cacheDir string) []lint.Diagnostic {
+	c := openCache(cacheDir, all, run)
+
+	var misses []*lint.Package
+	var diags []lint.Diagnostic
+	for _, p := range kept {
+		if cached, ok := c.load(p); ok {
+			diags = append(diags, cached...)
+		} else {
+			misses = append(misses, p)
+		}
+	}
+
+	if len(misses) > 0 {
+		// Facts are only needed when something actually re-analyzes.
+		facts := lint.ComputeFacts(all)
+		perPkg := make([][]lint.Diagnostic, len(misses))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i, p := range misses {
+			wg.Add(1)
+			go func(i int, p *lint.Package) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				res := lint.AnalyzePackage(p, facts, run)
+				lint.SortDiagnostics(res)
+				perPkg[i] = res
+			}(i, p)
+		}
+		wg.Wait()
+		for i, p := range misses {
+			c.store(p, perPkg[i])
+			diags = append(diags, perPkg[i]...)
+		}
+	}
+
+	lint.SortDiagnostics(diags)
+	return diags
+}
+
+// applyFixes writes every suggested fix to disk and returns the
+// diagnostics that had none (still outstanding).
+func applyFixes(pkgs []*lint.Package, diags []lint.Diagnostic) []lint.Diagnostic {
+	fixed, err := lint.ApplyFixes(pkgs, diags)
+	if err != nil {
+		fatalf("applying fixes: %v", err)
+	}
+	for name, content := range fixed {
+		if err := os.WriteFile(name, content, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	applied := 0
+	var rest []lint.Diagnostic
+	for _, d := range diags {
+		if d.Fix != nil {
+			applied++
+		} else {
+			rest = append(rest, d)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dcflint: applied %d fix(es) to %d file(s)\n", applied, len(fixed))
+	return rest
+}
+
+// runAuditAllows lists every //detlint:allow site in the scoped
+// packages and returns the exit code: non-zero when any directive lacks
+// the "-- justification" trailer. An unexplained suppression is a
+// landmine for the next reader; the make lint gate enforces the trailer.
+func runAuditAllows(pkgs []*lint.Package) int {
+	sites := lint.AllowSites(pkgs)
+	bare := 0
+	for _, s := range sites {
+		just := s.Justification
+		if just == "" {
+			just = "MISSING JUSTIFICATION"
+			bare++
+		}
+		fmt.Printf("%s:%d: allow %s -- %s\n", relpath(s.Pos.Filename), s.Pos.Line, strings.Join(s.Names, " "), just)
+	}
+	fmt.Fprintf(os.Stderr, "dcflint: %d allow site(s), %d without justification\n", len(sites), bare)
+	if bare > 0 {
+		return 1
+	}
+	return 0
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dcflint: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 // inScope reports whether pkgPath contains any of the comma-separated

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dcfguard/internal/lint"
+)
+
+// render serializes the findings in the requested format. Positions are
+// rendered relative to the working directory in every format, so output
+// is stable across checkouts.
+func render(format string, diags []lint.Diagnostic) ([]byte, error) {
+	switch format {
+	case "text":
+		var b strings.Builder
+		for _, d := range diags {
+			fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", relpath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+		return []byte(b.String()), nil
+
+	case "json":
+		out := make([]lint.Diagnostic, 0, len(diags))
+		out = append(out, diags...)
+		for i := range out {
+			out[i].Pos.Filename = relpath(out[i].Pos.Filename)
+		}
+		b, err := json.MarshalIndent(out, "", "\t")
+		if err != nil {
+			return nil, err
+		}
+		return append(b, '\n'), nil
+
+	case "sarif":
+		return renderSARIF(diags)
+	}
+	return nil, fmt.Errorf("unknown -format %q (want text, json, or sarif)", format)
+}
+
+// Minimal SARIF 2.1.0 — the subset GitHub code scanning ingests: one
+// run, one rule per analyzer, one result per finding.
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func renderSARIF(diags []lint.Diagnostic) ([]byte, error) {
+	ruleSet := make(map[string]bool)
+	var rules []sarifRule
+	for _, a := range lint.All() {
+		ruleSet[a.Name] = true
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		if !ruleSet[d.Analyzer] {
+			// The "detlint" pseudo-analyzer (malformed directives).
+			ruleSet[d.Analyzer] = true
+			rules = append(rules, sarifRule{ID: d.Analyzer, ShortDescription: sarifMessage{Text: "detlint directive hygiene"}})
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relpath(d.Pos.Filename)},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "dcflint", Rules: rules}}, Results: results}},
+	}
+	b, err := json.MarshalIndent(log, "", "\t")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// A baselineEntry identifies a tolerated pre-existing finding. Line and
+// column are deliberately absent: edits above a finding must not make
+// it "new".
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+func baselineKey(d lint.Diagnostic) baselineEntry {
+	return baselineEntry{Analyzer: d.Analyzer, File: relpath(d.Pos.Filename), Message: d.Message}
+}
+
+// saveBaseline records the current findings as tolerated.
+func saveBaseline(path string, diags []lint.Diagnostic) error {
+	seen := make(map[baselineEntry]bool)
+	var entries []baselineEntry
+	for _, d := range diags {
+		e := baselineKey(d)
+		if !seen[e] {
+			seen[e] = true
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	b, err := json.MarshalIndent(entries, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// filterBaseline drops findings recorded in the baseline file. Matching
+// ignores position within the file, so the baseline survives unrelated
+// edits; a message or file change resurfaces the finding.
+func filterBaseline(path string, diags []lint.Diagnostic) ([]lint.Diagnostic, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(b, &entries); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	tolerated := make(map[baselineEntry]bool, len(entries))
+	for _, e := range entries {
+		tolerated[e] = true
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		if !tolerated[baselineKey(d)] {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}

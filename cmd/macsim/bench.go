@@ -77,7 +77,7 @@ func runBench(args []string) error {
 
 	baseline := loadBaseline(*out)
 	file := benchFile{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339), //detlint:allow wallclock -- benchmark provenance stamp
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -189,7 +189,7 @@ func deltaLine(base, cur benchEntry) string {
 
 // pctDelta formats the relative change from base to cur.
 func pctDelta(base, cur float64) string {
-	if base == 0 {
+	if base == 0 { //detlint:allow floateq -- exact-zero sentinel guarding the division, not a state comparison
 		return "n/a"
 	}
 	return fmt.Sprintf("%+.1f%%", (cur-base)/base*100)
@@ -229,9 +229,9 @@ func measure(target dcfguard.BenchTarget, quick bool) (benchEntry, error) {
 			b.ReportAllocs()
 			events, iters = 0, b.N
 			fastestRun = 0
-			wall0, cpu0 := time.Now(), cpuTime()
+			wall0, cpu0 := time.Now(), cpuTime() //detlint:allow wallclock -- host benchmarking measures real wall time by design
 			for i := 0; i < b.N; i++ {
-				rw0, rc0 := time.Now(), cpuTime()
+				rw0, rc0 := time.Now(), cpuTime() //detlint:allow wallclock -- host benchmarking measures real wall time by design
 				ev, err := target.Run(i)
 				if err != nil {
 					runErr = err
@@ -240,7 +240,7 @@ func measure(target dcfguard.BenchTarget, quick bool) (benchEntry, error) {
 				// Per-run min(wall, CPU), for the peak-throughput
 				// metric below. rusage reads cost ~1 µs against runs
 				// of tens of milliseconds.
-				rw, rc := time.Since(rw0), cpuTime()-rc0
+				rw, rc := time.Since(rw0), cpuTime()-rc0 //detlint:allow wallclock -- host benchmarking measures real wall time by design
 				if rc > 0 && rc < rw {
 					rw = rc
 				}
@@ -251,7 +251,7 @@ func measure(target dcfguard.BenchTarget, quick bool) (benchEntry, error) {
 			}
 			// min(wall, CPU): rusage strips hypervisor steal, wall
 			// strips any accounting skew the other way.
-			wall, cpu := time.Since(wall0), cpuTime()-cpu0
+			wall, cpu := time.Since(wall0), cpuTime()-cpu0 //detlint:allow wallclock -- host benchmarking measures real wall time by design
 			spent = wall
 			if cpu > 0 && cpu < wall {
 				spent = cpu
@@ -295,9 +295,9 @@ func measureQuick(target dcfguard.BenchTarget) (benchEntry, error) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
-	start := time.Now()
+	start := time.Now() //detlint:allow wallclock -- host benchmarking measures real wall time by design
 	events, err := target.Run(0)
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //detlint:allow wallclock -- host benchmarking measures real wall time by design
 	runtime.ReadMemStats(&after)
 	if err != nil {
 		return benchEntry{}, err

@@ -281,7 +281,7 @@ func reportFailure(f *dcfguard.SeedFailure) {
 }
 
 func runSingle(s dcfguard.Scenario, seed uint64, series, perNode bool, pcapPath string, seedTO time.Duration) error {
-	start := time.Now()
+	start := time.Now() //detlint:allow wallclock -- host-side CLI timing, outside the simulation
 	r, err := dcfguard.RunGuarded(s, seed, seedTO)
 	if err != nil {
 		var f *dcfguard.SeedFailure
@@ -291,7 +291,7 @@ func runSingle(s dcfguard.Scenario, seed uint64, series, perNode bool, pcapPath 
 		return err
 	}
 	fmt.Printf("scenario          %s (seed %d, %v simulated, %v wall)\n",
-		r.Scenario, r.Seed, r.Duration, time.Since(start).Round(time.Millisecond))
+		r.Scenario, r.Seed, r.Duration, time.Since(start).Round(time.Millisecond)) //detlint:allow wallclock -- host-side CLI timing, outside the simulation
 	fmt.Printf("protocol          %s, strategy %s, PM %d%%\n", s.Protocol, s.Strategy, s.PM)
 	fmt.Printf("total goodput     %.1f Kbps\n", r.TotalKbps)
 	fmt.Printf("AVG (honest)      %.1f Kbps/node\n", r.AvgHonestKbps)
@@ -347,7 +347,7 @@ func runSingle(s dcfguard.Scenario, seed uint64, series, perNode bool, pcapPath 
 }
 
 func runAggregate(s dcfguard.Scenario, n int, series bool, csvPath, journal string, seedTO time.Duration, o *obsRun) error {
-	start := time.Now()
+	start := time.Now() //detlint:allow wallclock -- host-side CLI timing, outside the simulation
 	cells := make([]dcfguard.SweepCell, n)
 	for i, seed := range dcfguard.Seeds(n) {
 		cells[i] = dcfguard.SweepCell{Scenario: s, Seed: seed}
@@ -396,7 +396,7 @@ func runAggregate(s dcfguard.Scenario, n int, series bool, csvPath, journal stri
 
 func printAggregate(agg dcfguard.Aggregate, series bool, start time.Time) {
 	fmt.Printf("scenario          %s (%d seeds, %v wall)\n",
-		agg.Scenario, agg.Runs, time.Since(start).Round(time.Millisecond))
+		agg.Scenario, agg.Runs, time.Since(start).Round(time.Millisecond)) //detlint:allow wallclock -- host-side CLI timing, outside the simulation
 	fmt.Printf("total goodput     %.1f ± %.1f Kbps\n", agg.TotalKbps.Mean, agg.TotalKbps.CI95)
 	fmt.Printf("AVG (honest)      %.1f ± %.1f Kbps/node\n", agg.AvgHonestKbps.Mean, agg.AvgHonestKbps.CI95)
 	fmt.Printf("MSB (misbehaving) %.1f ± %.1f Kbps/node\n", agg.AvgMisbehaverKbps.Mean, agg.AvgMisbehaverKbps.CI95)

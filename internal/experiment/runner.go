@@ -161,15 +161,45 @@ func run(s Scenario, seed uint64, armed func(sim.Kernel, *obs.Runtime)) (Result,
 			sc.SetOwner(id)
 		}
 	}
+	// Spatial shard assignment for every owner, including the watchdog's
+	// centroid slot at index len(Positions). All zeros for serial runs.
+	// Computed before the fault injector so per-shard fault streams can
+	// partition by the receiver's shard.
+	var dogPos phys.Point
+	if s.Watchdog {
+		var cx, cy float64
+		for _, p := range tp.Positions {
+			cx += p.X
+			cy += p.Y
+		}
+		n := float64(len(tp.Positions))
+		dogPos = phys.Point{X: cx / n, Y: cy / n}
+	}
+	shardOf := make([]int, len(tp.Positions)+1)
+	if shards > 1 {
+		all := make([]phys.Point, 0, len(tp.Positions)+1)
+		all = append(all, tp.Positions...)
+		all = append(all, dogPos) // harmless filler when no watchdog
+		shardOf = shardAssignments(all, shards)
+	}
+
 	root := rng.New(seed)
 	// Fault injection. The injector's key stream is derived only when an
 	// error model is enabled, so disabled runs consume exactly the same
-	// root draws as before (golden-pinned).
-	var injector *faults.Injector
+	// root draws as before (golden-pinned). Sharded runs partition the
+	// per-link chain state by the receiver's shard — Drop executes on
+	// the observer's completion event, hence on its shard's goroutine —
+	// off one shared base key, so per-link draw sequences are
+	// bit-identical to the serial injector's.
 	var frameFaults medium.FrameFaults
 	if s.Faults.ErrorsEnabled() {
-		injector = faults.NewInjector(s.Faults, root.Stream("faults-frame").Uint64())
-		frameFaults = injector
+		base := root.Stream("faults-frame").Uint64()
+		if shards > 1 {
+			frameFaults = faults.NewShardedInjector(s.Faults, base, shards,
+				func(rx frame.NodeID) int { return shardOf[rx] })
+		} else {
+			frameFaults = faults.NewInjector(s.Faults, base)
+		}
 	}
 	med := medium.New(sched, medium.Config{
 		Model:             s.Shadowing,
@@ -209,12 +239,42 @@ func run(s Scenario, seed uint64, armed func(sim.Kernel, *obs.Runtime)) (Result,
 	rt := s.Observe.Build()
 	result.Obs = rt
 	med.Instrument(rt.Reg(), rt.TraceBus())
+	// Sharded tracing: emissions happen on shard goroutines, so every
+	// trace consumer gets a per-shard front buffered through a sim.Fanin
+	// and replayed into the real sinks at window barriers, in serial
+	// order (nil when tracing — or sharding — is off; all hooks below
+	// are nil-safe).
+	var obsFanin *obs.ShardFanin
+	if shards > 1 {
+		obsFanin = rt.NewShardFanin(scheds)
+	}
+	// traceBusFor is the bus a node's components emit on: its shard's
+	// front bus when fan-in is active, the shared bus otherwise.
+	traceBusFor := func(i int) *obs.Bus {
+		if obsFanin != nil {
+			return obsFanin.Bus(shardOf[i])
+		}
+		return rt.TraceBus()
+	}
 
+	var shardTap *trace.ShardedTap
 	if s.TraceEvents > 0 {
 		rec := trace.New(s.TraceEvents)
 		result.Trace = rec
-		med.Tap = rec.Tap
-		med.DeliveryTap = func(f frame.Frame, now sim.Time) { rec.MarkDelivered(f, now) }
+		if shards > 1 {
+			shardTap = trace.NewShardedTap(rec, scheds)
+			med.Tap = func(src frame.NodeID, f frame.Frame, start, end sim.Time) {
+				// The transmit event runs on the transmitter's shard.
+				shardTap.Tap(shardOf[src], src, f, start, end)
+			}
+			med.DeliveryTap = func(f frame.Frame, now sim.Time) {
+				// Delivery fires on the addressee's completion event.
+				shardTap.MarkDelivered(shardOf[f.Dst], f, now)
+			}
+		} else {
+			med.Tap = rec.Tap
+			med.DeliveryTap = func(f frame.Frame, now sim.Time) { rec.MarkDelivered(f, now) }
+		}
 	}
 
 	// Monitors run on whichever shard their node lives on, so this
@@ -225,26 +285,6 @@ func run(s Scenario, seed uint64, armed func(sim.Kernel, *obs.Runtime)) (Result,
 		OnProvenMisbehavior: func(frame.NodeID, sim.Time) {
 			proven.Add(1)
 		},
-	}
-
-	// Spatial shard assignment for every owner, including the watchdog's
-	// centroid slot at index len(Positions). All zeros for serial runs.
-	var dogPos phys.Point
-	if s.Watchdog {
-		var cx, cy float64
-		for _, p := range tp.Positions {
-			cx += p.X
-			cy += p.Y
-		}
-		n := float64(len(tp.Positions))
-		dogPos = phys.Point{X: cx / n, Y: cy / n}
-	}
-	shardOf := make([]int, len(tp.Positions)+1)
-	if shards > 1 {
-		all := make([]phys.Point, 0, len(tp.Positions)+1)
-		all = append(all, tp.Positions...)
-		all = append(all, dogPos) // harmless filler when no watchdog
-		shardOf = shardAssignments(all, shards)
 	}
 
 	// Build nodes in ascending ID order (determinism), allocated from
@@ -283,7 +323,7 @@ func run(s Scenario, seed uint64, armed func(sim.Kernel, *obs.Runtime)) (Result,
 				params.WaivePenalties = true
 			}
 			m := core.NewMonitor(id, params, s.MAC, root.StreamN("monitor-", uint64(id)), events)
-			m.Instrument(rt.Reg(), rt.TraceBus())
+			m.Instrument(rt.Reg(), traceBusFor(i))
 			monitors[id] = m
 			hook = m
 		}
@@ -296,7 +336,7 @@ func run(s Scenario, seed uint64, armed func(sim.Kernel, *obs.Runtime)) (Result,
 			}(id),
 		}
 		nodes[i] = mac.NewNodeIn(arena, id, s.MAC, nsched, med, policies[id], hook, cb)
-		nodes[i].Instrument(rt.Reg(), rt.TraceBus())
+		nodes[i].Instrument(rt.Reg(), traceBusFor(i))
 		med.Attach(id, tp.Positions[i], radio, nodes[i])
 	}
 
@@ -322,18 +362,24 @@ func run(s Scenario, seed uint64, armed func(sim.Kernel, *obs.Runtime)) (Result,
 	// and precede traffic wiring.
 	if shards > 1 {
 		med.ConfigureShards(scheds, func(id frame.NodeID) int { return shardOf[id] })
+		if obsFanin != nil {
+			med.InstrumentShards(obsFanin.Buses())
+		}
 	}
 
-	// Node churn: arm each monitor's crash/restart schedule. Monitors
-	// are visited in ascending node-ID order with per-monitor streams,
-	// so schedules are independent of map iteration and of each other.
+	// Node churn: arm each monitor's crash/restart schedule on its own
+	// shard's scheduler (shard 0 — the only scheduler — for serial
+	// runs). Monitors are visited in ascending node-ID order with
+	// per-monitor streams, and all draws happen here at single-threaded
+	// setup, so the schedule is identical for every shard count; keyed
+	// ordering then fires it identically too.
 	if s.Faults.ChurnEnabled() {
-		// Churn is serial-only (Validate); sched is the one scheduler.
 		churnRoot := root.Stream("faults-churn")
 		for i := range tp.Positions {
 			if m, ok := monitors[frame.NodeID(i)]; ok {
-				setOwner(sched, i)
-				faults.ScheduleChurn(sched, churnRoot.StreamN("node-", uint64(i)),
+				csched := scheds[shardOf[i]]
+				setOwner(csched, i)
+				faults.ScheduleChurn(csched, churnRoot.StreamN("node-", uint64(i)),
 					s.Faults, m, s.Duration)
 			}
 		}
@@ -364,13 +410,26 @@ func run(s Scenario, seed uint64, armed func(sim.Kernel, *obs.Runtime)) (Result,
 			la = st
 		}
 		grp := sim.NewShardGroup(scheds, la)
-		grp.Exchange = med.ExchangeShardMessages
+		grp.Exchange = func() {
+			med.ExchangeShardMessages()
+			// Trace side channels drain at the same barrier (all shards
+			// parked): records replay into the real sinks in serial
+			// order. Both flushes are nil-safe no-ops when tracing is
+			// off.
+			obsFanin.Flush()
+			shardTap.Flush()
+		}
 		kernel = grp
 	}
 	if armed != nil {
 		armed(kernel, rt)
 	}
 	kernel.Run(s.Duration)
+	// Final drain: the last window's emissions (and, on an interrupt,
+	// the partial tail the crash dump wants) are still buffered. The
+	// kernel has returned, so every shard goroutine is parked.
+	obsFanin.Flush()
+	shardTap.Flush()
 	if kernel.Interrupted() {
 		return Result{}, &SeedFailure{
 			Scenario: s.Name, Seed: seed, TimedOut: true,

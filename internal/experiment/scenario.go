@@ -258,27 +258,14 @@ func (s Scenario) Validate() error {
 	if s.Shards < 0 {
 		return fmt.Errorf("experiment: %s: negative shard count %d", s.Name, s.Shards)
 	}
-	if s.Shards > 1 {
+	if s.Shards > 1 && s.Channel != ChannelV3 {
 		// The sharded kernel's correctness argument (DESIGN.md §11)
-		// needs v3's propagation-delay lookahead, and its concurrency
-		// model needs every per-event side channel to be either
-		// node-local, commutative, or off. Traces and the obs record bus
-		// are ordered logs; fault hooks consult shared injector state in
-		// completion order; both would need their own merge rules.
-		switch {
-		case s.Channel != ChannelV3:
-			return fmt.Errorf("experiment: %s: %d shards require channel model v3, have %v",
-				s.Name, s.Shards, s.Channel)
-		case s.Faults.Enabled():
-			return fmt.Errorf("experiment: %s: fault injection is not supported with %d shards",
-				s.Name, s.Shards)
-		case s.TraceEvents > 0:
-			return fmt.Errorf("experiment: %s: frame tracing is not supported with %d shards",
-				s.Name, s.Shards)
-		case s.Observe != nil && s.Observe.Categories != 0:
-			return fmt.Errorf("experiment: %s: decision tracing is not supported with %d shards (metrics are)",
-				s.Name, s.Shards)
-		}
+		// needs v3's propagation-delay lookahead and keyed ordering.
+		// Faults, frame tracing, and decision tracing are all
+		// shard-ready: per-shard fault streams, and barrier-merged trace
+		// fan-in (DESIGN.md §12) keep them bit-identical to serial.
+		return fmt.Errorf("experiment: %s: %d shards require channel model v3, have %v",
+			s.Name, s.Shards, s.Channel)
 	}
 	if err := s.MAC.Validate(); err != nil {
 		return fmt.Errorf("experiment: %s: %w", s.Name, err)

@@ -1,0 +1,52 @@
+package faults
+
+import "dcfguard/internal/frame"
+
+// ShardedInjector is the frame-error engine for sharded runs: one
+// sub-injector per shard, selected by the *receiver's* shard. The
+// medium consults Drop on the observer's completion event, which always
+// executes on the observer's shard goroutine, so each sub-injector is
+// only ever touched by one goroutine — no shared mutable state.
+//
+// Determinism: every (tx, rx) link lives in exactly one sub-injector
+// (rx never moves shards), all sub-injectors share the run's base key,
+// and a link's frame counter advances in the rx shard's keyed event
+// order — which the sharded kernel guarantees equals the serial order.
+// Per-link draw sequences are therefore bit-identical to a serial
+// Injector with the same base, for any shard count (pinned by the
+// sharded fault goldens in internal/experiment).
+type ShardedInjector struct {
+	shards  []*Injector
+	shardOf func(rx frame.NodeID) int
+}
+
+// NewShardedInjector builds the per-shard engine. base is the same run
+// fault key a serial Injector would get; shardOf maps a receiver to its
+// shard index and must agree with the medium's ConfigureShards
+// assignment.
+func NewShardedInjector(cfg Config, base uint64, shards int, shardOf func(frame.NodeID) int) *ShardedInjector {
+	if shards < 2 {
+		panic("faults: NewShardedInjector needs at least 2 shards")
+	}
+	in := &ShardedInjector{shards: make([]*Injector, shards), shardOf: shardOf}
+	for i := range in.shards {
+		in.shards[i] = NewInjector(cfg, base)
+	}
+	return in
+}
+
+// Drop reports whether the channel destroys this frame on the tx→rx
+// link. Called on rx's shard goroutine (the medium's completion event).
+func (in *ShardedInjector) Drop(tx, rx frame.NodeID) bool {
+	return in.shards[in.shardOf(rx)].Drop(tx, rx)
+}
+
+// Drops returns the cumulative frames destroyed across all shards.
+// Coordinator-only: call between windows or after the run.
+func (in *ShardedInjector) Drops() uint64 {
+	var n uint64
+	for _, sub := range in.shards {
+		n += sub.Drops()
+	}
+	return n
+}

@@ -4,7 +4,7 @@ package lint
 // validation uses this set, so a new analyzer becomes a legal
 // //detlint:allow name simply by being added here.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, Maporder, Floateq, Hotalloc, Eventalloc, Obshot, Shardmail}
+	return []*Analyzer{Wallclock, Maporder, Floateq, Hotalloc, Eventalloc, Obshot, Shardmail, Shardsafe, Atomicmix, Rngstream}
 }
 
 // ByName returns the named analyzers, or nil if any name is unknown.

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicmix flags a variable or struct field accessed both through
+// sync/atomic function calls (`atomic.LoadUint64(&s.n)`) and through
+// plain loads/stores (`s.n++`). Mixing the disciplines is how the
+// sweep-progress counter and the scheduler's interrupt flag were
+// originally broken: the plain access races the atomic one, the race
+// detector only notices when both sides actually interleave in a test
+// run, and on weakly-ordered hardware the plain read can see a stale
+// value forever. The rule: once any access is atomic, every access is —
+// or the field migrates to the typed atomic.Uint64/atomic.Bool
+// wrappers, which make plain access unrepresentable. Pre-spawn
+// initialisation that provably happens before any goroutine exists may
+// carry a //detlint:allow atomicmix directive saying so.
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag variables accessed both via sync/atomic and via plain loads/stores",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: every variable whose address is taken into a sync/atomic
+	// call, with the identifier nodes of those sanctioned uses.
+	atomicVars := make(map[*types.Var]string) // var -> atomic func name
+	sanctioned := make(map[*ast.Ident]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := pkgFuncOf(info, sel)
+			if !ok || pkgPath != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				v, id := addressedVar(info, un.X)
+				if v == nil {
+					continue
+				}
+				if _, have := atomicVars[v]; !have {
+					atomicVars[v] = "atomic." + name
+				}
+				if id != nil {
+					sanctioned[id] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Pass 2: any other mention of those variables is a plain access.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			v, isVar := info.Uses[id].(*types.Var)
+			if !isVar {
+				return true
+			}
+			if fn, mixed := atomicVars[v]; mixed {
+				pass.Reportf(id.Pos(), "%q is accessed via %s elsewhere but with a plain load/store here; pick one discipline — wrap every access in sync/atomic or use the typed atomic wrappers", v.Name(), fn)
+			}
+			return true
+		})
+	}
+}
+
+// addressedVar resolves the operand of a unary & inside an atomic call
+// to the variable it addresses: a struct field (`&s.n`) or a plain
+// variable (`&count`). The returned ident is the field/variable name
+// node, so pass 2 can skip this sanctioned mention.
+func addressedVar(info *types.Info, expr ast.Expr) (*types.Var, *ast.Ident) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v, e
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			v, _ := s.Obj().(*types.Var)
+			return v, e.Sel
+		}
+	}
+	return nil, nil
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -56,6 +57,68 @@ const (
 	directivePrefix = "//detlint:"
 	allowVerb       = "allow"
 )
+
+// An AllowSite is one //detlint:allow directive, for the audit mode:
+// where it is, what it suppresses, and the justification after "--"
+// (empty when the author left none — which `dcflint -audit-allows`
+// treats as a failure, since an unexplained suppression is a landmine
+// for the next reader).
+type AllowSite struct {
+	Pos           token.Position `json:"pos"`
+	Names         []string       `json:"names"`
+	Justification string         `json:"justification"`
+}
+
+// AllowSites scans every package for allow directives, in position
+// order. Malformed directives are skipped here — Run reports them as
+// diagnostics already.
+func AllowSites(pkgs []*Package) []AllowSite {
+	var sites []AllowSite
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, directivePrefix)
+					verb, argstr, _ := strings.Cut(rest, " ")
+					if verb != allowVerb {
+						continue
+					}
+					var names []string
+					just := ""
+					for i, field := range strings.Fields(argstr) {
+						if field == "--" {
+							just = strings.TrimSpace(strings.Join(strings.Fields(argstr)[i+1:], " "))
+							break
+						}
+						if strings.HasPrefix(field, "//") {
+							break
+						}
+						names = append(names, field)
+					}
+					if len(names) == 0 {
+						continue
+					}
+					sites = append(sites, AllowSite{
+						Pos:           pkg.Fset.Position(c.Slash),
+						Names:         names,
+						Justification: just,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		a, b := sites[i].Pos, sites[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return sites
+}
 
 // parseDirectives scans every comment in the package for detlint
 // directives, resolving each to the source line it covers. Malformed

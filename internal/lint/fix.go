@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Suggested-fix construction and application. Fixes are deliberately
+// narrow: dcflint -fix applies them blindly, so an analyzer attaches
+// one only when the rewrite provably preserves behaviour, and returns
+// nil for anything that needs human judgement.
+
+// hotallocFix builds the mechanical rewrite for a closure literal
+// passed to a scheduler's At/After. Two shapes qualify:
+//
+//   - a capture-free closure is hoisted to a package-level func and
+//     passed by name (allocation-free, semantics identical);
+//   - a closure over exactly one variable that the body never
+//     reassigns or takes the address of becomes an AtArg/AfterArg
+//     trampoline: the variable rides in the arg slot and is recovered
+//     with a type assertion.
+//
+// Anything else — multiple captures, captured consts or local types,
+// writes to the captured variable, types not nameable at package scope
+// — returns nil and leaves the diagnostic fix-less.
+func hotallocFix(pkg *Package, file *ast.File, call *ast.CallExpr, lit *ast.FuncLit) *SuggestedFix {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 2 || call.Args[1] != lit {
+		return nil
+	}
+	name := sel.Sel.Name
+	if name != "At" && name != "After" {
+		return nil
+	}
+	named := namedRecvOf(pkg.Info, sel)
+	if named == nil {
+		return nil
+	}
+
+	captured, clean := capturedVars(pkg.Info, lit)
+	if !clean || len(captured) > 1 {
+		return nil
+	}
+
+	filename := pkg.Fset.Position(file.Pos()).Filename
+	src, ok := pkg.Src[filename]
+	if !ok {
+		return nil
+	}
+	offset := func(pos token.Pos) int { return pkg.Fset.Position(pos).Offset }
+	litPos := pkg.Fset.Position(lit.Pos())
+	fnName := fmt.Sprintf("hoisted%d_%d", litPos.Line, litPos.Column)
+
+	if len(captured) == 0 {
+		// Hoist: the body references nothing from the enclosing
+		// function, so it is already a package-level func in disguise.
+		body := string(src[offset(lit.Body.Pos()):offset(lit.Body.End())])
+		return &SuggestedFix{
+			Message: fmt.Sprintf("hoist the capture-free closure to package-level func %s", fnName),
+			Edits: []TextEdit{
+				{Filename: filename, Start: offset(lit.Pos()), End: offset(lit.End()), NewText: fnName},
+				{Filename: filename, Start: offset(file.End()), End: offset(file.End()),
+					NewText: fmt.Sprintf("\n\nfunc %s() %s\n", fnName, body)},
+			},
+		}
+	}
+
+	// Single read-only capture: trampoline through AtArg/AfterArg.
+	v := captured[0]
+	qual, ok := fileQualifier(pkg, file)
+	if !ok {
+		return nil
+	}
+	if !nameable(v.Type(), pkg.Types) {
+		return nil
+	}
+	timeType, ok := trampolineTimeType(named)
+	if !ok || !nameable(timeType, pkg.Types) {
+		return nil
+	}
+	vType := types.TypeString(v.Type(), qual)
+	tType := types.TypeString(timeType, qual)
+	if strings.Contains(vType, "invalid") || strings.Contains(tType, "invalid") {
+		return nil
+	}
+	inner := string(src[offset(lit.Body.Lbrace)+1 : offset(lit.Body.Rbrace)])
+	return &SuggestedFix{
+		Message: fmt.Sprintf("rewrite to %sArg with package-level trampoline %s carrying %s", name, fnName, v.Name()),
+		Edits: []TextEdit{
+			{Filename: filename, Start: offset(sel.Sel.Pos()), End: offset(sel.Sel.End()), NewText: name + "Arg"},
+			{Filename: filename, Start: offset(lit.Pos()), End: offset(lit.End()),
+				NewText: fnName + ", " + v.Name()},
+			{Filename: filename, Start: offset(file.End()), End: offset(file.End()),
+				NewText: fmt.Sprintf("\n\nfunc %s(arg any, _ %s) {\n%s := arg.(%s)\n%s\n}\n",
+					fnName, tType, v.Name(), vType, strings.TrimSpace(inner))},
+		},
+	}
+}
+
+// capturedVars returns the distinct variables the closure captures from
+// its enclosing function, in first-use order. clean is false when the
+// closure also captures something a trampoline cannot carry — a local
+// const or type, or a variable the body writes or takes the address of.
+func capturedVars(info *types.Info, lit *ast.FuncLit) (vars []*types.Var, clean bool) {
+	inLit := func(pos token.Pos) bool { return pos >= lit.Pos() && pos < lit.End() }
+	clean = true
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || obj.Pkg() == nil || !obj.Pos().IsValid() || inLit(obj.Pos()) {
+			return true
+		}
+		// Package-scope objects are reachable from the hoisted func too.
+		if obj.Parent() == obj.Pkg().Scope() {
+			return true
+		}
+		switch o := obj.(type) {
+		case *types.Var:
+			if o.IsField() {
+				return true // fields are reached through their receiver
+			}
+			if !seen[o] {
+				seen[o] = true
+				vars = append(vars, o)
+			}
+		case *types.Const, *types.TypeName:
+			clean = false
+		}
+		return true
+	})
+	if !clean {
+		return nil, false
+	}
+	// The arg slot carries a copy: reject captures the body mutates or
+	// aliases, where copying would change behaviour.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if v, isVar := info.Uses[id].(*types.Var); isVar && seen[v] {
+						clean = false
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				if v, isVar := info.Uses[id].(*types.Var); isVar && seen[v] {
+					clean = false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if v, isVar := info.Uses[id].(*types.Var); isVar && seen[v] {
+						clean = false
+					}
+				}
+			}
+		}
+		return clean
+	})
+	return vars, clean
+}
+
+// trampolineTimeType extracts the sim-time parameter type from the
+// scheduler's AtArg signature — the second parameter of its callback.
+func trampolineTimeType(named *types.Named) (types.Type, bool) {
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != "AtArg" {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Params().Len() < 2 {
+			return nil, false
+		}
+		cb, ok := sig.Params().At(1).Type().Underlying().(*types.Signature)
+		if !ok || cb.Params().Len() != 2 {
+			return nil, false
+		}
+		return cb.Params().At(1).Type(), true
+	}
+	return nil, false
+}
+
+// fileQualifier builds a types.Qualifier that renders package names the
+// way this file imports them. ok is false only on malformed imports.
+func fileQualifier(pkg *Package, file *ast.File) (types.Qualifier, bool) {
+	names := make(map[string]string) // import path -> local name
+	for _, spec := range file.Imports {
+		path := strings.Trim(spec.Path.Value, `"`)
+		if spec.Name != nil {
+			names[path] = spec.Name.Name
+		} else {
+			names[path] = pkgBase(path)
+		}
+	}
+	return func(p *types.Package) string {
+		if p == pkg.Types {
+			return ""
+		}
+		if n, ok := names[p.Path()]; ok {
+			return n
+		}
+		// Unimported package: render something invalid so nameable's
+		// callers bail via the "invalid" substring check.
+		return "invalid!"
+	}, true
+}
+
+// nameable reports whether t can be written down at package scope of
+// pkg: basic types, named types that are local or exported, and
+// pointers/slices/signatures over such types.
+func nameable(t types.Type, pkg *types.Package) bool {
+	switch t := t.(type) {
+	case *types.Basic:
+		return t.Kind() != types.Invalid
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() == nil { // error, any
+			return true
+		}
+		return obj.Pkg() == pkg || obj.Exported()
+	case *types.Pointer:
+		return nameable(t.Elem(), pkg)
+	case *types.Slice:
+		return nameable(t.Elem(), pkg)
+	case *types.Signature:
+		if t.Recv() != nil || t.TypeParams() != nil {
+			return false
+		}
+		for i := 0; i < t.Params().Len(); i++ {
+			if !nameable(t.Params().At(i).Type(), pkg) {
+				return false
+			}
+		}
+		for i := 0; i < t.Results().Len(); i++ {
+			if !nameable(t.Results().At(i).Type(), pkg) {
+				return false
+			}
+		}
+		return true
+	case *types.Interface:
+		return t.Empty()
+	}
+	return false
+}
+
+// ApplyFixes applies every suggested fix in diags to the sources of
+// pkgs, returning gofmt-ed new file contents keyed by filename. Fixes
+// whose edits overlap an earlier fix's edits are skipped (re-running
+// dcflint -fix converges). Files without fixes are absent from the map.
+func ApplyFixes(pkgs []*Package, diags []Diagnostic) (map[string][]byte, error) {
+	src := make(map[string][]byte)
+	fileAST := make(map[string]*ast.File)
+	var fsetOf *token.FileSet
+	for _, p := range pkgs {
+		for name, b := range p.Src {
+			src[name] = b
+		}
+		for _, f := range p.Files {
+			fileAST[p.Fset.Position(f.Pos()).Filename] = f
+			fsetOf = p.Fset
+		}
+	}
+
+	type span struct{ start, end int }
+	edits := make(map[string][]TextEdit)
+	claimed := make(map[string][]span)
+	needImport := make(map[string]map[string]bool)
+
+	overlaps := func(file string, e TextEdit) bool {
+		// Only replacement ranges are claimed; pure insertions at the
+		// same point never conflict (both texts land, order by edit sort).
+		for _, s := range claimed[file] {
+			if e.Start < s.end && s.start < e.End {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		ok := true
+		for _, e := range d.Fix.Edits {
+			if _, have := src[e.Filename]; !have {
+				ok = false
+				break
+			}
+			if e.Start > e.End || overlaps(e.Filename, e) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			edits[e.Filename] = append(edits[e.Filename], e)
+			if e.Start < e.End {
+				claimed[e.Filename] = append(claimed[e.Filename], span{e.Start, e.End})
+			}
+			for _, imp := range d.Fix.AddImports {
+				if needImport[e.Filename] == nil {
+					needImport[e.Filename] = make(map[string]bool)
+				}
+				needImport[e.Filename][imp] = true
+			}
+		}
+	}
+
+	out := make(map[string][]byte)
+	for filename, es := range edits {
+		// Import insertion rides as one more edit, right after the
+		// package clause; gofmt tidies the layout.
+		if f := fileAST[filename]; f != nil {
+			have := make(map[string]bool)
+			for _, spec := range f.Imports {
+				have[strings.Trim(spec.Path.Value, `"`)] = true
+			}
+			var missing []string
+			for imp := range needImport[filename] {
+				if !have[imp] {
+					missing = append(missing, imp)
+				}
+			}
+			sort.Strings(missing)
+			if len(missing) > 0 {
+				at := fsetOf.Position(f.Name.End()).Offset
+				var b strings.Builder
+				for _, imp := range missing {
+					fmt.Fprintf(&b, "\n\nimport %q", imp)
+				}
+				es = append(es, TextEdit{Filename: filename, Start: at, End: at, NewText: b.String()})
+			}
+		}
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].Start != es[j].Start {
+				return es[i].Start > es[j].Start
+			}
+			return es[i].End > es[j].End
+		})
+		buf := append([]byte(nil), src[filename]...)
+		for _, e := range es {
+			if e.End > len(buf) {
+				return nil, fmt.Errorf("fix edit out of range in %s", filename)
+			}
+			buf = append(buf[:e.Start], append([]byte(e.NewText), buf[e.End:]...)...)
+		}
+		formatted, err := format.Source(buf)
+		if err != nil {
+			return nil, fmt.Errorf("fixed %s does not parse: %v", filename, err)
+		}
+		out[filename] = formatted
+	}
+	return out, nil
+}

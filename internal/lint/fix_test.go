@@ -1,0 +1,91 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcfguard/internal/lint"
+)
+
+// TestApplyFixes is the quickcheck for `dcflint -fix`: run the
+// fix-carrying analyzers over the fixes corpus, apply every suggested
+// fix, and require that the rewritten package (a) compiles and (b)
+// re-lints clean in a scratch module. A fix that merely silences the
+// diagnostic without preserving compilability would fail here.
+func TestApplyFixes(t *testing.T) {
+	root := repoRoot(t)
+	analyzers := []*lint.Analyzer{lint.Maporder, lint.Hotalloc}
+	pkgs, err := lint.Load(root, "./internal/lint/testdata/src/fixes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	if len(diags) != 3 {
+		t.Fatalf("fixes corpus produced %d diagnostics, want 3:\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Fix == nil {
+			t.Fatalf("diagnostic carries no fix: %v", d)
+		}
+	}
+
+	fixed, err := lint.ApplyFixes(pkgs, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 1 {
+		t.Fatalf("ApplyFixes rewrote %d files, want 1", len(fixed))
+	}
+
+	// Reassemble a scratch module mirroring the corpus layout: the sim
+	// stub verbatim, the fixes package post-fix.
+	scratch := t.TempDir()
+	write := func(rel string, content []byte) {
+		full := filepath.Join(scratch, rel)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", []byte("module dcfguard\n\ngo 1.22\n"))
+	stub, err := os.ReadFile(filepath.Join(root, "internal/lint/testdata/src/sim/sim.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	write("internal/lint/testdata/src/sim/sim.go", stub)
+	for name, content := range fixed {
+		rel, err := filepath.Rel(root, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(rel, content)
+	}
+
+	cmd := exec.Command("go", "build", "./internal/lint/testdata/src/sim", "./internal/lint/testdata/src/fixes")
+	cmd.Dir = scratch
+	if out, err := cmd.CombinedOutput(); err != nil {
+		var fixedSrc string
+		for _, content := range fixed {
+			fixedSrc = string(content)
+		}
+		t.Fatalf("fixed corpus does not build: %v\n%s\nfixed source:\n%s", err, out, fixedSrc)
+	}
+
+	repkgs, err := lint.Load(scratch, "./internal/lint/testdata/src/fixes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rediags := lint.Run(repkgs, analyzers)
+	if len(rediags) != 0 {
+		var fixedSrc strings.Builder
+		for _, content := range fixed {
+			fixedSrc.Write(content)
+		}
+		t.Fatalf("fixed corpus re-lints dirty:\n%v\nfixed source:\n%s", rediags, fixedSrc.String())
+	}
+}

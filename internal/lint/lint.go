@@ -3,15 +3,19 @@
 // reproduction depends on runs being a pure function of (scenario,
 // seed); the rules that guarantee that — no wall clock, no global
 // math/rand, no observable map-iteration order, no floating-point
-// equality in state machines, no closures on the scheduler hot path —
-// used to live in comments and code review. The analyzers here turn
-// them into build failures.
+// equality in state machines, no closures on the scheduler hot path,
+// no cross-shard scheduling outside barriers — used to live in
+// comments and code review. The analyzers here turn them into build
+// failures.
 //
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
 // Reportf, analysistest-style golden diagnostics) but is self-contained
 // on the standard library: packages are loaded via `go list -export`
 // plus the gc export-data importer in load.go, so the module needs no
-// external dependencies and works fully offline.
+// external dependencies and works fully offline. Since detlint v2 the
+// framework is interprocedural: ComputeFacts (facts.go) summarises
+// every function bottom-up over the intra-module call graph, so the
+// analyzers also catch violations hidden one call away.
 //
 // A site that is deliberately exempt carries a directive comment:
 //
@@ -24,7 +28,9 @@ package lint
 import (
 	"fmt"
 	"go/token"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // An Analyzer describes one invariant check. The shape intentionally
@@ -46,28 +52,86 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Facts is the module-wide interprocedural summary table, computed
+	// over every loaded package (not just the analyzed scope). Nil in
+	// tests that drive an analyzer without facts; all accessors are
+	// nil-safe, degrading to the v1 per-function behaviour.
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfFix(pos, nil, format, args...)
+}
+
+// ReportfFix records a finding at pos carrying a mechanical suggested
+// fix that `dcflint -fix` can apply.
+func (p *Pass) ReportfFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Pkg.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
+}
+
+// A TextEdit replaces the byte range [Start, End) of Filename with
+// NewText. Offsets index the file content as loaded (Package.Src).
+type TextEdit struct {
+	Filename string `json:"filename"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	NewText  string `json:"newText"`
+}
+
+// A SuggestedFix is a mechanical rewrite that resolves a diagnostic.
+// Fixes must be safe to apply blindly: the analyzer only attaches one
+// when the rewrite provably preserves behaviour.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+	// AddImports lists import paths the edited file must import for the
+	// fix to compile (e.g. "slices" for an inserted slices.Sort call).
+	AddImports []string `json:"addImports,omitempty"`
 }
 
 // A Diagnostic is one reported violation.
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+	Fix      *SuggestedFix  `json:"fix,omitempty"`
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// AnalyzePackage runs the analyzers over one package: raw findings,
+// allow-directive filtering, and directive-validity diagnostics. The
+// result depends only on the package's own source and the facts of its
+// (transitive) callees, which makes it the unit of caching for
+// dcflint's content-hashed cache.
+func AnalyzePackage(pkg *Package, facts *Facts, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	allow, dirDiags := parseDirectives(pkg, known)
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		a.Run(&Pass{Analyzer: a, Pkg: pkg, Facts: facts, diags: &raw})
+	}
+	var out []Diagnostic
+	for _, d := range raw {
+		if allow.allows(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return append(out, dirDiags...)
 }
 
 // Run applies the given analyzers to every package, filters out findings
@@ -77,27 +141,40 @@ func (d Diagnostic) String() string {
 // set (All), not just the analyzers being run, so a file exercising one
 // analyzer may still carry allow directives for another.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	known := make(map[string]bool)
-	for _, a := range All() {
-		known[a.Name] = true
+	return RunScoped(pkgs, pkgs, analyzers)
+}
+
+// RunScoped computes interprocedural facts over all loaded packages but
+// analyzes (and reports on) only the scope subset. Packages are
+// analyzed in parallel; output order is deterministic regardless.
+func RunScoped(all, scope []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := ComputeFacts(all)
+
+	perPkg := make([][]Diagnostic, len(scope))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, pkg := range scope {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perPkg[i] = AnalyzePackage(pkg, facts, analyzers)
+		}(i, pkg)
 	}
+	wg.Wait()
 
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		allow, dirDiags := parseDirectives(pkg, known)
-		var raw []Diagnostic
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &raw})
-		}
-		for _, d := range raw {
-			if allow.allows(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
-				continue
-			}
-			out = append(out, d)
-		}
-		out = append(out, dirDiags...)
+	for _, diags := range perPkg {
+		out = append(out, diags...)
 	}
+	SortDiagnostics(out)
+	return out
+}
 
+// SortDiagnostics orders diagnostics by position, then analyzer, then
+// message — the canonical presentation and baseline order.
+func SortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -114,5 +191,4 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return out
 }

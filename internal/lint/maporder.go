@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -38,17 +39,67 @@ func runMaporder(pass *Pass) {
 
 			if dst, pure := extractionTarget(pass.Pkg.Info, rs); pure {
 				if !sortedInFunc(pass.Pkg.Info, enclosingFuncBody(stack), dst) {
-					pass.Reportf(rs.For, "map keys are extracted into %q but never sorted in this function; sort before iterating", dst.Name())
+					pass.ReportfFix(rs.For, sortAfterRangeFix(pass.Pkg, rs, dst),
+						"map keys are extracted into %q but never sorted in this function; sort before iterating", dst.Name())
 				}
 				return true
 			}
 
-			if pos, what := orderSensitiveOp(pass.Pkg.Info, rs); pos.IsValid() {
-				_ = pos
+			if pos, what := orderSensitiveOp(pass, rs); pos.IsValid() {
 				pass.Reportf(rs.For, "map iteration %s; extract and sort the keys first (see stats.Collector.Senders)", what)
 			}
 			return true
 		})
+	}
+}
+
+// sortAfterRangeFix builds the mechanical fix for an extract-but-never-
+// sorted loop: insert `slices.Sort(dst)` on the line after the range
+// statement. Only offered when dst is a plain local identifier of
+// ordered element type — anything fancier (struct fields, custom
+// orderings) needs a human.
+func sortAfterRangeFix(pkg *Package, rs *ast.RangeStmt, dst *types.Var) *SuggestedFix {
+	slice, ok := dst.Type().Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	b, ok := slice.Elem().Underlying().(*types.Basic)
+	if !ok || b.Info()&(types.IsOrdered) == 0 {
+		return nil
+	}
+	// The insertion names dst bare, so the fix only applies when the
+	// append target was a plain local (not a struct field selector).
+	var isLocal bool
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == dst {
+			isLocal = true
+		}
+		return true
+	})
+	if !isLocal {
+		return nil
+	}
+	pos := pkg.Fset.Position(rs.End())
+	start := pkg.Fset.Position(rs.Pos())
+	src, ok := pkg.Src[pos.Filename]
+	if !ok {
+		return nil
+	}
+	// Reuse the range statement's own indentation for the inserted line.
+	lineStart := start.Offset - (start.Column - 1)
+	indent := string(src[lineStart:start.Offset])
+	if strings.TrimSpace(indent) != "" {
+		return nil
+	}
+	return &SuggestedFix{
+		Message: fmt.Sprintf("insert slices.Sort(%s) after the extraction loop", dst.Name()),
+		Edits: []TextEdit{{
+			Filename: pos.Filename,
+			Start:    pos.Offset,
+			End:      pos.Offset,
+			NewText:  "\n" + indent + "slices.Sort(" + dst.Name() + ")",
+		}},
+		AddImports: []string{"slices"},
 	}
 }
 
@@ -207,8 +258,12 @@ func sortishName(name string) bool {
 
 // orderSensitiveOp scans the range body for the first operation through
 // which map-iteration order can leak into observable state, returning
-// its position and a description.
-func orderSensitiveOp(info *types.Info, rs *ast.RangeStmt) (token.Pos, string) {
+// its position and a description. With facts available, a call to any
+// function that transitively draws RNG, schedules events, or mutates
+// package state counts too — the loop body cannot launder order
+// sensitivity through a helper.
+func orderSensitiveOp(pass *Pass, rs *ast.RangeStmt) (token.Pos, string) {
+	info := pass.Pkg.Info
 	best := token.NoPos
 	what := ""
 	hit := func(pos token.Pos, desc string) {
@@ -231,6 +286,7 @@ func orderSensitiveOp(info *types.Info, rs *ast.RangeStmt) (token.Pos, string) {
 			}
 			sel, ok := n.Fun.(*ast.SelectorExpr)
 			if !ok {
+				indirectOrderHit(pass, n, hit)
 				return true
 			}
 			if pkgPath, name, ok := pkgFuncOf(info, sel); ok {
@@ -239,6 +295,8 @@ func orderSensitiveOp(info *types.Info, rs *ast.RangeStmt) (token.Pos, string) {
 					hit(n.Pos(), "draws from an RNG")
 				case pkgPath == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")):
 					hit(n.Pos(), "emits output")
+				default:
+					indirectOrderHit(pass, n, hit)
 				}
 				return true
 			}
@@ -254,6 +312,8 @@ func orderSensitiveOp(info *types.Info, rs *ast.RangeStmt) (token.Pos, string) {
 					hit(n.Pos(), "emits output")
 				case schedulerMethod(sel.Sel.Name) && hasMethod(named, "At") && hasMethod(named, "AtArg"):
 					hit(n.Pos(), "schedules events")
+				default:
+					indirectOrderHit(pass, n, hit)
 				}
 			}
 
@@ -283,6 +343,26 @@ func orderSensitiveOp(info *types.Info, rs *ast.RangeStmt) (token.Pos, string) {
 		return true
 	})
 	return best, what
+}
+
+// indirectOrderHit consults the fact table for a call that none of the
+// direct patterns matched: if the callee transitively draws RNG,
+// schedules events, or writes package-level state, iteration order
+// leaks through it just the same.
+func indirectOrderHit(pass *Pass, call *ast.CallExpr, hit func(token.Pos, string)) {
+	callee := calleeOf(pass.Pkg.Info, call)
+	if callee == nil {
+		return
+	}
+	ff := pass.Facts.Of(callee)
+	switch {
+	case ff.Has(FactDrawsRNG):
+		hit(call.Pos(), fmt.Sprintf("calls %s, which %s", callee.Name(), ff.Witness(FactDrawsRNG)))
+	case ff.Has(FactSchedules):
+		hit(call.Pos(), fmt.Sprintf("calls %s, which %s", callee.Name(), ff.Witness(FactSchedules)))
+	case ff.Has(FactMutatesShared):
+		hit(call.Pos(), fmt.Sprintf("calls %s, which %s", callee.Name(), ff.Witness(FactMutatesShared)))
+	}
 }
 
 func schedulerMethod(name string) bool {

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Rngstream guards the counter-RNG discipline (DESIGN.md §10). The
+// simulator's reproducibility across shard counts rests on two
+// conventions around internal/rng:
+//
+//   - counter keys are built ONLY by the canonical rng.Mix64,
+//     rng.Mix64Pre and rng.Mix64Delta helpers. Hand-rolling the
+//     splitmix64 finalizer at a call site (the 0x9e3779b97f4a7c15
+//     multiply-xor dance) forks the key derivation: the copy drifts
+//     from the canonical constants and two sites that must draw
+//     identical values stop doing so. Any splitmix64 magic constant
+//     outside the rng package is flagged;
+//   - streams are derived at setup, once, and stored. Deriving a
+//     stream inside a map-range body consumes derivations in
+//     randomised order, and deriving one inside a scheduled event
+//     handler re-derives per event on the hot path — both flagged.
+//
+// Sites with a genuine reason (e.g. a hash function that shares the
+// constant for non-RNG purposes) carry //detlint:allow rngstream.
+var Rngstream = &Analyzer{
+	Name: "rngstream",
+	Doc:  "flag hand-rolled splitmix64 key mixing outside internal/rng and stream derivation in map ranges or event handlers",
+	Run:  runRngstream,
+}
+
+// splitmixConstants are the splitmix64/avalanche finalizer constants
+// internal/rng's Mix64 helpers are built from. Appearing anywhere else,
+// they mean someone re-implemented key mixing by hand.
+var splitmixConstants = map[uint64]bool{
+	0x9e3779b97f4a7c15: true, // golden-gamma increment
+	0xbf58476d1ce4e5b9: true, // finalizer multiply 1
+	0x94d049bb133111eb: true, // finalizer multiply 2
+}
+
+func runRngstream(pass *Pass) {
+	info := pass.Pkg.Info
+	inRngPkg := pkgBase(pass.Pkg.PkgPath) == "rng"
+
+	for _, f := range pass.Pkg.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if inRngPkg {
+					return true
+				}
+				tv, ok := info.Types[n]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+					return true
+				}
+				if u, exact := constant.Uint64Val(tv.Value); exact && splitmixConstants[u] {
+					pass.Reportf(n.Pos(), "splitmix64 constant %#x builds a counter-RNG key outside internal/rng; use rng.Mix64/Mix64Pre/Mix64Delta so every site derives identical keys", u)
+				}
+
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				name := sel.Sel.Name
+				if name != "Stream" && name != "StreamN" {
+					return true
+				}
+				named := namedRecvOf(info, sel)
+				if named == nil {
+					return true
+				}
+				p := named.Obj().Pkg()
+				if p == nil || pkgBase(p.Path()) != "rng" {
+					return true
+				}
+				switch where := streamContext(info, stack); where {
+				case streamInMapRange:
+					pass.Reportf(n.Pos(), "%s derives an rng stream inside a map-range body: derivation order follows the randomised iteration order; derive streams from sorted keys (or at setup) instead", name)
+				case streamInHandler:
+					pass.Reportf(n.Pos(), "%s derives an rng stream inside a scheduled event handler, re-deriving per event on the hot path; derive once at setup and store the stream", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+type streamCtx int
+
+const (
+	streamOK streamCtx = iota
+	streamInMapRange
+	streamInHandler
+)
+
+// streamContext classifies where a Stream/StreamN call sits: inside a
+// map-range body, inside a function literal passed to a scheduler
+// entry point (an event handler), or neither. The innermost applicable
+// context wins.
+func streamContext(info *types.Info, stack []ast.Node) streamCtx {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch outer := stack[i].(type) {
+		case *ast.RangeStmt:
+			if t := info.TypeOf(outer.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return streamInMapRange
+				}
+			}
+		case *ast.FuncLit:
+			// An event handler is a literal sitting in the callback slot
+			// of a scheduler call one level further out.
+			if i >= 1 {
+				if call, ok := stack[i-1].(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						if slot := schedCallbackSlot(sel.Sel.Name); slot >= 0 && slot < len(call.Args) && call.Args[slot] == outer {
+							if named := namedRecvOf(info, sel); named != nil && hasMethod(named, "At") && hasMethod(named, "AtArg") {
+								return streamInHandler
+							}
+						}
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			return streamOK
+		}
+	}
+	return streamOK
+}

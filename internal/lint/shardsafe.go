@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Shardsafe guards the sharded kernel's ownership discipline
+// (DESIGN.md §11–12). Between barriers, each shard goroutine may touch
+// only its own scheduler and the state of nodes it owns; every
+// cross-shard effect must ride a mailbox drained inside the barrier
+// (medium.ExchangeShardMessages) where all workers are parked. Two
+// shapes violate that silently — they are data races that the keyed
+// event order usually hides until a golden flakes:
+//
+//   - scheduling (At/After/AtArg/AfterArg/AtKeyedArg) on a scheduler
+//     obtained by indexing a scheduler slice, directly
+//     (`scheds[i].At(...)`) or through a one-hop local
+//     (`s := scheds[i]; s.At(...)`). Indexing selects an arbitrary
+//     shard; if i is not provably your own shard this schedules onto
+//     a scheduler another goroutine is running;
+//   - writing a field of an indexed element of a slice whose element
+//     struct carries a scheduler — per-shard or per-node state blocks
+//     (`m.nodes[i].nav = t`). The index picks another shard's state.
+//
+// Barrier and setup contexts are exempt by the codebase's naming
+// contract: functions whose name contains "Exchange" or "Configure"
+// run with every worker parked (or before any worker exists), and may
+// fan out freely. Receiving an indexed scheduler as a parameter is
+// also fine — the caller asserts ownership by passing it. Anything
+// else carries a //detlint:allow shardsafe directive with its safety
+// argument.
+var Shardsafe = &Analyzer{
+	Name: "shardsafe",
+	Doc:  "flag scheduling on slice-indexed schedulers and writes to indexed shard state outside Exchange/Configure barriers",
+	Run:  runShardsafe,
+}
+
+// shardExempt reports whether the innermost named function on the
+// stack is a barrier or setup context by naming contract.
+func shardExempt(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			name := fd.Name.Name
+			return strings.Contains(name, "Exchange") || strings.Contains(name, "Configure")
+		}
+	}
+	return false
+}
+
+// isSchedulerType reports whether t (after pointer indirection) is a
+// duck-typed scheduler: a named type with both At and AtArg.
+func isSchedulerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && hasMethod(named, "At") && hasMethod(named, "AtArg")
+}
+
+// isSchedulerSlice reports whether t is a slice (or array) of
+// schedulers.
+func isSchedulerSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isSchedulerType(u.Elem())
+	case *types.Array:
+		return isSchedulerType(u.Elem())
+	}
+	return false
+}
+
+// schedulerBearingSlice reports whether t is a slice/array whose
+// element struct (after one pointer level) carries a scheduler-typed
+// field — the shape of per-node / per-shard state blocks.
+func schedulerBearingSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return false
+	}
+	if p, ok := elem.Underlying().(*types.Pointer); ok {
+		elem = p.Elem()
+	}
+	st, ok := elem.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isSchedulerType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func runShardsafe(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		// First pass per file: locals assigned from a scheduler-slice
+		// index (`s := scheds[i]`) are tainted as possibly-foreign.
+		indexed := make(map[types.Object]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				idx, ok := ast.Unparen(rhs).(*ast.IndexExpr)
+				if !ok || !isSchedulerSlice(info.TypeOf(idx.X)) {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						indexed[obj] = true
+					} else if obj := info.Uses[id]; obj != nil {
+						indexed[obj] = true
+					}
+				}
+			}
+			return true
+		})
+
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || schedCallbackSlot(sel.Sel.Name) < 0 {
+					return true
+				}
+				named := namedRecvOf(info, sel)
+				if named == nil || !hasMethod(named, "At") || !hasMethod(named, "AtArg") {
+					return true
+				}
+				if shardExempt(stack) {
+					return true
+				}
+				recv := ast.Unparen(sel.X)
+				if idx, ok := recv.(*ast.IndexExpr); ok && isSchedulerSlice(info.TypeOf(idx.X)) {
+					pass.Reportf(n.Pos(), "%s on a scheduler indexed out of a shard slice; between barriers only the owning goroutine may schedule here — route cross-shard work through a mailbox drained in an Exchange function", sel.Sel.Name)
+					return true
+				}
+				if id, ok := recv.(*ast.Ident); ok && indexed[info.Uses[id]] {
+					pass.Reportf(n.Pos(), "%s on %q, which was indexed out of a shard slice; between barriers only the owning goroutine may schedule here — route cross-shard work through a mailbox drained in an Exchange function", sel.Sel.Name, id.Name)
+				}
+
+			case *ast.AssignStmt:
+				if shardExempt(stack) {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					reportIndexedStateWrite(pass, lhs)
+				}
+
+			case *ast.IncDecStmt:
+				if shardExempt(stack) {
+					return true
+				}
+				reportIndexedStateWrite(pass, n.X)
+			}
+			return true
+		})
+	}
+}
+
+// reportIndexedStateWrite flags `S[i].field = ...` where S's elements
+// carry a scheduler — a write into (potentially) another shard's state
+// block.
+func reportIndexedStateWrite(pass *Pass, lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	idx, ok := ast.Unparen(sel.X).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	if !schedulerBearingSlice(pass.Pkg.Info.TypeOf(idx.X)) {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write to field %q of an indexed element of a scheduler-bearing slice; between barriers a shard may mutate only state it owns — move this into an Exchange/Configure context or its owner's shard", sel.Sel.Name)
+}

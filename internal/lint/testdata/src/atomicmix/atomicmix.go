@@ -1,0 +1,59 @@
+// Seeded violations for the atomicmix analyzer.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	done uint32
+}
+
+// The sanctioned discipline: every access goes through sync/atomic.
+func (c *counter) add() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) load() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// A plain read of the same field races the atomic writer and can see a
+// stale value forever on weakly-ordered hardware.
+func (c *counter) snapshot() uint64 {
+	return c.n // want `"n" is accessed via atomic.AddUint64 elsewhere but with a plain load/store here`
+}
+
+// A plain store is the write half of the same race.
+func (c *counter) clear() {
+	c.n = 0 // want `"n" is accessed via atomic.AddUint64 elsewhere but with a plain load/store here`
+}
+
+// Mixing on a package-level variable is flagged the same way.
+var hits uint64
+
+func recordHit() {
+	atomic.AddUint64(&hits, 1)
+}
+
+func resetHits() {
+	hits = 0 // want `"hits" is accessed via atomic.AddUint64 elsewhere but with a plain load/store here`
+}
+
+// Pre-spawn initialisation that provably happens before any goroutine
+// exists may opt out with its safety argument.
+func (c *counter) init() {
+	c.done = 0 //detlint:allow atomicmix -- runs in the constructor, before any goroutine is spawned
+	atomic.StoreUint32(&c.done, 0)
+}
+
+// The typed wrappers make plain access unrepresentable: never flagged.
+type gauge struct{ v atomic.Uint64 }
+
+func (g *gauge) bump() { g.v.Add(1) }
+
+func (g *gauge) read() uint64 { return g.v.Load() }
+
+// A field never touched by sync/atomic is ordinary state.
+type plain struct{ total int }
+
+func (p *plain) accumulate(v int) { p.total += v }

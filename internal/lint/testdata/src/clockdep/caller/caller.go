@@ -1,0 +1,17 @@
+// Package caller reads the wall clock only transitively, through the
+// helper package. No time.* selector appears in this file, so the
+// intraprocedural wallclock analyzer reports nothing here; with facts
+// computed over helper, both call sites are flagged.
+package caller
+
+import "dcfguard/internal/lint/testdata/src/clockdep/helper"
+
+type frame struct{ began int64 }
+
+func (f *frame) begin() {
+	f.began = helper.Stamp()
+}
+
+func (f *frame) age() int64 {
+	return helper.Elapsed(f.began)
+}

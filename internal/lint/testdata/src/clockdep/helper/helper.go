@@ -1,0 +1,19 @@
+// Package helper hides a wall-clock read behind innocent-looking
+// functions. The caller corpus next door exercises the interprocedural
+// wallclock rule against it: nothing in caller mentions time.*, so the
+// v1 analyzer was provably blind there (TestWallclockIndirect pins
+// both the old blindness and the new catch).
+package helper
+
+import "time"
+
+// Stamp reads the host clock directly; flagged when this package is in
+// the analysis scope.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Elapsed launders the read through one more frame.
+func Elapsed(since int64) int64 {
+	return Stamp() - since
+}

@@ -1,0 +1,35 @@
+// Corpus for the -fix pipeline: every finding here carries a suggested
+// fix, and TestApplyFixes pins that the fixed output compiles and
+// re-lints clean. No want comments — the fix test drives the analyzers
+// directly.
+package fixes
+
+import "dcfguard/internal/lint/testdata/src/sim"
+
+type node struct {
+	sched *sim.Scheduler
+	nav   sim.Time
+}
+
+// Extraction loop that never sorts: fixed by inserting slices.Sort.
+func ids(m map[uint64]int) []uint64 {
+	var out []uint64
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Capture-free closure: fixed by hoisting to a package-level func.
+var armed int
+
+func (n *node) armBare(at sim.Time) {
+	n.sched.At(at, func() { armed++ })
+}
+
+// Single read-only capture: fixed by the AtArg trampoline rewrite.
+func (n *node) armDeadline(deadline sim.Time) {
+	n.sched.After(deadline, func() { consume(deadline) })
+}
+
+func consume(t sim.Time) { _ = t }

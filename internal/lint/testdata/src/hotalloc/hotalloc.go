@@ -52,3 +52,29 @@ func (n *node) armKeyed(at sim.Time) {
 func (n *node) armKeyedFast(at sim.Time) {
 	n.sched.AtKeyedArg(at, 7, fireTimeout, n)
 }
+
+// --- interprocedural: forwarding helpers ---
+
+// armVia forwards fn into the scheduler callback slot; a closure handed
+// to it allocates exactly like one handed to At directly.
+func armVia(s *sim.Scheduler, at sim.Time, fn func()) {
+	s.At(at, fn)
+}
+
+// armDeep forwards through two frames.
+func armDeep(s *sim.Scheduler, at sim.Time, fn func()) {
+	armVia(s, at, fn)
+}
+
+func (n *node) armIndirect(at sim.Time) {
+	armVia(n.sched, at, func() { n.nav = at }) // want `closure literal passed to armVia allocates on the scheduling hot path`
+}
+
+func (n *node) armIndirectDeep(at sim.Time) {
+	armDeep(n.sched, at, func() { n.nav = at }) // want `closure literal passed to armDeep allocates on the scheduling hot path`
+}
+
+// A named func through the forwarder allocates nothing: stays silent.
+func (n *node) armIndirectFast(at sim.Time) {
+	armVia(n.sched, at, noop)
+}

@@ -158,3 +158,23 @@ func debugDump(m map[string]int) {
 		fmt.Printf("%s=%d\n", k, v)
 	}
 }
+
+// --- interprocedural: order sensitivity laundered through helpers ---
+
+func draw(src *rng.Source) int { return src.Intn(3) }
+
+func sampleVia(m map[string]int, src *rng.Source) int {
+	total := 0
+	for range m { // want `map iteration calls draw, which draws from an rng stream`
+		total += draw(src)
+	}
+	return total
+}
+
+func bumpRegistry(k string, v int) { registry[k] = v }
+
+func promoteVia(m map[string]int) {
+	for k, v := range m { // want `map iteration calls bumpRegistry, which writes package-level "registry"`
+		bumpRegistry(k, v)
+	}
+}

@@ -14,3 +14,9 @@ func (s *Source) Uint64() uint64 {
 func (s *Source) Float64() float64 { return float64(s.Uint64()>>11) / (1 << 53) }
 
 func (s *Source) Intn(n int) int { return int(s.Uint64() % uint64(n)) }
+
+// Stream and StreamN mirror the real stream-derivation entry points the
+// rngstream analyzer recognises by name on rng-package receivers.
+func (s *Source) Stream(key uint64) *Source { return New(s.state ^ key) }
+
+func (s *Source) StreamN(key, n uint64) *Source { return New(s.state ^ key ^ n) }

@@ -1,0 +1,57 @@
+// Seeded violations for the rngstream analyzer.
+package rngstream
+
+import (
+	"dcfguard/internal/lint/testdata/src/rng"
+	"dcfguard/internal/lint/testdata/src/sim"
+)
+
+// Hand-rolling the splitmix64 finalizer forks the key derivation from
+// the canonical rng.Mix64 helpers: the constants must not leak out of
+// internal/rng.
+func mixByHand(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15                  // want `splitmix64 constant 0x9e3779b97f4a7c15 builds a counter-RNG key outside internal/rng`
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9 // want `splitmix64 constant 0xbf58476d1ce4e5b9 builds a counter-RNG key outside internal/rng`
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb // want `splitmix64 constant 0x94d049bb133111eb builds a counter-RNG key outside internal/rng`
+	return x ^ (x >> 31)
+}
+
+// Deriving streams inside a map-range body consumes derivations in the
+// randomised iteration order.
+func deriveAll(src *rng.Source, nodes map[uint64]int) map[uint64]*rng.Source {
+	out := make(map[uint64]*rng.Source, len(nodes))
+	for id := range nodes {
+		out[id] = src.Stream(id) // want `Stream derives an rng stream inside a map-range body`
+	}
+	return out
+}
+
+// Deriving inside a scheduled event handler re-derives per event on the
+// hot path.
+func arm(src *rng.Source, s *sim.Scheduler, at sim.Time) {
+	s.At(at, func() {
+		_ = src.StreamN(9, 2) // want `StreamN derives an rng stream inside a scheduled event handler`
+	})
+}
+
+// The blessed pattern: derive once at setup, from deterministic order.
+func deriveSorted(src *rng.Source, ids []uint64) []*rng.Source {
+	out := make([]*rng.Source, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, src.Stream(id))
+	}
+	return out
+}
+
+// A named handler declared at package level is its own FuncDecl: the
+// analyzer does not see through the indirection, and the direct-context
+// rule correctly stays silent for setup-time derivation inside it.
+func setupNode(src *rng.Source, id uint64) *rng.Source {
+	return src.Stream(id)
+}
+
+// A non-RNG use of the constant (a golden-ratio bucket hash) may opt
+// out with its justification.
+func spread(x uint64) uint64 {
+	return x * 0x9e3779b97f4a7c15 //detlint:allow rngstream -- golden-ratio bucket hash, not a counter-RNG key derivation
+}

@@ -1,0 +1,73 @@
+// Seeded violations for the shardsafe analyzer.
+package shardsafe
+
+import "dcfguard/internal/lint/testdata/src/sim"
+
+type node struct {
+	sched *sim.Scheduler
+	nav   sim.Time
+}
+
+type mesh struct {
+	scheds []*sim.Scheduler
+	nodes  []node
+}
+
+func noop() {}
+
+// Scheduling on a scheduler indexed out of the shard slice from worker
+// context schedules onto a goroutine that is concurrently running it.
+func (m *mesh) relay(i int, at sim.Time) {
+	m.scheds[i].At(at, noop) // want `At on a scheduler indexed out of a shard slice`
+}
+
+// The one-hop local form is the same race with a temporary name.
+func (m *mesh) relayVia(i int, at sim.Time) {
+	s := m.scheds[i]
+	s.At(at, noop) // want `At on "s", which was indexed out of a shard slice`
+}
+
+// Writing a field of an indexed element of a scheduler-bearing slice
+// mutates (potentially) another shard's state block.
+func (m *mesh) poke(i int, t sim.Time) {
+	m.nodes[i].nav = t // want `write to field "nav" of an indexed element of a scheduler-bearing slice`
+}
+
+func (m *mesh) bump(i int) {
+	m.nodes[i].nav++ // want `write to field "nav" of an indexed element of a scheduler-bearing slice`
+}
+
+// Exchange functions run inside the barrier with every worker parked:
+// cross-shard fan-out is their whole job.
+func (m *mesh) ExchangeShardMessages(at sim.Time) {
+	for i := range m.scheds {
+		m.scheds[i].At(at, noop)
+		m.nodes[i].nav = at
+	}
+}
+
+// Configure functions run before any worker goroutine exists.
+func (m *mesh) ConfigureShards(at sim.Time) {
+	for i := range m.nodes {
+		m.nodes[i].nav = at
+	}
+}
+
+// Receiving a scheduler as a parameter is fine: the caller asserted
+// ownership by passing it.
+func drive(s *sim.Scheduler, at sim.Time) {
+	s.At(at, noop)
+}
+
+// A slice whose element struct carries no scheduler is ordinary data,
+// not shard state.
+type row struct{ total int }
+
+func tally(rows []row, i, v int) {
+	rows[i].total = v
+}
+
+// A justified exemption is honoured.
+func (m *mesh) selfSchedule(self int, at sim.Time) {
+	m.scheds[self].At(at, noop) //detlint:allow shardsafe -- self is this worker's own shard index by construction
+}

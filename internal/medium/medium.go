@@ -423,13 +423,13 @@ func (m *Medium) Transmit(srcID frame.NodeID, f frame.Frame) sim.Time {
 	end := now + f.Airtime(tx.radio.BitRate)
 	tx.txUntil = end
 	if m.sharded {
-		m.shards[tx.shard].transmissions++
+		m.shards[tx.shard].transmissions++ //detlint:allow shardsafe -- indexed by the executing event's own shard: this handler runs on that shard's scheduler
 	} else {
 		m.transmissions++
 	}
 	m.obs.transmissions.Inc()
 	if m.obs.chanOn() {
-		m.traceChannel(obs.Record{
+		m.traceChannel(tx, obs.Record{
 			Time: now, Node: srcID, Peer: f.Dst, Event: "tx",
 			Aux: f.Type.String(), Seq: f.Seq, A: float64(end - now),
 		})
@@ -624,7 +624,7 @@ func (m *Medium) complete(obs *node, a *arrival) {
 		faultDropped = m.cfg.FrameFaults.Drop(f.Src, obs.id)
 		if faultDropped {
 			if m.sharded {
-				m.shards[obs.shard].faultDrops++
+				m.shards[obs.shard].faultDrops++ //detlint:allow shardsafe -- indexed by the executing event's own shard: this handler runs on that shard's scheduler
 			} else {
 				m.faultDrops++
 			}
@@ -635,7 +635,7 @@ func (m *Medium) complete(obs *node, a *arrival) {
 	if corrupted || selfBlocked || faultDropped {
 		if f.Dst == obs.id && !faultDropped {
 			if m.sharded {
-				m.shards[obs.shard].collisions++
+				m.shards[obs.shard].collisions++ //detlint:allow shardsafe -- indexed by the executing event's own shard: this handler runs on that shard's scheduler
 			} else {
 				m.collisions++
 			}
@@ -658,7 +658,7 @@ func (m *Medium) complete(obs *node, a *arrival) {
 		}
 	} else {
 		if m.sharded {
-			m.shards[obs.shard].deliveries++
+			m.shards[obs.shard].deliveries++ //detlint:allow shardsafe -- indexed by the executing event's own shard: this handler runs on that shard's scheduler
 		} else {
 			m.deliveries++
 		}
@@ -684,7 +684,7 @@ func (m *Medium) busyStart(n *node, now sim.Time) {
 	n.busyDepth++
 	if n.busyDepth == 1 {
 		if m.obs.chanOn() {
-			m.traceChannel(obs.Record{Time: now, Node: n.id, Peer: obs.NoNode, Event: "busy"})
+			m.traceChannel(n, obs.Record{Time: now, Node: n.id, Peer: obs.NoNode, Event: "busy"})
 		}
 		if n.listener != nil {
 			n.listener.CarrierBusy(now)
@@ -699,7 +699,7 @@ func (m *Medium) busyEnd(n *node, now sim.Time) {
 	n.busyDepth--
 	if n.busyDepth == 0 {
 		if m.obs.chanOn() {
-			m.traceChannel(obs.Record{Time: now, Node: n.id, Peer: obs.NoNode, Event: "idle"})
+			m.traceChannel(n, obs.Record{Time: now, Node: n.id, Peer: obs.NoNode, Event: "idle"})
 		}
 		if n.listener != nil {
 			n.listener.CarrierIdle(now)

@@ -11,7 +11,12 @@ import (
 // no-op, and nothing here touches RNG or scheduler state (pass-through
 // contract, package obs).
 type mediumObs struct {
-	bus           *obs.Bus
+	bus *obs.Bus
+	// shardBuses, when non-nil, routes each emission to the node's shard
+	// front bus (obs.ShardFanin) instead of the shared bus: shard
+	// goroutines must not touch the real sinks. Category subscriptions
+	// mirror bus, so chanOn stays a single shared guard.
+	shardBuses    []*obs.Bus
 	transmissions *obs.Counter
 	deliveries    *obs.Counter
 	collisions    *obs.Counter
@@ -32,23 +37,48 @@ func (m *Medium) Instrument(reg *obs.Registry, bus *obs.Bus) {
 	}
 }
 
+// InstrumentShards switches channel-trace emission to per-shard front
+// buses (indexed by shard, from obs.ShardFanin). Sharded runs with
+// tracing enabled must call it after ConfigureShards: emissions happen
+// on shard goroutines, which may only touch their own shard's buffer.
+func (m *Medium) InstrumentShards(buses []*obs.Bus) {
+	if buses == nil {
+		return
+	}
+	if !m.sharded || len(buses) != len(m.shards) {
+		panic("medium: InstrumentShards bus count does not match ConfigureShards")
+	}
+	m.obs.shardBuses = buses
+}
+
 // chanOn is the hot-path guard for channel tracing. It exists as a
 // method (rather than an inline bus.Enabled call) because several
 // emission sites shadow the obs package name with an observer-node
-// variable.
+// variable. The shared bus carries the same subscriptions as any shard
+// front bus, so one guard serves both routings.
 func (o *mediumObs) chanOn() bool { return o.bus.Enabled(obs.CatChannel) }
 
-// traceChannel emits one CatChannel record; callers gate on chanOn so
-// record construction stays off the disabled path.
-func (m *Medium) traceChannel(r obs.Record) {
+// busAt returns the bus emissions concerning node at must go to: the
+// node's shard front bus when sharded tracing is wired, the shared bus
+// otherwise.
+func (m *Medium) busAt(at *node) *obs.Bus {
+	if m.obs.shardBuses != nil {
+		return m.obs.shardBuses[at.shard]
+	}
+	return m.obs.bus
+}
+
+// traceChannel emits one CatChannel record concerning node at; callers
+// gate on chanOn so record construction stays off the disabled path.
+func (m *Medium) traceChannel(at *node, r obs.Record) {
 	r.Cat = obs.CatChannel
-	m.obs.bus.Emit(r)
+	m.busAt(at).Emit(r)
 }
 
 // traceOutcome emits the per-observer completion outcome ("deliver",
 // "collision", "self-block", "fault-drop") for a frame ending at end.
 func (m *Medium) traceOutcome(event string, at *node, f frame.Frame, end sim.Time) {
-	m.obs.bus.Emit(obs.Record{
+	m.busAt(at).Emit(obs.Record{
 		Cat: obs.CatChannel, Time: end, Node: at.id, Peer: f.Src,
 		Event: event, Aux: f.Type.String(), Seq: f.Seq,
 	})

@@ -266,6 +266,9 @@ type Runtime struct {
 	registry *Registry
 	bus      *Bus
 	ring     *RingSink
+	// cats is the enabled category set, kept so sharded runs can build
+	// per-shard front buses with identical subscriptions (shard.go).
+	cats CategorySet
 }
 
 // Build assembles a Runtime from the configuration. A nil config, or one
@@ -282,6 +285,7 @@ func (c *Config) Build() *Runtime {
 	}
 	if !c.Categories.Empty() {
 		rt.bus = &Bus{}
+		rt.cats = c.Categories
 		size := c.RingSize
 		if size == 0 {
 			size = DefaultRingSize

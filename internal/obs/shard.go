@@ -1,0 +1,76 @@
+package obs
+
+import "dcfguard/internal/sim"
+
+// Shard fan-in for the trace bus.
+//
+// In a sharded run every component still emits records synchronously
+// from its own event callbacks — but those callbacks execute on
+// concurrent shard goroutines, so they cannot share the run's real Bus
+// (its sinks are ordered logs). ShardFanin gives every shard a private
+// front Bus whose sole subscriber buffers records into a sim.Fanin; at
+// each window barrier the coordinator flushes the fan-in, which replays
+// the records into the downstream Bus — ring, JSONL, CSV, everything —
+// in exactly the order a serial run would have emitted them (see
+// sim/fanin.go for the ordering argument).
+//
+// The pass-through contract holds shard-side too: front buses never
+// feed anything back into simulation state, and a run with fan-in
+// enabled is bit-identical to the same run without it.
+type ShardFanin struct {
+	fronts []*Bus
+	fan    *sim.Fanin[Record]
+}
+
+// shardSink is the single subscriber of one front bus: it tags records
+// with its shard index into the shared fan-in.
+type shardSink struct {
+	fan   *sim.Fanin[Record]
+	shard int
+}
+
+func (s *shardSink) Emit(r Record) { s.fan.Emit(s.shard, r) }
+
+// NewShardFanin builds per-shard front buses mirroring the Runtime's
+// category subscriptions, draining into its trace bus. It returns nil —
+// a valid, permanently disabled fan-in — when tracing is off, so
+// callers wire it unconditionally. scheds are the run's shard
+// schedulers, indexed like the medium's shard assignment.
+func (rt *Runtime) NewShardFanin(scheds []*sim.Scheduler) *ShardFanin {
+	if rt == nil || rt.bus == nil {
+		return nil
+	}
+	f := &ShardFanin{fronts: make([]*Bus, len(scheds))}
+	f.fan = sim.NewFanin(scheds, func(r Record) { rt.bus.Emit(r) })
+	for i := range f.fronts {
+		f.fronts[i] = &Bus{}
+		f.fronts[i].Subscribe(rt.cats, &shardSink{fan: f.fan, shard: i})
+	}
+	return f
+}
+
+// Bus returns shard i's front bus (nil on a nil fan-in, which disables
+// emission exactly like a nil *Bus anywhere else).
+func (f *ShardFanin) Bus(i int) *Bus {
+	if f == nil {
+		return nil
+	}
+	return f.fronts[i]
+}
+
+// Buses returns all front buses indexed by shard (nil on a nil fan-in).
+func (f *ShardFanin) Buses() []*Bus {
+	if f == nil {
+		return nil
+	}
+	return f.fronts
+}
+
+// Flush merges and replays all buffered records downstream.
+// Coordinator-only (window barrier or post-run); nil-safe.
+func (f *ShardFanin) Flush() {
+	if f == nil {
+		return
+	}
+	f.fan.Flush()
+}

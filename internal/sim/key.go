@@ -115,6 +115,13 @@ func (s *Scheduler) nextOwnerKey() uint64 {
 	return keyOwnerBit | uint64(s.curOwner)<<keyOwnerShift | ctr
 }
 
+// CurrentKey returns the key of the event currently firing on a keyed
+// scheduler, and 0 between events (setup, or after the run). It is the
+// tag barrier-merged side channels (sim.Fanin) attach to emissions: keys
+// are unique per instant, so sorting tagged emissions by (when, key,
+// per-shard order) reproduces the serial keyed emission order exactly.
+func (s *Scheduler) CurrentKey() uint64 { return s.curKey }
+
 // AtKeyedArg schedules fn(arg, when) at the absolute instant when with
 // an explicit event key (normally a FanKey). The caller owns key
 // uniqueness per instant; the medium's (tx, frame, obs) triples satisfy

@@ -73,8 +73,8 @@ func (r EventRef) When() Time {
 // generation) and leaves the queue entry in place; the pop loop skips
 // entries whose generation no longer matches.
 type Scheduler struct {
-	now     Time
-	q       eventQueue
+	now Time
+	q   eventQueue
 	// hq/cq are the concrete queue, exactly one non-nil once q is set:
 	// the hot paths branch on hq rather than dispatching through the
 	// interface, which keeps push/pop direct (and inlinable) calls.
@@ -102,9 +102,12 @@ type Scheduler struct {
 	// Keyed ordering state (see key.go). When keyed is set, seq fields
 	// carry explicit partition-invariant keys instead of the FIFO
 	// counter: curOwner is the node context implicit scheduling charges
-	// its key to, and ownerCtr holds each owner's private counter.
+	// its key to, curKey the key of the event currently firing (0 between
+	// events — the barrier fan-in reads it to tag side-channel emissions),
+	// and ownerCtr holds each owner's private counter.
 	keyed    bool
 	curOwner int
+	curKey   uint64
 	ownerCtr []uint64
 
 	// interrupted is the one concurrency-safe bit of scheduler state:
@@ -444,8 +447,11 @@ func (s *Scheduler) fire(e entry) {
 		// Everything the callback schedules is charged to the owner the
 		// firing event's key names, so implicit rescheduling (timers,
 		// backoffs) stays keyed to its node without the MAC layer ever
-		// knowing keys exist.
+		// knowing keys exist. The key itself is published for CurrentKey:
+		// barrier-merged side channels (trace/obs fan-in) tag emissions
+		// with it to reconstruct the serial emission order.
 		s.curOwner = ownerOfKey(ev.seq)
+		s.curKey = ev.seq
 	}
 	s.release(e.idx)
 	s.live--

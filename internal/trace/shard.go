@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"dcfguard/internal/frame"
+	"dcfguard/internal/sim"
+)
+
+// tapOp is one buffered Recorder operation: a transmission tap or a
+// delivery mark, replayed at the barrier in serial order.
+type tapOp struct {
+	src        frame.NodeID
+	f          frame.Frame
+	start, end sim.Time
+	deliver    bool
+}
+
+// ShardedTap adapts a Recorder to a sharded run. The medium's Tap and
+// DeliveryTap hooks fire on shard goroutines (the transmit event and
+// the addressee's completion event respectively); a shared Recorder
+// would race, and even a locked one would record an
+// interleaving-dependent order. ShardedTap buffers each hook call into
+// a sim.Fanin tagged with the firing event, and Flush — called by the
+// coordinator at every window barrier and once after the run — replays
+// the calls into the Recorder in the exact order a serial run makes
+// them, so the recorded timeline (and its capacity cutoff) is
+// bit-identical to serial.
+type ShardedTap struct {
+	rec *Recorder
+	fan *sim.Fanin[tapOp]
+}
+
+// NewShardedTap wraps rec for the given shard schedulers (indexed like
+// the medium's shard assignment).
+func NewShardedTap(rec *Recorder, scheds []*sim.Scheduler) *ShardedTap {
+	t := &ShardedTap{rec: rec}
+	t.fan = sim.NewFanin(scheds, func(op tapOp) {
+		if op.deliver {
+			rec.MarkDelivered(op.f, op.end)
+		} else {
+			rec.Tap(op.src, op.f, op.start, op.end)
+		}
+	})
+	return t
+}
+
+// Tap buffers one transmission from the given shard; wire it to
+// medium.Medium.Tap with the transmitter's shard index. Nil-safe.
+func (t *ShardedTap) Tap(shard int, src frame.NodeID, f frame.Frame, start, end sim.Time) {
+	if t == nil {
+		return
+	}
+	t.fan.Emit(shard, tapOp{src: src, f: f, start: start, end: end})
+}
+
+// MarkDelivered buffers one delivery mark from the given shard; wire it
+// to medium.Medium.DeliveryTap with the addressee's shard index.
+// Nil-safe.
+func (t *ShardedTap) MarkDelivered(shard int, f frame.Frame, end sim.Time) {
+	if t == nil {
+		return
+	}
+	t.fan.Emit(shard, tapOp{f: f, end: end, deliver: true})
+}
+
+// Flush replays all buffered operations into the Recorder.
+// Coordinator-only (window barrier or post-run); nil-safe.
+func (t *ShardedTap) Flush() {
+	if t == nil {
+		return
+	}
+	t.fan.Flush()
+}
