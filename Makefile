@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint audit race bench bench-quick bench-full bench-large bench-guard check check-v2 faults obs shards clean
+.PHONY: all build test vet lint audit race bench bench-quick bench-full bench-large bench-guard check check-v2 faults obs serve shards clean
 
 all: build
 
@@ -93,6 +93,19 @@ obs:
 	$(GO) test -run 'Obshot' ./internal/lint
 	DCFGUARD_OVERHEAD_GUARD=1 $(GO) test -count=1 -run 'DisabledObservabilityOverhead' -v .
 
+# Sweep-daemon gate, under the race detector (workers, backoff timers,
+# and the HTTP mux cross goroutines): the serve package suite (retry
+# policy, breaker, fair scheduling, admission control, restart resume),
+# the spec-equivalence pin, the daemon overhead guard (a submitted
+# RunRandom40V2 cell must stay within 5% of the raw kernel — same env
+# gate and machine-local caveat as the obs guard), then the kill -9
+# smoke script: SIGKILL the real dcfserved mid-sweep, restart it, and
+# byte-compare the artifacts against an uninterrupted run.
+serve:
+	$(GO) test -race ./internal/serve
+	DCFGUARD_OVERHEAD_GUARD=1 $(GO) test -count=1 -run 'ServeGuardSpecMatchesBench|ServeOverheadGuard' -v .
+	./scripts/serve-smoke.sh
+
 # Sharded-kernel gate, under the race detector (shard workers cross
 # goroutines by design): the keyed-ordering and window/barrier unit
 # tests, the v3 goldens, the shard-vs-serial golden pin, the shard-count
@@ -106,7 +119,7 @@ shards:
 # The pre-merge gate (see README "Pre-merge gate"), cheapest stages
 # first so failures surface in seconds: vet and the determinism
 # analyzers, then build, then the minutes-long race/bench stages.
-check: vet lint build race check-v2 faults obs shards bench bench-guard
+check: vet lint build race check-v2 faults obs serve shards bench bench-guard
 
 clean:
 	$(GO) clean ./...

@@ -222,7 +222,11 @@ func runAuditAllows(pkgs []*lint.Package) int {
 			just = "MISSING JUSTIFICATION"
 			bare++
 		}
-		fmt.Printf("%s:%d: allow %s -- %s\n", relpath(s.Pos.Filename), s.Pos.Line, strings.Join(s.Names, " "), just)
+		verb := "allow"
+		if s.Scope == "package" {
+			verb = "allow-package"
+		}
+		fmt.Printf("%s:%d: %s %s -- %s\n", relpath(s.Pos.Filename), s.Pos.Line, verb, strings.Join(s.Names, " "), just)
 	}
 	fmt.Fprintf(os.Stderr, "dcflint: %d allow site(s), %d without justification\n", len(sites), bare)
 	if bare > 0 {

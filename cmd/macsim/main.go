@@ -140,9 +140,25 @@ func run() error {
 		basic    = flag.Bool("basic", false, "basic access: no RTS/CTS handshake")
 		adaptive = flag.Bool("adaptive", false, "adaptive THRESH selection (CORRECT only)")
 		block    = flag.Bool("block", false, "refuse service to diagnosed senders (CORRECT only)")
+		submit   = flag.String("submit", "", "submit this run to a dcfserved daemon at this base URL instead of running locally")
+		jobName  = flag.String("job", "", "with -submit: job name (default derived from topology and -pm)")
+		tenant   = flag.String("tenant", "", "with -submit: tenant bucket for the daemon's fair scheduler")
 	)
 	obsF := registerObsFlags()
 	flag.Parse()
+
+	if *submit != "" {
+		return runSubmit(submitArgs{
+			url: *submit, job: *jobName, tenant: *tenant,
+			protocol: *protocol, strategy: *strategy, channel: *channel,
+			pm: *pm, senders: *senders, misNode: *misNode, twoFlow: *twoFlow,
+			random: *random, mis: *mis, scaled: *scaled,
+			duration: *duration, seed: *seed, seeds: *seeds, shards: *shards,
+			fer: *fer, burst: *burst, churn: *churn,
+			basic: *basic, adaptive: *adaptive, block: *block,
+			csvPath: *csvPath,
+		})
+	}
 
 	s := dcfguard.DefaultScenario()
 	s.Duration = dcfguard.Time(*duration)

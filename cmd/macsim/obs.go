@@ -166,10 +166,10 @@ func (o *obsRun) startTicker(start time.Time) (stop func()) {
 				if snap.Resumed > 0 {
 					line += fmt.Sprintf(", %d resumed", snap.Resumed)
 				}
-				ran := snap.Done - snap.Resumed
-				left := snap.Total - snap.Done
-				if ran > 0 && left > 0 {
-					eta := time.Duration(float64(time.Since(start)) / float64(ran) * float64(left)) //detlint:allow wallclock -- wall-clock ETA for the human watching the sweep
+				// ETA excludes journal-resumed cells from the rate (they
+				// cost no compute); the arithmetic lives on SweepSnapshot
+				// so the serve daemon's job status agrees with this line.
+				if eta := snap.ETA(time.Since(start)); eta > 0 { //detlint:allow wallclock -- wall-clock ETA for the human watching the sweep
 					line += fmt.Sprintf(", ETA %v", eta.Round(time.Second))
 				}
 				fmt.Fprintln(os.Stderr, line)

@@ -1,0 +1,257 @@
+package main
+
+// macsim -submit: the CLI as a thin client of dcfserved. The same
+// topology/misbehavior flags that drive a local run are serialized
+// into a job spec and shipped to the daemon; the client then polls
+// status (honoring 429 Retry-After on the way in), streams progress,
+// and optionally downloads results.csv — so a daemon-submitted sweep
+// is interchangeable with `macsim -seeds`, down to the CSV bytes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dcfguard"
+	"dcfguard/internal/experiment"
+	"dcfguard/internal/serve"
+)
+
+// submitArgs carries the raw flag values into client mode.
+type submitArgs struct {
+	url, job, tenant            string
+	protocol, strategy, channel string
+	pm, senders, misNode        int
+	twoFlow                     bool
+	random, mis                 int
+	scaled                      bool
+	duration                    time.Duration
+	seed                        uint64
+	seeds, shards               int
+	fer                         float64
+	burst, churn                string
+	basic, adaptive, block      bool
+	csvPath                     string
+}
+
+// wireStrategy maps macsim's short strategy flags onto the spec's wire
+// names; wire names themselves pass through untouched.
+func wireStrategy(s string) string {
+	switch s {
+	case "quarter":
+		return "quarter-window"
+	case "nodouble":
+		return "no-doubling"
+	case "liar":
+		return "attempt-liar"
+	}
+	return s
+}
+
+// jobSpec renders the flag values as the daemon's wire format. The
+// daemon re-validates everything; this is a best-effort translation,
+// not a second validator.
+func (a submitArgs) jobSpec() (serve.JobSpec, error) {
+	sp := experiment.ScenarioSpec{
+		Protocol: a.protocol,
+		Strategy: wireStrategy(a.strategy),
+		Channel:  a.channel,
+		PM:       a.pm,
+		Duration: a.duration.String(),
+	}
+	if a.shards > 1 {
+		sp.Shards = a.shards
+	}
+	if a.random > 0 {
+		kind := "random"
+		if a.scaled {
+			kind = "scaled-random"
+		}
+		sp.Topo = experiment.TopoSpec{Kind: kind, Nodes: a.random, Mis: a.mis}
+		sp.Name = fmt.Sprintf("random-%d", a.random)
+	} else {
+		sp.Topo = experiment.TopoSpec{Kind: "star", Senders: a.senders, TwoFlow: a.twoFlow}
+		if a.misNode > 0 {
+			sp.Topo.Misbehaving = []int{a.misNode}
+		}
+		sp.Name = fmt.Sprintf("star-%d", a.senders)
+	}
+	if a.basic {
+		m := experiment.DefaultScenario().MAC
+		m.BasicAccess = true
+		sp.MAC = &m
+	}
+	if a.adaptive || a.block {
+		c := experiment.DefaultScenario().Core
+		c.AdaptiveThresh = a.adaptive
+		c.BlockDiagnosed = a.block
+		sp.Core = &c
+	}
+	if a.fer > 0 || a.burst != "" || a.churn != "" {
+		f := &experiment.FaultsSpec{FER: a.fer}
+		if a.burst != "" {
+			var meanFER, r float64
+			if _, err := fmt.Sscanf(a.burst, "%g,%g", &meanFER, &r); err != nil {
+				return serve.JobSpec{}, fmt.Errorf("-burst %q: want 'fer,r': %v", a.burst, err)
+			}
+			if !(meanFER >= 0 && meanFER < 1) || !(r > 0 && r <= 1) {
+				return serve.JobSpec{}, fmt.Errorf("-burst %q: need fer in [0,1) and r in (0,1]", a.burst)
+			}
+			ge := dcfguard.GEForMeanFER(meanFER, r)
+			f.Burst = &experiment.GESpec{
+				PGoodBad: ge.PGoodBad, PBadGood: ge.PBadGood,
+				GoodFER: ge.GoodFER, BadFER: ge.BadFER,
+			}
+			f.FER = 0
+		}
+		if a.churn != "" {
+			parts := strings.SplitN(a.churn, ",", 2)
+			f.ChurnInterval = parts[0]
+			if len(parts) == 2 {
+				f.ChurnDowntime = parts[1]
+			}
+		}
+		sp.Faults = f
+	}
+
+	name := a.job
+	if name == "" {
+		name = fmt.Sprintf("macsim-%s-pm%d", sp.Name, a.pm)
+	}
+	js := serve.JobSpec{Name: name, Tenant: a.tenant, Scenario: sp}
+	if a.seeds > 0 {
+		js.Seeds = a.seeds
+	} else {
+		js.SeedList = []uint64{a.seed}
+	}
+	return js, nil
+}
+
+// retryAfterHint reads a 429's Retry-After header (seconds), falling
+// back when absent or unparsable.
+func retryAfterHint(resp *http.Response, fallback time.Duration) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return fallback
+}
+
+func terminalState(state string) bool {
+	switch state {
+	case serve.StateDone, serve.StateFailed, serve.StateDegraded:
+		return true
+	}
+	return false
+}
+
+// getStatus fetches one job's status.
+func getStatus(base, name string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	resp, err := http.Get(base + "/jobs/" + name)
+	if err != nil {
+		return st, err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	err = json.Unmarshal(data, &st)
+	return st, err
+}
+
+// runSubmit is the client-mode main loop: submit (with 429 backoff),
+// poll to terminal, download, and translate the final state into the
+// process exit code.
+func runSubmit(a submitArgs) error {
+	js, err := a.jobSpec()
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(js)
+	if err != nil {
+		return err
+	}
+
+	base := strings.TrimSuffix(a.url, "/")
+	var status serve.JobStatus
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if attempt >= 10 {
+				return fmt.Errorf("daemon still overloaded after %d attempts", attempt)
+			}
+			wait := retryAfterHint(resp, 2*time.Second)
+			fmt.Fprintf(os.Stderr, "daemon busy (429): retrying in %s\n", wait)
+			time.Sleep(wait) //detlint:allow wallclock -- client-side backoff obeying the daemon's Retry-After; no simulation state involved
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+		}
+		if err := json.Unmarshal(data, &status); err != nil {
+			return fmt.Errorf("submit: decoding response: %v", err)
+		}
+		break
+	}
+	fmt.Printf("submitted %q (%d cells) to %s\n", status.Name, status.Cells.Total, base)
+
+	lastDone := -1
+	for !terminalState(status.State) {
+		time.Sleep(time.Second) //detlint:allow wallclock -- status polling cadence for the human watching the job
+		if status, err = getStatus(base, status.Name); err != nil {
+			return err
+		}
+		if status.Cells.Done != lastDone {
+			lastDone = status.Cells.Done
+			line := fmt.Sprintf("%s: %d/%d cells", status.State, status.Cells.Done, status.Cells.Total)
+			if status.Cells.Resumed > 0 {
+				line += fmt.Sprintf(" (%d resumed)", status.Cells.Resumed)
+			}
+			if status.ETA != "" {
+				line += ", eta " + status.ETA
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+
+	if a.csvPath != "" && status.State != serve.StateDegraded {
+		resp, err := http.Get(base + "/jobs/" + status.Name + "/artifacts/results.csv")
+		if err != nil {
+			return err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("downloading results.csv: %s", resp.Status)
+		}
+		if err := os.WriteFile(a.csvPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", a.csvPath, len(data))
+	}
+
+	switch status.State {
+	case serve.StateDone:
+		fmt.Printf("%s: done (%d cells, %d retries)\n", status.Name, status.Cells.Done, status.Retries)
+		return nil
+	default:
+		for _, f := range status.Failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		return fmt.Errorf("job %s: %s", status.Name, status.State)
+	}
+}

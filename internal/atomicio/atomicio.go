@@ -13,6 +13,15 @@ import (
 	"path/filepath"
 )
 
+// TestHookBeforeRename, when non-nil, runs after the temporary file is
+// written and synced but before the rename. A non-nil return aborts
+// WriteFile with that error and — unlike every real failure path —
+// leaves the temporary file behind, which is exactly the on-disk state
+// of a process killed between write and rename. Crash tests (the sweep
+// journal's kill-resume suite, the serve daemon's restart test) use it
+// to plant byte-accurate torn writes; production code must never set it.
+var TestHookBeforeRename func(tmpName, path string) error
+
 // WriteFile writes data to path atomically: into a temporary file in the
 // same directory (same filesystem, so the rename is atomic), fsynced,
 // then renamed over path. The containing directory is fsynced
@@ -43,6 +52,13 @@ func WriteFile(path string, data []byte, perm fs.FileMode) error {
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return err
+	}
+	if hook := TestHookBeforeRename; hook != nil {
+		if err := hook(tmpName, path); err != nil {
+			// Deliberately keep tmpName: the simulated kill happened
+			// before the rename, so the torn temp file survives.
+			return err
+		}
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)

@@ -2,6 +2,7 @@ package atomicio
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -51,6 +52,47 @@ func TestWriteFileMissingDir(t *testing.T) {
 	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644)
 	if err == nil {
 		t.Fatal("write into a missing directory succeeded")
+	}
+}
+
+func TestWriteFileKillHook(t *testing.T) {
+	// The crash seam: a hook error simulates a process killed between
+	// write and rename — the target must be untouched (old bytes intact)
+	// and the torn temp file must survive, because that is the state the
+	// sweep journal's resume path has to cope with.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cell.json")
+	if err := WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	killed := errors.New("killed")
+	var sawTmp string
+	TestHookBeforeRename = func(tmpName, target string) error {
+		sawTmp = tmpName
+		return killed
+	}
+	defer func() { TestHookBeforeRename = nil }()
+	if err := WriteFile(path, []byte("new"), 0o644); !errors.Is(err, killed) {
+		t.Fatalf("WriteFile returned %v, want the kill error", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("target holds %q after simulated kill, want old bytes", got)
+	}
+	tornData, err := os.ReadFile(sawTmp)
+	if err != nil {
+		t.Fatalf("torn temp file missing: %v", err)
+	}
+	if string(tornData) != "new" {
+		t.Fatalf("torn temp holds %q, want the new bytes", tornData)
+	}
+	// Clearing the hook restores normal atomic behaviour.
+	TestHookBeforeRename = nil
+	if err := WriteFile(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "new" {
+		t.Fatalf("post-hook write read back %q", got)
 	}
 }
 

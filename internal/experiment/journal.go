@@ -58,10 +58,12 @@ type SweepReport struct {
 // OK reports whether every cell produced a result.
 func (r *SweepReport) OK() bool { return len(r.Failures) == 0 }
 
-// cellFileName maps a cell to its journal file. Scenario names are
-// sanitised to a filesystem-safe alphabet; the seed keeps cells of one
-// scenario apart.
-func cellFileName(scenario string, seed uint64) string {
+// CellFileName maps a (scenario name, seed) journal key to its file
+// name. Scenario names are sanitised to a filesystem-safe alphabet; the
+// seed keeps cells of one scenario apart. Exported so out-of-package
+// sweep drivers (the serve daemon) address the same journal layout
+// RunSweep resumes from.
+func CellFileName(scenario string, seed uint64) string {
 	sanitised := strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
@@ -72,6 +74,40 @@ func cellFileName(scenario string, seed uint64) string {
 		}
 	}, scenario)
 	return fmt.Sprintf("%s-seed%d.json", sanitised, seed)
+}
+
+// LoadJournaledCell reads one checkpointed cell from dir. A missing or
+// malformed file (a torn write on a lying disk — impossible with
+// atomicio, but journals outlive their writer) reports ok=false with no
+// error: the cell is simply rerun. The error is reserved for real I/O
+// problems (permissions, unreadable directory).
+func LoadJournaledCell(dir, scenario string, seed uint64) (Result, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, CellFileName(scenario, seed)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Result{}, false, nil
+		}
+		return Result{}, false, fmt.Errorf("experiment: journal: %w", err)
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Result{}, false, nil
+	}
+	return r, true, nil
+}
+
+// JournalCell checkpoints one cell result into dir atomically, keyed by
+// the result's own (Scenario, Seed).
+func JournalCell(dir string, res Result) error {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("experiment: journal: %w", err)
+	}
+	path := filepath.Join(dir, CellFileName(res.Scenario, res.Seed))
+	if err := atomicio.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("experiment: journal: %w", err)
+	}
+	return nil
 }
 
 // RunSweep executes the cells across a worker pool, isolating each cell
@@ -88,10 +124,10 @@ func RunSweep(cells []SweepCell, opts SweepOptions) (SweepReport, error) {
 	if len(cells) == 0 {
 		return report, fmt.Errorf("experiment: sweep has no cells")
 	}
-	opts.Progress.setTotal(len(cells))
+	opts.Progress.SetTotal(len(cells))
 	seen := make(map[string]int, len(cells))
 	for i, c := range cells {
-		key := cellFileName(c.Scenario.Name, c.Seed)
+		key := CellFileName(c.Scenario.Name, c.Seed)
 		if j, dup := seen[key]; dup {
 			return report, fmt.Errorf("experiment: cells %d and %d share journal key %s (scenario %q seed %d)",
 				j, i, key, c.Scenario.Name, c.Seed)
@@ -106,24 +142,17 @@ func RunSweep(cells []SweepCell, opts SweepOptions) (SweepReport, error) {
 			return report, fmt.Errorf("experiment: journal: %w", err)
 		}
 		for i, c := range cells {
-			path := filepath.Join(opts.JournalDir, cellFileName(c.Scenario.Name, c.Seed))
-			data, err := os.ReadFile(path)
+			r, ok, err := LoadJournaledCell(opts.JournalDir, c.Scenario.Name, c.Seed)
 			if err != nil {
-				if os.IsNotExist(err) {
-					continue
-				}
-				return report, fmt.Errorf("experiment: journal: %w", err)
+				return report, err
 			}
-			var r Result
-			if err := json.Unmarshal(data, &r); err != nil {
-				// A malformed cell file (should be impossible with atomic
-				// writes, but disks lie) is treated as absent: rerun it.
+			if !ok {
 				continue
 			}
 			report.Results[i] = r
 			done[i] = true
 			report.Resumed++
-			opts.Progress.cellResumed()
+			opts.Progress.CellResumed()
 		}
 	}
 
@@ -146,7 +175,7 @@ func RunSweep(cells []SweepCell, opts SweepOptions) (SweepReport, error) {
 			for i := range work {
 				c := cells[i]
 				res, err := RunGuarded(c.Scenario, c.Seed, opts.SeedTimeout)
-				opts.Progress.cellDone(err != nil)
+				opts.Progress.CellDone(err != nil)
 				if err != nil {
 					// RunGuarded guarantees a *SeedFailure.
 					failures[i] = err.(*SeedFailure)
@@ -154,12 +183,7 @@ func RunSweep(cells []SweepCell, opts SweepOptions) (SweepReport, error) {
 				}
 				report.Results[i] = res
 				if opts.JournalDir != "" {
-					path := filepath.Join(opts.JournalDir, cellFileName(c.Scenario.Name, c.Seed))
-					data, merr := json.Marshal(res)
-					if merr == nil {
-						merr = atomicio.WriteFile(path, data, 0o644)
-					}
-					if merr != nil {
+					if merr := JournalCell(opts.JournalDir, res); merr != nil {
 						journalMu.Lock()
 						if journalErr == nil {
 							journalErr = merr
@@ -180,7 +204,7 @@ func RunSweep(cells []SweepCell, opts SweepOptions) (SweepReport, error) {
 	wg.Wait()
 
 	if journalErr != nil {
-		return report, fmt.Errorf("experiment: journal: %w", journalErr)
+		return report, journalErr
 	}
 	for _, f := range failures {
 		if f != nil {

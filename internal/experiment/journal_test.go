@@ -2,11 +2,13 @@ package experiment
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"dcfguard/internal/atomicio"
 	"dcfguard/internal/topo"
 )
 
@@ -46,11 +48,12 @@ func TestRunSweepInMemory(t *testing.T) {
 	}
 }
 
-// TestRunSweepKillResume is the crash-recovery proof: a sweep
-// interrupted partway (simulated by journaling only a prefix of the
-// cells) resumes from the journal, reruns only the unfinished cells, and
-// the final CSV/JSON artifacts are byte-identical to an uninterrupted
-// sweep's.
+// TestRunSweepKillResume is the crash-recovery proof: a sweep killed
+// mid-`atomicio.WriteFile` — the temp file written, the rename never
+// reached, so a torn dot-prefixed temp sits in the journal directory —
+// resumes from the journal, reruns only the unfinished cells (including
+// the one whose checkpoint was torn), and the final CSV/JSON artifacts
+// are byte-identical to an uninterrupted sweep's.
 func TestRunSweepKillResume(t *testing.T) {
 	cells := sweepCells(t)
 	dir := t.TempDir()
@@ -66,22 +69,37 @@ func TestRunSweepKillResume(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// "Killed" first invocation: only the first two cells complete
-	// before the process dies.
-	partial, err := RunSweep(cells[:2], SweepOptions{JournalDir: dir})
-	if err != nil {
-		t.Fatal(err)
+	// "Killed" first invocation: three cells execute, but the process
+	// dies inside the third cell's journal write — after the temp file
+	// hits disk, before the rename (the atomicio kill hook reproduces
+	// that exact on-disk state).
+	killKey := CellFileName(cells[2].Scenario.Name, cells[2].Seed)
+	errKilled := errors.New("kill -9 before rename")
+	atomicio.TestHookBeforeRename = func(tmpName, path string) error {
+		if filepath.Base(path) == killKey {
+			return errKilled
+		}
+		return nil
 	}
-	if !partial.OK() || partial.Ran != 2 {
-		t.Fatalf("partial sweep: Ran=%d failures=%v", partial.Ran, partial.Failures)
+	defer func() { atomicio.TestHookBeforeRename = nil }()
+	_, err = RunSweep(cells[:3], SweepOptions{JournalDir: dir, Workers: 1})
+	if !errors.Is(err, errKilled) {
+		t.Fatalf("killed sweep returned %v, want the kill error", err)
 	}
-	// A torn temp file from a mid-write kill must be invisible to resume:
-	// atomicio's dot-prefixed temp names never match a journal key.
-	if err := os.WriteFile(filepath.Join(dir, ".sweep-a-seed9.json.tmp-123"), []byte(`{"half`), 0o644); err != nil {
-		t.Fatal(err)
+	atomicio.TestHookBeforeRename = nil
+
+	// The kill left a torn temp file and no journal entry for the cell.
+	torn, err := filepath.Glob(filepath.Join(dir, "."+killKey+".tmp-*"))
+	if err != nil || len(torn) != 1 {
+		t.Fatalf("torn temp files %v (err %v), want exactly one", torn, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, killKey)); !os.IsNotExist(err) {
+		t.Fatalf("killed cell has a journal entry; the kill point missed")
 	}
 
-	// Resumed invocation over the full cell list.
+	// Resumed invocation over the full cell list: the torn temp file is
+	// invisible (dot-prefixed temp names never match a journal key) and
+	// the killed cell reruns alongside the never-started one.
 	resumed, err := RunSweep(cells, SweepOptions{JournalDir: dir})
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +143,7 @@ func TestRunSweepCorruptCellRerun(t *testing.T) {
 	if _, err := RunSweep(cells, SweepOptions{JournalDir: dir}); err != nil {
 		t.Fatal(err)
 	}
-	corrupt := filepath.Join(dir, cellFileName(cells[1].Scenario.Name, cells[1].Seed))
+	corrupt := filepath.Join(dir, CellFileName(cells[1].Scenario.Name, cells[1].Seed))
 	if err := os.WriteFile(corrupt, []byte(`{"Scenario": truncated`), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +193,7 @@ func TestRunSweepIsolatesFailures(t *testing.T) {
 			t.Fatalf("healthy cell %d missing its result", i)
 		}
 	}
-	if _, err := os.Stat(filepath.Join(dir, cellFileName("sweep-bad", 1))); !os.IsNotExist(err) {
+	if _, err := os.Stat(filepath.Join(dir, CellFileName("sweep-bad", 1))); !os.IsNotExist(err) {
 		t.Fatal("failed cell was journaled; reruns would skip it")
 	}
 	rerun, err := RunSweep(cells, SweepOptions{JournalDir: dir})

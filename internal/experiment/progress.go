@@ -3,14 +3,15 @@ package experiment
 // SweepProgress publishes a sweep's live position — total cells, cells
 // finished, failures, cells restored from the journal — through atomic
 // counters a monitoring goroutine (the macsim -progress ticker, the obs
-// debug endpoint's /debug/sweep handler) can read while workers run.
-// All methods are nil-safe so RunSweep can update unconditionally.
+// debug endpoint's /debug/sweep handler, the serve daemon's job status)
+// can read while workers run.
 //
-// It deliberately carries no wall-clock state: rates and ETAs are the
-// reader's business (macsim computes them), keeping host time out of
-// this package's sweep path.
+// It deliberately carries no wall-clock state: the reader measures
+// elapsed time itself and hands it to SweepSnapshot.ETA, keeping host
+// time out of this package's sweep path.
 import (
 	"sync/atomic"
+	"time"
 )
 
 // SweepProgress is the live counter block. The zero value is ready to
@@ -21,6 +22,7 @@ type SweepProgress struct {
 	done    atomic.Int64
 	failed  atomic.Int64
 	resumed atomic.Int64
+	ran     atomic.Int64
 }
 
 // SweepSnapshot is one consistent-enough read of a SweepProgress (each
@@ -31,28 +33,37 @@ type SweepSnapshot struct {
 	Total int `json:"total"`
 	Done  int `json:"done"`
 	// Failed counts cells that ended in a *SeedFailure; Resumed the
-	// cells restored from the journal without running.
+	// cells restored from the journal without running; Ran the cells
+	// actually executed this invocation (Done = Ran + Resumed).
 	Failed  int `json:"failed"`
 	Resumed int `json:"resumed"`
+	Ran     int `json:"ran"`
 }
 
-func (p *SweepProgress) setTotal(n int) {
+// SetTotal records the sweep's cell count. Like every mutator it is
+// nil-safe, so RunSweep updates an optional progress block
+// unconditionally.
+func (p *SweepProgress) SetTotal(n int) {
 	if p != nil {
 		p.total.Store(int64(n))
 	}
 }
 
-func (p *SweepProgress) cellDone(failed bool) {
+// CellDone records one executed cell, failed or not.
+func (p *SweepProgress) CellDone(failed bool) {
 	if p == nil {
 		return
 	}
 	p.done.Add(1)
+	p.ran.Add(1)
 	if failed {
 		p.failed.Add(1)
 	}
 }
 
-func (p *SweepProgress) cellResumed() {
+// CellResumed records one cell restored from the journal without
+// running.
+func (p *SweepProgress) CellResumed() {
 	if p == nil {
 		return
 	}
@@ -70,5 +81,21 @@ func (p *SweepProgress) Snapshot() SweepSnapshot {
 		Done:    int(p.done.Load()),
 		Failed:  int(p.failed.Load()),
 		Resumed: int(p.resumed.Load()),
+		Ran:     int(p.ran.Load()),
 	}
+}
+
+// ETA extrapolates the remaining wall time from the elapsed wall time
+// the caller measured: elapsed/Ran per executed cell, times the cells
+// left. Journal-resumed cells cost no compute, so they are excluded
+// from the rate — a restarted sweep that instantly restores 90% of its
+// cells no longer reports a wildly optimistic ETA for the 10% it still
+// has to run. Returns 0 when no cells have run yet (rate unknown) or
+// nothing is left.
+func (s SweepSnapshot) ETA(elapsed time.Duration) time.Duration {
+	left := s.Total - s.Done
+	if s.Ran <= 0 || left <= 0 {
+		return 0
+	}
+	return time.Duration(float64(elapsed) / float64(s.Ran) * float64(left))
 }

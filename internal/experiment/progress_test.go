@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSweepProgressCounters: the mutators are nil-safe and Done always
+// equals Ran + Resumed.
+func TestSweepProgressCounters(t *testing.T) {
+	var nilP *SweepProgress
+	nilP.SetTotal(5)
+	nilP.CellDone(true)
+	nilP.CellResumed()
+	if nilP.Snapshot() != (SweepSnapshot{}) {
+		t.Fatal("nil progress snapshot not zero")
+	}
+
+	p := &SweepProgress{}
+	p.SetTotal(10)
+	p.CellResumed()
+	p.CellResumed()
+	p.CellDone(false)
+	p.CellDone(true)
+	p.CellDone(false)
+	snap := p.Snapshot()
+	want := SweepSnapshot{Total: 10, Done: 5, Failed: 1, Resumed: 2, Ran: 3}
+	if snap != want {
+		t.Fatalf("snapshot %+v, want %+v", snap, want)
+	}
+}
+
+// TestSweepSnapshotETA: the extrapolation rates only cells executed this
+// invocation — journal-resumed cells are free, so a restarted sweep must
+// not report the near-zero ETA a Done-based rate would give.
+func TestSweepSnapshotETA(t *testing.T) {
+	// Fresh sweep: 4 of 10 ran in 8s → 2s/cell → 12s left.
+	fresh := SweepSnapshot{Total: 10, Done: 4, Ran: 4}
+	if eta := fresh.ETA(8 * time.Second); eta != 12*time.Second {
+		t.Fatalf("fresh ETA %v, want 12s", eta)
+	}
+	// Restarted sweep: 90 resumed instantly, 2 ran in 8s → 4s/cell →
+	// 32s for the 8 left. A Done-based rate would claim under a second.
+	resumed := SweepSnapshot{Total: 100, Done: 92, Resumed: 90, Ran: 2}
+	if eta := resumed.ETA(8 * time.Second); eta != 32*time.Second {
+		t.Fatalf("resumed ETA %v, want 32s", eta)
+	}
+	// Unknown rate (nothing ran yet) and finished sweeps report 0.
+	if eta := (SweepSnapshot{Total: 10, Done: 10, Resumed: 10}).ETA(time.Second); eta != 0 {
+		t.Fatalf("all-resumed ETA %v, want 0", eta)
+	}
+	if eta := (SweepSnapshot{Total: 10, Done: 10, Ran: 10}).ETA(time.Minute); eta != 0 {
+		t.Fatalf("finished ETA %v, want 0", eta)
+	}
+}

@@ -30,16 +30,36 @@ import (
 // Several names may share one directive ("//detlint:allow a b"). Text
 // after a "--" field is a free-form justification; the pre-merge gate
 // does not require it, but review does.
+//
+// The //detlint:allow-package variant suppresses the named analyzers
+// for the WHOLE package the file belongs to. It exists for packages
+// whose domain legitimately is the thing an analyzer bans — the serve
+// daemon's retry timers and HTTP deadlines are wall-clock by nature —
+// where per-line directives would be pure noise. The blast radius is a
+// package, so the justification after "--" is mandatory: a bare
+// allow-package is reported as a diagnostic, not merely flagged by the
+// audit. `dcflint -audit-allows` lists package-scoped sites alongside
+// line sites, labelled with their scope.
 
-// allowIndex records, per file and line, the analyzer names a directive
-// has suppressed there.
-type allowIndex map[string]map[int]map[string]bool
+// allowIndex records the analyzer names suppressed per file and line,
+// plus the names suppressed for the entire package.
+type allowIndex struct {
+	lines map[string]map[int]map[string]bool
+	pkg   map[string]bool
+}
+
+func newAllowIndex() allowIndex {
+	return allowIndex{
+		lines: make(map[string]map[int]map[string]bool),
+		pkg:   make(map[string]bool),
+	}
+}
 
 func (ai allowIndex) add(file string, line int, name string) {
-	lines := ai[file]
+	lines := ai.lines[file]
 	if lines == nil {
 		lines = make(map[int]map[string]bool)
-		ai[file] = lines
+		ai.lines[file] = lines
 	}
 	names := lines[line]
 	if names == nil {
@@ -49,24 +69,51 @@ func (ai allowIndex) add(file string, line int, name string) {
 	names[name] = true
 }
 
+func (ai allowIndex) addPackage(name string) {
+	ai.pkg[name] = true
+}
+
 func (ai allowIndex) allows(file string, line int, name string) bool {
-	return ai[file][line][name]
+	return ai.pkg[name] || ai.lines[file][line][name]
 }
 
 const (
-	directivePrefix = "//detlint:"
-	allowVerb       = "allow"
+	directivePrefix  = "//detlint:"
+	allowVerb        = "allow"
+	allowPackageVerb = "allow-package"
 )
 
-// An AllowSite is one //detlint:allow directive, for the audit mode:
-// where it is, what it suppresses, and the justification after "--"
-// (empty when the author left none — which `dcflint -audit-allows`
-// treats as a failure, since an unexplained suppression is a landmine
-// for the next reader).
+// parseAllowArgs splits a directive's argument string into analyzer
+// names and the justification after "--". A nested "//" starts an
+// unrelated trailing comment and ends the name list.
+func parseAllowArgs(argstr string) (names []string, just string) {
+	fields := strings.Fields(argstr)
+	for i, field := range fields {
+		if field == "--" {
+			just = strings.TrimSpace(strings.Join(fields[i+1:], " "))
+			break
+		}
+		if strings.HasPrefix(field, "//") {
+			break
+		}
+		names = append(names, field)
+	}
+	return names, just
+}
+
+// An AllowSite is one //detlint:allow or //detlint:allow-package
+// directive, for the audit mode: where it is, what it suppresses, how
+// far the suppression reaches, and the justification after "--" (empty
+// when the author left none — which `dcflint -audit-allows` treats as a
+// failure, since an unexplained suppression is a landmine for the next
+// reader).
 type AllowSite struct {
-	Pos           token.Position `json:"pos"`
-	Names         []string       `json:"names"`
-	Justification string         `json:"justification"`
+	Pos   token.Position `json:"pos"`
+	Names []string       `json:"names"`
+	// Scope is "line" for //detlint:allow and "package" for
+	// //detlint:allow-package.
+	Scope         string `json:"scope"`
+	Justification string `json:"justification"`
 }
 
 // AllowSites scans every package for allow directives, in position
@@ -83,27 +130,23 @@ func AllowSites(pkgs []*Package) []AllowSite {
 					}
 					rest := strings.TrimPrefix(c.Text, directivePrefix)
 					verb, argstr, _ := strings.Cut(rest, " ")
-					if verb != allowVerb {
+					var scope string
+					switch verb {
+					case allowVerb:
+						scope = "line"
+					case allowPackageVerb:
+						scope = "package"
+					default:
 						continue
 					}
-					var names []string
-					just := ""
-					for i, field := range strings.Fields(argstr) {
-						if field == "--" {
-							just = strings.TrimSpace(strings.Join(strings.Fields(argstr)[i+1:], " "))
-							break
-						}
-						if strings.HasPrefix(field, "//") {
-							break
-						}
-						names = append(names, field)
-					}
+					names, just := parseAllowArgs(argstr)
 					if len(names) == 0 {
 						continue
 					}
 					sites = append(sites, AllowSite{
 						Pos:           pkg.Fset.Position(c.Slash),
 						Names:         names,
+						Scope:         scope,
 						Justification: just,
 					})
 				}
@@ -121,12 +164,14 @@ func AllowSites(pkgs []*Package) []AllowSite {
 }
 
 // parseDirectives scans every comment in the package for detlint
-// directives, resolving each to the source line it covers. Malformed
-// directives — an unknown verb, a missing or unknown analyzer name —
-// are reported as diagnostics under the pseudo-analyzer "detlint" so
-// that a typo cannot silently suppress nothing.
+// directives, resolving each to the source line (or the whole package,
+// for allow-package) it covers. Malformed directives — an unknown verb,
+// a missing or unknown analyzer name, an allow-package without its
+// mandatory justification — are reported as diagnostics under the
+// pseudo-analyzer "detlint" so that a typo cannot silently suppress
+// nothing.
 func parseDirectives(pkg *Package, known map[string]bool) (allowIndex, []Diagnostic) {
-	allow := make(allowIndex)
+	allow := newAllowIndex()
 	var diags []Diagnostic
 	report := func(pos token.Pos, format string, args ...any) {
 		p := &Pass{Analyzer: &Analyzer{Name: "detlint"}, Pkg: pkg, diags: &diags}
@@ -154,33 +199,42 @@ func parseDirectives(pkg *Package, known map[string]bool) (allowIndex, []Diagnos
 				}
 				rest := strings.TrimPrefix(c.Text, directivePrefix)
 				verb, argstr, _ := strings.Cut(rest, " ")
-				if verb != allowVerb {
-					report(c.Slash, "unknown detlint directive %q (only %q is recognised)",
-						directivePrefix+verb, directivePrefix+allowVerb)
+				if verb != allowVerb && verb != allowPackageVerb {
+					report(c.Slash, "unknown detlint directive %q (only %q and %q are recognised)",
+						directivePrefix+verb, directivePrefix+allowVerb, directivePrefix+allowPackageVerb)
 					continue
 				}
-				var names []string
-				for _, field := range strings.Fields(argstr) {
-					// "--" starts the justification; a nested "//" starts
-					// an unrelated trailing comment (e.g. a test harness
-					// expectation). Either ends the name list.
-					if field == "--" || strings.HasPrefix(field, "//") {
-						break
-					}
-					names = append(names, field)
-				}
+				// "--" starts the justification; a nested "//" starts an
+				// unrelated trailing comment (e.g. a test harness
+				// expectation). Either ends the name list.
+				names, just := parseAllowArgs(argstr)
 				if len(names) == 0 {
-					report(c.Slash, "missing analyzer name in %s directive", directivePrefix+allowVerb)
+					report(c.Slash, "missing analyzer name in %s directive", directivePrefix+verb)
 					continue
 				}
 				ok := true
 				for _, n := range names {
 					if !known[n] {
-						report(c.Slash, "unknown analyzer %q in %s directive", n, directivePrefix+allowVerb)
+						report(c.Slash, "unknown analyzer %q in %s directive", n, directivePrefix+verb)
 						ok = false
 					}
 				}
 				if !ok {
+					continue
+				}
+				if verb == allowPackageVerb {
+					// Package-wide suppression: the justification is not
+					// optional — the audit could catch it later, but a
+					// whole-package carve-out with no recorded reason should
+					// not even parse clean.
+					if just == "" {
+						report(c.Slash, "missing -- justification in %s directive (package-wide suppressions must carry a reason)",
+							directivePrefix+allowPackageVerb)
+						continue
+					}
+					for _, n := range names {
+						allow.addPackage(n)
+					}
 					continue
 				}
 

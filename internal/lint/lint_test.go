@@ -42,6 +42,13 @@ func TestDirectives(t *testing.T) {
 	linttest.Run(t, "./internal/lint/testdata/src/directive", lint.All()...)
 }
 
+// TestAllowPackage drives every analyzer over the allow-package corpus:
+// a package-wide justified wallclock carve-out spanning both files,
+// with every other analyzer still armed.
+func TestAllowPackage(t *testing.T) {
+	linttest.Run(t, "./internal/lint/testdata/src/allowpkg", lint.All()...)
+}
+
 // TestStubsAreClean pins that the shared stub packages themselves
 // produce no diagnostics, so their findings can never bleed into the
 // corpora that import them.

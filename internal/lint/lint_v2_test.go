@@ -146,8 +146,36 @@ func TestAllowSites(t *testing.T) {
 	if len(s.Names) != 1 || s.Names[0] != "shardsafe" {
 		t.Errorf("site names = %v, want [shardsafe]", s.Names)
 	}
+	if s.Scope != "line" {
+		t.Errorf("scope = %q, want line", s.Scope)
+	}
 	if want := "self is this worker's own shard index by construction"; s.Justification != want {
 		t.Errorf("justification = %q, want %q", s.Justification, want)
+	}
+}
+
+// TestAllowSitesPackageScope: allow-package directives surface in the
+// audit with their wider scope and justification, so `dcflint
+// -audit-allows` shows reviewers exactly how far each carve-out reaches.
+func TestAllowSitesPackageScope(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := lint.Load(root, "./internal/lint/testdata/src/allowpkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := lint.AllowSites(pkgs)
+	if len(sites) != 1 {
+		t.Fatalf("AllowSites = %d sites, want 1:\n%+v", len(sites), sites)
+	}
+	s := sites[0]
+	if len(s.Names) != 1 || s.Names[0] != "wallclock" {
+		t.Errorf("site names = %v, want [wallclock]", s.Names)
+	}
+	if s.Scope != "package" {
+		t.Errorf("scope = %q, want package", s.Scope)
+	}
+	if s.Justification == "" {
+		t.Error("package-scoped site lost its justification")
 	}
 }
 

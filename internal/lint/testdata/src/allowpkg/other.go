@@ -1,0 +1,9 @@
+package allowpkg
+
+import "time"
+
+// The directive in allowpkg.go covers this file too: package scope
+// means the package, not the file carrying the comment.
+func nap() {
+	time.Sleep(time.Millisecond)
+}

@@ -68,3 +68,19 @@ func unknownVerb(m map[string]int) {
 		fmt.Println(k)
 	}
 }
+
+// allow-package requires a justification: without one the directive is
+// rejected (and therefore suppresses nothing, so the violation below is
+// still reported).
+func barePackageDirective(deadline time.Time) bool {
+	//detlint:allow-package wallclock // want `missing -- justification`
+	return time.Now().Before(deadline) // want `reads the wall clock`
+}
+
+// Unknown analyzer names are rejected in allow-package form too.
+func unknownPackageName(m map[string]int) {
+	//detlint:allow-package maporderr -- typo'd name // want `unknown analyzer "maporderr"`
+	for k := range m { // want `map iteration emits output`
+		fmt.Println(k)
+	}
+}

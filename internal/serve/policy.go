@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"hash/fnv"
+	"time"
+
+	"dcfguard/internal/rng"
+)
+
+// Retry and circuit-breaker decision logic. Everything in this file is
+// a pure function of its inputs: the backoff schedule is derived from
+// the counter-RNG keyed by the cell's identity, never from the host
+// clock or a shared mutable source, so a test (or an incident
+// post-mortem) can reproduce the exact delays a cell was given. The
+// wall clock only enters when the scheduler *sleeps* the computed
+// delay — and that happens outside this file, through an injectable
+// timer.
+
+// RetryPolicy bounds per-cell retries with deterministic exponential
+// backoff plus full jitter.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of times a cell may run (first
+	// try included). Values < 1 mean 1: no retries.
+	MaxAttempts int
+	// BaseDelay scales the backoff: the attempt-n retry waits
+	// uniform(0, BaseDelay·2ⁿ), capped at MaxDelay. A zero BaseDelay
+	// retries immediately.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (0 means no cap).
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is the daemon default: three attempts, 250 ms base
+// with full jitter, 5 s cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 250 * time.Millisecond, MaxDelay: 5 * time.Second}
+}
+
+// Attempts returns the effective total-attempt budget.
+func (p RetryPolicy) Attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// CellKey derives the jitter key for one (job, scenario, seed) cell:
+// an FNV-1a fold of the identifying strings mixed with the seed. Two
+// daemons given the same jobs compute the same schedules.
+func CellKey(job, scenario string, seed uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(job))
+	h.Write([]byte{0})
+	h.Write([]byte(scenario))
+	return rng.Mix64(h.Sum64(), seed)
+}
+
+// Delay returns the backoff before retry number retry (1-based: the
+// delay between attempt n and attempt n+1 is Delay(key, n)). Full
+// jitter — uniform in (0, base·2ʳ) — from the counter-RNG: stateless,
+// order-independent, reproducible.
+func (p RetryPolicy) Delay(key uint64, retry int) time.Duration {
+	if p.BaseDelay <= 0 || retry < 1 {
+		return 0
+	}
+	ceiling := p.BaseDelay << uint(retry-1)
+	if ceiling <= 0 || (p.MaxDelay > 0 && ceiling > p.MaxDelay) {
+		// The shift overflowed or passed the cap.
+		ceiling = p.MaxDelay
+		if ceiling <= 0 {
+			ceiling = p.BaseDelay
+		}
+	}
+	return time.Duration(rng.CounterUniform(key, uint64(retry)) * float64(ceiling))
+}
+
+// Breaker is a per-job circuit breaker over cell panics: K consecutive
+// panicking cells trip it, parking the job as degraded instead of
+// letting a poisoned scenario burn the whole worker pool retrying
+// forever. Timeouts and setup errors do not count — they are the
+// watchdog doing its job — only recovered panics, the signature of a
+// bug that every sibling cell will hit too.
+//
+// The zero value never trips. Not goroutine-safe; the job's lock
+// serialises access.
+type Breaker struct {
+	// K is the consecutive-panic trip threshold (0 disables).
+	K int
+
+	consecutive int
+	tripped     bool
+}
+
+// RecordPanic counts one panicking cell and reports whether the
+// breaker is now tripped.
+func (b *Breaker) RecordPanic() bool {
+	b.consecutive++
+	if b.K > 0 && b.consecutive >= b.K {
+		b.tripped = true
+	}
+	return b.tripped
+}
+
+// RecordOK resets the consecutive-panic streak (a healthy or merely
+// timed-out cell proves the job is not uniformly poisoned).
+func (b *Breaker) RecordOK() {
+	b.consecutive = 0
+}
+
+// Tripped reports whether the breaker has tripped. It never untrips:
+// a degraded job stays parked until an operator resubmits it.
+func (b *Breaker) Tripped() bool { return b.tripped }

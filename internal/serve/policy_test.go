@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryDelayDeterministic pins the property the whole retry design
+// rides on: the backoff schedule is a pure function of (cell identity,
+// retry number) — recomputable by a test, a post-mortem, or a second
+// daemon, with no clock or shared state involved.
+func TestRetryDelayDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	key := CellKey("job-a", "scenario-x", 7)
+
+	for retry := 1; retry <= 4; retry++ {
+		d1 := p.Delay(key, retry)
+		d2 := p.Delay(key, retry)
+		if d1 != d2 {
+			t.Fatalf("retry %d: Delay not deterministic: %v vs %v", retry, d1, d2)
+		}
+		ceiling := p.BaseDelay << uint(retry-1)
+		if ceiling > p.MaxDelay {
+			ceiling = p.MaxDelay
+		}
+		if d1 < 0 || d1 > ceiling {
+			t.Fatalf("retry %d: delay %v outside (0, %v]", retry, d1, ceiling)
+		}
+	}
+
+	// Full jitter: distinct cells get distinct schedules.
+	other := CellKey("job-a", "scenario-x", 8)
+	if key == other {
+		t.Fatal("CellKey collides across seeds")
+	}
+	if p.Delay(key, 1) == p.Delay(other, 1) {
+		t.Fatal("distinct cells drew identical jitter (astronomically unlikely)")
+	}
+
+	// Degenerate inputs.
+	if d := p.Delay(key, 0); d != 0 {
+		t.Fatalf("retry 0 delay = %v, want 0", d)
+	}
+	if d := (RetryPolicy{MaxAttempts: 3}).Delay(key, 1); d != 0 {
+		t.Fatalf("zero BaseDelay delay = %v, want 0", d)
+	}
+}
+
+// TestRetryDelayCap: the exponential ceiling clamps at MaxDelay, and
+// huge retry counts do not overflow into negative durations.
+func TestRetryDelayCap(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 100, BaseDelay: time.Second, MaxDelay: 4 * time.Second}
+	key := CellKey("job-b", "scenario-y", 1)
+	for retry := 1; retry <= 70; retry++ {
+		d := p.Delay(key, retry)
+		if d < 0 || d > p.MaxDelay {
+			t.Fatalf("retry %d: delay %v outside [0, %v]", retry, d, p.MaxDelay)
+		}
+	}
+	// No cap: overflowing shifts fall back to BaseDelay rather than
+	// going negative.
+	uncapped := RetryPolicy{BaseDelay: time.Second}
+	for retry := 60; retry <= 70; retry++ {
+		if d := uncapped.Delay(key, retry); d < 0 || d > time.Second {
+			t.Fatalf("uncapped retry %d: delay %v", retry, d)
+		}
+	}
+}
+
+// TestRetryAttempts: the budget floor is one attempt.
+func TestRetryAttempts(t *testing.T) {
+	for _, tc := range []struct{ max, want int }{{-1, 1}, {0, 1}, {1, 1}, {3, 3}} {
+		if got := (RetryPolicy{MaxAttempts: tc.max}).Attempts(); got != tc.want {
+			t.Errorf("MaxAttempts %d: Attempts() = %d, want %d", tc.max, got, tc.want)
+		}
+	}
+}
+
+// TestBreaker: K consecutive panics trip it, any intervening success
+// (or non-panic failure, via RecordOK) resets the streak, and a tripped
+// breaker stays tripped.
+func TestBreaker(t *testing.T) {
+	var b Breaker // zero value: disabled
+	for i := 0; i < 100; i++ {
+		if b.RecordPanic() {
+			t.Fatal("disabled breaker tripped")
+		}
+	}
+
+	b = Breaker{K: 3}
+	if b.RecordPanic() || b.RecordPanic() {
+		t.Fatal("tripped before K")
+	}
+	b.RecordOK() // streak broken
+	if b.RecordPanic() || b.RecordPanic() {
+		t.Fatal("RecordOK did not reset the streak")
+	}
+	if !b.RecordPanic() {
+		t.Fatal("did not trip at K consecutive panics")
+	}
+	if !b.Tripped() {
+		t.Fatal("Tripped() disagrees with RecordPanic")
+	}
+	b.RecordOK()
+	if !b.Tripped() {
+		t.Fatal("breaker untripped; degraded jobs must stay parked")
+	}
+}
