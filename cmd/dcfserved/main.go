@@ -48,6 +48,7 @@ func run() error {
 		retryMax  = flag.Duration("retry-max", 5*time.Second, "retry backoff ceiling")
 		breakerK  = flag.Int("breaker", 3, "park a job as degraded after K consecutive panicking cells (<=0 disables)")
 		seedTO    = flag.Duration("seedtimeout", 2*time.Minute, "wall-time watchdog per cell (0 disables)")
+		retain    = flag.Int("retain", 0, "keep only the N most recently finished jobs (table and disk); 0 keeps everything, live jobs are never touched")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func run() error {
 		Retry:       serve.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase, MaxDelay: *retryMax},
 		BreakerK:    *breakerK,
 		SeedTimeout: *seedTO,
+		Retain:      *retain,
 	}
 	if *breakerK <= 0 {
 		opts.BreakerK = -1

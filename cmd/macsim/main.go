@@ -7,6 +7,7 @@
 //	macsim -protocol 802.11 -pm 80 -two-flow
 //	macsim -random 40 -mis 5 -pm 60 -seeds 5
 //	macsim -protocol correct -pm 80 -series
+//	macsim -protocol correct -pm 80 -explain 3   # why was sender 3 diagnosed?
 //
 // Profiling a run (written when the run completes):
 //
@@ -143,6 +144,7 @@ func run() error {
 		submit   = flag.String("submit", "", "submit this run to a dcfserved daemon at this base URL instead of running locally")
 		jobName  = flag.String("job", "", "with -submit: job name (default derived from topology and -pm)")
 		tenant   = flag.String("tenant", "", "with -submit: tenant bucket for the daemon's fair scheduler")
+		follow   = flag.Bool("follow", false, "with -submit: stream the job's progress live over SSE instead of polling status")
 	)
 	obsF := registerObsFlags()
 	flag.Parse()
@@ -156,8 +158,11 @@ func run() error {
 			duration: *duration, seed: *seed, seeds: *seeds, shards: *shards,
 			fer: *fer, burst: *burst, churn: *churn,
 			basic: *basic, adaptive: *adaptive, block: *block,
-			csvPath: *csvPath,
+			csvPath: *csvPath, follow: *follow,
 		})
+	}
+	if *follow {
+		return fmt.Errorf("-follow requires -submit")
 	}
 
 	s := dcfguard.DefaultScenario()

@@ -5,6 +5,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"dcfguard"
@@ -16,12 +18,14 @@ import (
 // goldens (the obs layer is pass-through even when on, but off-by-default
 // also keeps the output streams quiet).
 type obsFlags struct {
-	metrics   string
-	traceCats string
-	traceOut  string
-	diagCSV   string
-	debugAddr string
-	progress  bool
+	metrics     string
+	traceCats   string
+	traceOut    string
+	diagCSV     string
+	debugAddr   string
+	progress    bool
+	explain     string
+	explainJSON string
 }
 
 // registerObsFlags declares the observability flags on the default set.
@@ -38,7 +42,11 @@ func registerObsFlags() *obsFlags {
 	flag.StringVar(&f.debugAddr, "debug-addr", "",
 		"serve live introspection (pprof, /debug/metrics, /debug/sweep) on this address, e.g. localhost:6060")
 	flag.BoolVar(&f.progress, "progress", false,
-		"with -seeds: print a periodic progress line (cells done, failures, wall ETA) to stderr")
+		"with -seeds: print a periodic progress line (cells done, failures, retries, events/sec, wall ETA) to stderr")
+	flag.StringVar(&f.explain, "explain", "",
+		"after a single run, print the evidence chain behind every diagnosis decision about this sender id ('all' for every node)")
+	flag.StringVar(&f.explainJSON, "explain-json", "",
+		"with -explain: also write the evidence chains as JSON lines to this file")
 	return f
 }
 
@@ -56,6 +64,9 @@ type obsRun struct {
 	debug       *dcfguard.ObsDebugServer
 	progress    *dcfguard.SweepProgress
 	showTicker  bool
+	capture     *dcfguard.ObsCaptureSink
+	explainNode dcfguard.NodeID
+	explainJSON string
 }
 
 // setupObs validates the flag combination, wires s.Observe, and starts
@@ -74,6 +85,12 @@ func setupObs(s *dcfguard.Scenario, f *obsFlags, sweep bool) (*obsRun, error) {
 		if f.diagCSV != "" {
 			return nil, fmt.Errorf("-diag-csv cannot be combined with -seeds (concurrent cells would interleave one file); use a single -seed run")
 		}
+		if f.explain != "" {
+			return nil, fmt.Errorf("-explain cannot be combined with -seeds (the evidence chain belongs to one run); use a single -seed run")
+		}
+	}
+	if f.explainJSON != "" && f.explain == "" {
+		return nil, fmt.Errorf("-explain-json requires -explain")
 	}
 
 	cats := dcfguard.ObsCategorySet(0)
@@ -92,6 +109,23 @@ func setupObs(s *dcfguard.Scenario, f *obsFlags, sweep bool) (*obsRun, error) {
 	}
 
 	o := &obsRun{metricsPath: f.metrics, showTicker: f.progress}
+	if f.explain != "" {
+		// The explanation walks backoff assignments, deviations and window
+		// updates by causal reference: all three categories must record.
+		cats = cats.Set(dcfguard.ObsCatBackoff).
+			Set(dcfguard.ObsCatDeviation).
+			Set(dcfguard.ObsCatDiagnosis)
+		o.explainNode = dcfguard.ObsNoNode
+		if f.explain != "all" {
+			n, err := strconv.Atoi(f.explain)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("-explain %q: want a sender id or 'all'", f.explain)
+			}
+			o.explainNode = dcfguard.NodeID(n)
+		}
+		o.capture = dcfguard.NewObsCaptureSink()
+		o.explainJSON = f.explainJSON
+	}
 	cfg := &dcfguard.ObsConfig{Categories: cats}
 	if f.metrics != "" || f.debugAddr != "" {
 		o.registry = dcfguard.NewObsRegistry()
@@ -104,6 +138,9 @@ func setupObs(s *dcfguard.Scenario, f *obsFlags, sweep bool) (*obsRun, error) {
 	if f.diagCSV != "" {
 		o.diag, o.diagPath = dcfguard.NewObsDiagnosisCSV(f.diagCSV), f.diagCSV
 		cfg.Sinks = append(cfg.Sinks, o.diag)
+	}
+	if o.capture != nil {
+		cfg.Sinks = append(cfg.Sinks, o.capture)
 	}
 	if cfg.Registry != nil || !cfg.Categories.Empty() {
 		s.Observe = cfg
@@ -125,7 +162,7 @@ func setupObs(s *dcfguard.Scenario, f *obsFlags, sweep bool) (*obsRun, error) {
 		}
 		fmt.Fprintf(os.Stderr, "debug endpoint listening on http://%s/debug/\n", addr)
 	}
-	if o.registry == nil && o.jsonl == nil && o.diag == nil && o.debug == nil && o.progress == nil && s.Observe == nil {
+	if o.registry == nil && o.jsonl == nil && o.diag == nil && o.debug == nil && o.progress == nil && o.capture == nil && s.Observe == nil {
 		return nil, nil
 	}
 	return o, nil
@@ -151,8 +188,10 @@ func (o *obsRun) startTicker(start time.Time) (stop func()) {
 	finished := make(chan struct{})
 	go func() {
 		defer close(finished)
-		tick := time.NewTicker(2 * time.Second) //detlint:allow wallclock -- live progress display refresh, host-side
+		const interval = 2 * time.Second
+		tick := time.NewTicker(interval) //detlint:allow wallclock -- live progress display refresh, host-side
 		defer tick.Stop()
+		var lastEvents int64
 		for {
 			select {
 			case <-done:
@@ -166,6 +205,15 @@ func (o *obsRun) startTicker(start time.Time) (stop func()) {
 				if snap.Resumed > 0 {
 					line += fmt.Sprintf(", %d resumed", snap.Resumed)
 				}
+				if snap.Retried > 0 {
+					line += fmt.Sprintf(", %d retries", snap.Retried)
+				}
+				// Instantaneous kernel throughput: events fired since the
+				// previous tick, over the tick interval.
+				if delta := snap.Events - lastEvents; delta > 0 {
+					line += fmt.Sprintf(", %.2gM ev/s", float64(delta)/interval.Seconds()/1e6)
+				}
+				lastEvents = snap.Events
 				// ETA excludes journal-resumed cells from the rate (they
 				// cost no compute); the arithmetic lives on SweepSnapshot
 				// so the serve daemon's job status agrees with this line.
@@ -182,9 +230,12 @@ func (o *obsRun) startTicker(start time.Time) (stop func()) {
 	}
 }
 
-// finish flushes the file sinks (atomic writes), snapshots the metrics
-// registry, and shuts the debug endpoint down. It runs even after a
-// failed run so partial diagnostics survive.
+// finish shuts the debug endpoint down, renders the -explain report,
+// flushes the file sinks (atomic writes) and snapshots the metrics
+// registry. It runs even after a failed run so partial diagnostics
+// survive. The debug server closes FIRST: Close drains in-flight
+// handlers, so no request can race the sinks and registry going away
+// below it.
 func (o *obsRun) finish() error {
 	if o == nil {
 		return nil
@@ -194,6 +245,12 @@ func (o *obsRun) finish() error {
 		if err != nil && first == nil {
 			first = err
 		}
+	}
+	if o.debug != nil {
+		keep(o.debug.Close())
+	}
+	if o.capture != nil {
+		keep(o.renderExplanations())
 	}
 	if o.jsonl != nil {
 		keep(o.jsonl.Close())
@@ -217,8 +274,36 @@ func (o *obsRun) finish() error {
 			fmt.Printf("wrote %s\n", o.metricsPath)
 		}
 	}
-	if o.debug != nil {
-		keep(o.debug.Close())
-	}
 	return first
+}
+
+// renderExplanations walks the run's trace capture and prints the
+// evidence chain behind every diagnosis decision about the -explain
+// target, optionally writing the machine-readable JSONL alongside.
+func (o *obsRun) renderExplanations() error {
+	exps := dcfguard.ObsExplain(o.capture.Records(), o.explainNode)
+	if len(exps) == 0 {
+		if o.explainNode == dcfguard.ObsNoNode {
+			fmt.Println("explain: no diagnosis decisions recorded")
+		} else {
+			fmt.Printf("explain: no diagnosis decisions recorded about sender %d\n", o.explainNode)
+		}
+	}
+	for i, e := range exps {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(e.Text())
+	}
+	if o.explainJSON != "" {
+		var b strings.Builder
+		for _, e := range exps {
+			b.WriteString(e.JSONL())
+		}
+		if err := atomicio.WriteFile(o.explainJSON, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d decisions)\n", o.explainJSON, len(exps))
+	}
+	return nil
 }

@@ -8,6 +8,7 @@ package main
 // is interchangeable with `macsim -seeds`, down to the CSV bytes.
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -38,6 +39,7 @@ type submitArgs struct {
 	burst, churn                string
 	basic, adaptive, block      bool
 	csvPath                     string
+	follow                      bool
 }
 
 // wireStrategy maps macsim's short strategy flags onto the spec's wire
@@ -152,6 +154,148 @@ func terminalState(state string) bool {
 	return false
 }
 
+// followCell mirrors the daemon's "cell" SSE payload.
+type followCell struct {
+	Scenario string `json:"scenario"`
+	Seed     uint64 `json:"seed"`
+	OK       bool   `json:"ok"`
+	Resumed  bool   `json:"resumed"`
+	Done     int    `json:"done"`
+	Total    int    `json:"total"`
+	Failed   int    `json:"failed"`
+	ETA      string `json:"eta"`
+}
+
+// followJob consumes GET /jobs/{name}/events as Server-Sent Events,
+// printing each cell settlement, retry and breaker trip as it happens. A
+// dropped connection reconnects with Last-Event-ID, so every cell event
+// is observed exactly once; the function returns when the daemon ends
+// the stream with the job's terminal state event.
+func followJob(base, name string) error {
+	var lastID string
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodGet, base+"/jobs/"+name+"/events", nil)
+		if err != nil {
+			return err
+		}
+		if lastID != "" {
+			req.Header.Set("Last-Event-ID", lastID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			if attempt >= 10 {
+				return fmt.Errorf("follow: %v (giving up after %d attempts)", err, attempt+1)
+			}
+			fmt.Fprintf(os.Stderr, "follow: %v: reconnecting\n", err)
+			time.Sleep(time.Second) //detlint:allow wallclock -- client-side reconnect pacing; no simulation state involved
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return fmt.Errorf("follow: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		terminal := consumeEvents(resp.Body, &lastID)
+		resp.Body.Close()
+		if terminal {
+			return nil
+		}
+		if attempt >= 10 {
+			return fmt.Errorf("follow: stream kept dropping (giving up after %d attempts)", attempt+1)
+		}
+		fmt.Fprintln(os.Stderr, "follow: stream dropped, resuming")
+		time.Sleep(time.Second) //detlint:allow wallclock -- client-side reconnect pacing; no simulation state involved
+	}
+}
+
+// consumeEvents reads SSE frames off one connection, rendering each as a
+// progress line and advancing the resume cursor. It reports whether the
+// stream reached the job's terminal state (its normal end); false means
+// the connection dropped and the caller should resume.
+func consumeEvents(body io.Reader, lastID *string) (terminal bool) {
+	br := bufio.NewReader(body)
+	var id, kind, data string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return false
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if kind == "" && data == "" {
+				continue
+			}
+			if id != "" {
+				*lastID = id
+			}
+			if printFollowEvent(kind, data) {
+				return true
+			}
+			id, kind, data = "", "", ""
+		}
+	}
+}
+
+// printFollowEvent renders one event to stderr; it reports true on a
+// terminal state event.
+func printFollowEvent(kind, data string) bool {
+	switch kind {
+	case "cell":
+		var c followCell
+		if json.Unmarshal([]byte(data), &c) != nil {
+			return false
+		}
+		verdict := "ok"
+		switch {
+		case !c.OK:
+			verdict = "FAILED"
+		case c.Resumed:
+			verdict = "resumed"
+		}
+		line := fmt.Sprintf("cell %s seed %d %s: %d/%d done", c.Scenario, c.Seed, verdict, c.Done, c.Total)
+		if c.Failed > 0 {
+			line += fmt.Sprintf(", %d failed", c.Failed)
+		}
+		if c.ETA != "" {
+			line += ", eta " + c.ETA
+		}
+		fmt.Fprintln(os.Stderr, line)
+	case "retry":
+		var r struct {
+			Scenario string `json:"scenario"`
+			Seed     uint64 `json:"seed"`
+			Attempt  int    `json:"attempt"`
+			Delay    string `json:"delay"`
+		}
+		if json.Unmarshal([]byte(data), &r) == nil {
+			fmt.Fprintf(os.Stderr, "cell %s seed %d: retry (attempt %d) in %s\n", r.Scenario, r.Seed, r.Attempt, r.Delay)
+		}
+	case "breaker":
+		var b struct {
+			Reason string `json:"reason"`
+		}
+		if json.Unmarshal([]byte(data), &b) == nil {
+			fmt.Fprintf(os.Stderr, "breaker tripped: %s\n", b.Reason)
+		}
+	case "state":
+		var s struct {
+			State string `json:"state"`
+		}
+		if json.Unmarshal([]byte(data), &s) == nil {
+			fmt.Fprintf(os.Stderr, "state: %s\n", s.State)
+			return terminalState(s.State)
+		}
+	}
+	return false
+}
+
 // getStatus fetches one job's status.
 func getStatus(base, name string) (serve.JobStatus, error) {
 	var st serve.JobStatus
@@ -209,22 +353,34 @@ func runSubmit(a submitArgs) error {
 	}
 	fmt.Printf("submitted %q (%d cells) to %s\n", status.Name, status.Cells.Total, base)
 
-	lastDone := -1
-	for !terminalState(status.State) {
-		time.Sleep(time.Second) //detlint:allow wallclock -- status polling cadence for the human watching the job
+	if a.follow {
+		// Event-driven: stream /jobs/{name}/events instead of polling.
+		// The stream ends at the job's terminal state; fetch the final
+		// status once for the artifact list and failure summary.
+		if err := followJob(base, status.Name); err != nil {
+			return err
+		}
 		if status, err = getStatus(base, status.Name); err != nil {
 			return err
 		}
-		if status.Cells.Done != lastDone {
-			lastDone = status.Cells.Done
-			line := fmt.Sprintf("%s: %d/%d cells", status.State, status.Cells.Done, status.Cells.Total)
-			if status.Cells.Resumed > 0 {
-				line += fmt.Sprintf(" (%d resumed)", status.Cells.Resumed)
+	} else {
+		lastDone := -1
+		for !terminalState(status.State) {
+			time.Sleep(time.Second) //detlint:allow wallclock -- status polling cadence for the human watching the job
+			if status, err = getStatus(base, status.Name); err != nil {
+				return err
 			}
-			if status.ETA != "" {
-				line += ", eta " + status.ETA
+			if status.Cells.Done != lastDone {
+				lastDone = status.Cells.Done
+				line := fmt.Sprintf("%s: %d/%d cells", status.State, status.Cells.Done, status.Cells.Total)
+				if status.Cells.Resumed > 0 {
+					line += fmt.Sprintf(" (%d resumed)", status.Cells.Resumed)
+				}
+				if status.ETA != "" {
+					line += ", eta " + status.ETA
+				}
+				fmt.Fprintln(os.Stderr, line)
 			}
-			fmt.Fprintln(os.Stderr, line)
 		}
 	}
 

@@ -111,6 +111,18 @@ type (
 	ObsCategorySet = obs.CategorySet
 	// ObsRecord is one structured decision-trace event.
 	ObsRecord = obs.Record
+	// ObsRef is a causal reference between trace records (see
+	// ObsRecord.Self and ObsRecord.Parent).
+	ObsRef = obs.Ref
+	// ObsExplanation is one diagnosis decision with its reconstructed
+	// evidence chain (see ObsExplain).
+	ObsExplanation = obs.Explanation
+	// ObsEvidenceStep is one window update inside an ObsExplanation,
+	// with the deviation and assignment records it resolves to.
+	ObsEvidenceStep = obs.EvidenceStep
+	// ObsCaptureSink buffers trace records in memory for post-run
+	// analysis such as ObsExplain.
+	ObsCaptureSink = obs.CaptureSink
 	// ObsSink receives decision-trace records.
 	ObsSink = obs.Sink
 	// ObsJSONL writes trace records as JSON lines (atomic on Close).
@@ -182,6 +194,11 @@ const (
 	ObsCatChannel   = obs.CatChannel
 )
 
+// ObsNoNode marks a record field or registry key that refers to no
+// particular node; passed to ObsExplain it selects every node's
+// decisions.
+const ObsNoNode = obs.NoNode
+
 // NewObsRegistry returns an empty metrics registry; one registry may be
 // shared across concurrent sweep cells (all updates are atomic).
 func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
@@ -203,6 +220,15 @@ func NewObsDiagnosisCSV(path string) *ObsDiagnosisCSV { return obs.NewDiagnosisC
 // NewObsDebugServer returns an unstarted live-introspection HTTP server
 // (pprof, /debug/metrics, /debug/sweep).
 func NewObsDebugServer() *ObsDebugServer { return obs.NewDebugServer() }
+
+// NewObsCaptureSink returns a sink that buffers every record in memory,
+// in emission order, for post-run analysis.
+func NewObsCaptureSink() *ObsCaptureSink { return obs.NewCaptureSink() }
+
+// ObsExplain walks the causal references in a trace capture and returns
+// the evidence chain behind every diagnosis decision about node
+// (ObsNoNode: every node), in emission order.
+func ObsExplain(recs []ObsRecord, node NodeID) []ObsExplanation { return obs.Explain(recs, node) }
 
 // DefaultScenario returns the paper's base configuration: the Figure-3
 // ZERO-FLOW star with 8 senders, node 3 misbehaving, 50 s runs.

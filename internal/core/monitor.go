@@ -93,6 +93,33 @@ type senderRecord struct {
 	penaltyTotal   int
 	deviationCount int
 	packetCount    int
+
+	// Flight-recorder lineage (DESIGN.md §14): the causal identities of
+	// the last "assign" and "window" trace records emitted for this
+	// sender. Minted only inside Enabled branches, so they stay zero —
+	// and cost nothing — when tracing is off.
+	assignRef obs.Ref
+	windowRef obs.Ref
+}
+
+// Flight-recorder record kinds, the low byte of a causal-reference key.
+// Keys are content-derived — (monitor, sender, kind) — never scheduler
+// or shard artifacts, so serial and sharded runs of one seed mint
+// identical references.
+const (
+	refKindAssign uint8 = iota + 1
+	refKindDeviation
+	refKindWindow
+	refKindDiagnosis
+	refKindProven
+	refKindAckMark
+)
+
+// refKey packs (node, peer, kind) into a reference key. Node IDs are
+// well below 2²⁸ in any topology this simulator runs, so the fields
+// cannot collide.
+func refKey(node, peer frame.NodeID, kind uint8) uint64 {
+	return uint64(uint32(node+1))<<36 | uint64(uint32(peer+1))<<8 | uint64(kind)
 }
 
 var _ mac.ReceiverHook = (*Monitor)(nil)
@@ -222,6 +249,8 @@ func (m *Monitor) handleOpening(f frame.Frame, start, end sim.Time) (bool, int) 
 					m.obs.bus.Emit(obs.Record{
 						Cat: obs.CatDiagnosis, Time: end, Node: m.self, Peer: f.Src,
 						Event: "proven", Seq: f.Seq, A: float64(f.Attempt), B: float64(r.verifyAttempt),
+						Self:   obs.Ref{When: end, Key: refKey(m.self, f.Src, refKindProven), Seq: f.Seq},
+						Parent: r.assignRef,
 					})
 				}
 				if m.events.OnProvenMisbehavior != nil {
@@ -301,10 +330,15 @@ func (m *Monitor) check(r *senderRecord, rts frame.Frame, start, end sim.Time) {
 		r.deviationCount++
 		m.obs.deviations.Inc()
 		if m.obs.bus.Enabled(obs.CatDeviation) {
+			// Parent: the assignment decision the sender was counting
+			// against (for a lost-ACK duplicate this is the latest
+			// assignment, one exchange newer than the prev-keyed check).
 			m.obs.bus.Emit(obs.Record{
 				Cat: obs.CatDeviation, Time: end, Node: m.self, Peer: rts.Src,
 				Event: "deviation", Seq: rts.Seq,
-				A: deviation, B: float64(penalty), C: float64(bAct),
+				A: deviation, B: float64(penalty), C: float64(bAct), D: float64(bExp),
+				Self:   obs.Ref{When: end, Key: refKey(m.self, rts.Src, refKindDeviation), Seq: rts.Seq},
+				Parent: r.assignRef,
 			})
 		}
 		if m.events.OnDeviation != nil {
@@ -332,6 +366,7 @@ func (m *Monitor) check(r *senderRecord, rts frame.Frame, start, end sim.Time) {
 	for _, d := range r.window {
 		sum += d
 	}
+	wasDiagnosed := r.diagnosed
 	r.diagnosed = sum > m.CurrentThresh()
 	m.obs.windowSum.Set(sum, end)
 	if m.obs.bus.Enabled(obs.CatDiagnosis) {
@@ -339,11 +374,37 @@ func (m *Monitor) check(r *senderRecord, rts frame.Frame, start, end sim.Time) {
 		if r.diagnosed {
 			verdict = "diagnosed"
 		}
+		// Window records chain backward through Parent (previous window
+		// update for this sender): the flight recorder's evidence spine.
+		// D/E carry the assigned-vs-observed backoffs behind the diff.
+		self := obs.Ref{When: end, Key: refKey(m.self, rts.Src, refKindWindow), Seq: rts.Seq}
 		m.obs.bus.Emit(obs.Record{
 			Cat: obs.CatDiagnosis, Time: end, Node: m.self, Peer: rts.Src,
 			Event: "window", Aux: verdict, Seq: rts.Seq,
 			A: diff, B: sum, C: m.CurrentThresh(),
+			D: float64(bExp), E: float64(bAct),
+			Self: self, Parent: r.windowRef,
 		})
+		r.windowRef = self
+		if r.diagnosed != wasDiagnosed {
+			// Verdict transition: the queryable "why" anchor macsim
+			// -explain walks back from. A carries the margin (sum −
+			// thresh), E the number of packets summed, so the walker
+			// knows how deep the evidence chain goes.
+			aux := "cleared"
+			if r.diagnosed {
+				aux = "diagnosed"
+			}
+			m.obs.bus.Emit(obs.Record{
+				Cat: obs.CatDiagnosis, Time: end, Node: m.self, Peer: rts.Src,
+				Event: "diagnosis", Aux: aux, Seq: rts.Seq,
+				A: sum - m.CurrentThresh(), B: sum, C: m.CurrentThresh(),
+				E:    float64(len(r.window)),
+				Self: obs.Ref{When: end, Key: refKey(m.self, rts.Src, refKindDiagnosis), Seq: rts.Seq},
+				// Parent: the window update that tipped the verdict.
+				Parent: self,
+			})
+		}
 	}
 	if m.adaptive != nil {
 		// Learn from the sum after judging it, so a packet never moves
@@ -374,11 +435,14 @@ func (m *Monitor) assign(r *senderRecord, sender frame.NodeID, seq uint32, at si
 	}
 	assigned := base + penalty
 	if m.obs.bus.Enabled(obs.CatBackoff) {
+		self := obs.Ref{When: at, Key: refKey(m.self, sender, refKindAssign), Seq: seq}
 		m.obs.bus.Emit(obs.Record{
 			Cat: obs.CatBackoff, Time: at, Node: m.self, Peer: sender,
 			Event: "assign", Seq: seq,
 			A: float64(base), B: float64(penalty), C: float64(assigned),
+			Self: self,
 		})
+		r.assignRef = self
 	}
 	if m.params.WaivePenalties {
 		r.pendingPenalty = 0
@@ -432,9 +496,12 @@ func (m *Monitor) OnAckSent(to frame.NodeID, seq uint32, end sim.Time) {
 	r.mark = end
 	r.hasMark = true
 	if m.obs.bus.Enabled(obs.CatBackoff) {
+		// Parent: the assignment decision this ACK just made current.
 		m.obs.bus.Emit(obs.Record{
 			Cat: obs.CatBackoff, Time: end, Node: m.self, Peer: to,
 			Event: "ack-mark", Seq: seq, A: float64(r.current),
+			Self:   obs.Ref{When: end, Key: refKey(m.self, to, refKindAckMark), Seq: seq},
+			Parent: r.assignRef,
 		})
 	}
 }

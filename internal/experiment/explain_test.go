@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dcfguard/internal/frame"
+	"dcfguard/internal/obs"
+)
+
+// Flight-recorder forensics, cross-checked against the diagnosis CSV:
+// the evidence chain obs.Explain reconstructs from causal references
+// must consist of exactly the records the DiagnosisCSV sink rendered —
+// same exchanges, same numbers — so the "why was this sender diagnosed"
+// report and the figure-ready export can never tell different stories.
+
+// csvRowOf renders a CatDiagnosis record the way DiagnosisCSV.Emit does.
+func csvRowOf(r obs.Record) string {
+	return fmt.Sprintf("%d,%d,%d,%d,%s,%g,%g,%g,%s\n",
+		int64(r.Time), r.Node, r.Peer, r.Seq, r.Event, r.A, r.B, r.C, r.Aux)
+}
+
+func TestExplainCrossChecksDiagnosisCSV(t *testing.T) {
+	const misbehaver = frame.NodeID(3)
+	s := quickScenario("explain-pm80")
+	capture := obs.NewCaptureSink()
+	diag := obs.NewDiagnosisCSV("")
+	s.Observe = &obs.Config{
+		Metrics:    true,
+		Categories: obs.AllCategories(),
+		Sinks:      []obs.Sink{capture, diag},
+	}
+	if _, err := Run(s, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := capture.Records()
+	exps := obs.Explain(recs, misbehaver)
+	if len(exps) == 0 {
+		t.Fatal("PM-80 run produced no decisions about the misbehaver")
+	}
+	csv := diag.CSV()
+	if !strings.HasPrefix(csv, obs.DiagnosisCSVHeader+"\n") {
+		t.Fatal("diagnosis CSV lost its header")
+	}
+
+	var diagnosed *obs.Explanation
+	for i := range exps {
+		if exps[i].Decision.Event == "diagnosis" && exps[i].Decision.Aux == "diagnosed" {
+			diagnosed = &exps[i]
+			break
+		}
+	}
+	if diagnosed == nil {
+		t.Fatal("no 'diagnosed' verdict transition for the misbehaver")
+	}
+	if diagnosed.Truncated {
+		t.Fatal("evidence chain truncated despite a full capture")
+	}
+	if len(diagnosed.Steps) == 0 {
+		t.Fatal("diagnosis explanation carries no window evidence")
+	}
+	if want := int(diagnosed.Decision.E); len(diagnosed.Steps) != want {
+		t.Fatalf("chain has %d steps, decision says %d packets were summed",
+			len(diagnosed.Steps), want)
+	}
+
+	// Every link in the chain must appear verbatim in the CSV export:
+	// the decision row and each window row.
+	if !strings.Contains(csv, csvRowOf(diagnosed.Decision)) {
+		t.Fatalf("decision row missing from diagnosis CSV:\n%s", csvRowOf(diagnosed.Decision))
+	}
+	sawDeviation := false
+	for i, step := range diagnosed.Steps {
+		if step.Window.Event != "window" {
+			t.Fatalf("step %d anchors %q, want a window record", i, step.Window.Event)
+		}
+		if step.Window.Peer != misbehaver {
+			t.Fatalf("step %d is about sender %d", i, step.Window.Peer)
+		}
+		if !strings.Contains(csv, csvRowOf(step.Window)) {
+			t.Fatalf("step %d window row missing from diagnosis CSV:\n%s", i, csvRowOf(step.Window))
+		}
+		if i > 0 && step.Window.Time < diagnosed.Steps[i-1].Window.Time {
+			t.Fatalf("steps out of order: step %d at t=%d before step %d at t=%d",
+				i, int64(step.Window.Time), i-1, int64(diagnosed.Steps[i-1].Window.Time))
+		}
+		if step.Deviation != nil {
+			sawDeviation = true
+			// The deviation's evidence must agree with the window's: the
+			// same exchange, the same observed backoff.
+			if step.Deviation.Seq != step.Window.Seq || step.Deviation.Time != step.Window.Time {
+				t.Fatalf("step %d deviation is a different exchange", i)
+			}
+			//detlint:allow floateq -- both fields carry the same integer-valued backoff count
+			if step.Deviation.C != step.Window.E {
+				t.Fatalf("step %d deviation b_act %g != window b_act %g",
+					i, step.Deviation.C, step.Window.E)
+			}
+			if step.Assign == nil {
+				t.Fatalf("step %d deviation lacks its assignment record", i)
+			}
+		}
+	}
+	// The decision's own tipping window is the newest step, linked by
+	// Parent identity.
+	if last := diagnosed.Steps[len(diagnosed.Steps)-1]; last.Window.Self != diagnosed.Decision.Parent {
+		t.Fatal("decision's Parent does not point at the newest window record")
+	}
+	if !sawDeviation {
+		t.Fatal("a PM-80 misbehaver was diagnosed without a single deviation record")
+	}
+
+	// The rendered report leads with the verdict and shows the evidence.
+	text := diagnosed.Text()
+	for _, want := range []string{"DIAGNOSED sender 3", "evidence (", "b_exp="} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Text() missing %q:\n%s", want, text)
+		}
+	}
+	// And the JSONL form re-encodes every chain record.
+	jsonl := diagnosed.JSONL()
+	if got := strings.Count(jsonl, "\n"); got < 1+len(diagnosed.Steps) {
+		t.Fatalf("JSONL has %d lines, want at least %d", got, 1+len(diagnosed.Steps))
+	}
+}
+
+// TestExplainAllNodes: NoNode explains every decision in the capture,
+// honest senders included (their verdicts may be transitions to
+// "cleared" or nothing at all — but no diagnosis about the misbehaver
+// may be dropped).
+func TestExplainAllNodes(t *testing.T) {
+	s := quickScenario("explain-all")
+	capture := obs.NewCaptureSink()
+	s.Observe = &obs.Config{Categories: obs.AllCategories(), Sinks: []obs.Sink{capture}}
+	if _, err := Run(s, 1); err != nil {
+		t.Fatal(err)
+	}
+	all := obs.Explain(capture.Records(), obs.NoNode)
+	only := obs.Explain(capture.Records(), frame.NodeID(3))
+	if len(all) < len(only) {
+		t.Fatalf("NoNode explained %d decisions, node 3 alone %d", len(all), len(only))
+	}
+}

@@ -118,11 +118,18 @@ func RunGuarded(s Scenario, seed uint64, timeout time.Duration) (res Result, err
 			watchdog.Stop()
 		}
 		if r := recover(); r != nil {
+			stack := string(debug.Stack())
+			if sp, ok := r.(*sim.ShardPanic); ok {
+				// A shard-worker panic re-panics on the coordinator; the
+				// stack that matters is the worker's, captured at the
+				// original recovery site.
+				stack = string(sp.Stack)
+			}
 			f := &SeedFailure{
 				Scenario: s.Name,
 				Seed:     seed,
 				Panic:    fmt.Sprint(r),
-				Stack:    string(debug.Stack()),
+				Stack:    stack,
 				// TraceTail is nil-safe: rt stays nil when the scenario
 				// enables no tracing or the panic predates armed().
 				TraceTail: rt.TraceTail(),

@@ -176,6 +176,7 @@ func RunSweep(cells []SweepCell, opts SweepOptions) (SweepReport, error) {
 				c := cells[i]
 				res, err := RunGuarded(c.Scenario, c.Seed, opts.SeedTimeout)
 				opts.Progress.CellDone(err != nil)
+				opts.Progress.AddEvents(res.EventsFired)
 				if err != nil {
 					// RunGuarded guarantees a *SeedFailure.
 					failures[i] = err.(*SeedFailure)

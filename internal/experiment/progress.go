@@ -23,6 +23,8 @@ type SweepProgress struct {
 	failed  atomic.Int64
 	resumed atomic.Int64
 	ran     atomic.Int64
+	events  atomic.Int64
+	retried atomic.Int64
 }
 
 // SweepSnapshot is one consistent-enough read of a SweepProgress (each
@@ -38,6 +40,15 @@ type SweepSnapshot struct {
 	Failed  int `json:"failed"`
 	Resumed int `json:"resumed"`
 	Ran     int `json:"ran"`
+	// Events totals the kernel events fired by cells executed this
+	// invocation (resumed cells contribute nothing — they cost no
+	// compute). Two reads a known wall interval apart give the
+	// instantaneous events/sec the -progress ticker prints.
+	Events int64 `json:"events"`
+	// Retried counts retry attempts scheduled for this sweep's cells
+	// (always 0 for local macsim sweeps, which never retry; the serve
+	// daemon's retry scheduler feeds it).
+	Retried int `json:"retried"`
 }
 
 // SetTotal records the sweep's cell count. Like every mutator it is
@@ -58,6 +69,20 @@ func (p *SweepProgress) CellDone(failed bool) {
 	p.ran.Add(1)
 	if failed {
 		p.failed.Add(1)
+	}
+}
+
+// AddEvents credits n kernel events to the sweep's executed total.
+func (p *SweepProgress) AddEvents(n uint64) {
+	if p != nil {
+		p.events.Add(int64(n))
+	}
+}
+
+// CellRetried records one scheduled retry attempt.
+func (p *SweepProgress) CellRetried() {
+	if p != nil {
+		p.retried.Add(1)
 	}
 }
 
@@ -82,6 +107,8 @@ func (p *SweepProgress) Snapshot() SweepSnapshot {
 		Failed:  int(p.failed.Load()),
 		Resumed: int(p.resumed.Load()),
 		Ran:     int(p.ran.Load()),
+		Events:  p.events.Load(),
+		Retried: int(p.retried.Load()),
 	}
 }
 

@@ -86,6 +86,12 @@ func Run(s Scenario, seed uint64) (Result, error) {
 	return run(s, seed, nil)
 }
 
+// testKernelHook, when non-nil, observes the assembled kernel right
+// before the event loop starts. Tests use it to plant failures on shard
+// goroutines (the crash-forensics coverage in guard_shard_test.go);
+// always nil outside tests.
+var testKernelHook func(sim.Kernel)
+
 // shardAssignments partitions node positions into `shards` spatial
 // strips of near-equal node count: nodes are ranked by (X, Y, id) and
 // the ranking split into contiguous runs. Strips only affect which
@@ -410,6 +416,7 @@ func run(s Scenario, seed uint64, armed func(sim.Kernel, *obs.Runtime)) (Result,
 			la = st
 		}
 		grp := sim.NewShardGroup(scheds, la)
+		grp.Telemetry = NewShardTelemetry(rt.Reg(), shards)
 		grp.Exchange = func() {
 			med.ExchangeShardMessages()
 			// Trace side channels drain at the same barrier (all shards
@@ -421,15 +428,26 @@ func run(s Scenario, seed uint64, armed func(sim.Kernel, *obs.Runtime)) (Result,
 		}
 		kernel = grp
 	}
+	if testKernelHook != nil {
+		testKernelHook(kernel)
+	}
 	if armed != nil {
 		armed(kernel, rt)
 	}
-	kernel.Run(s.Duration)
-	// Final drain: the last window's emissions (and, on an interrupt,
-	// the partial tail the crash dump wants) are still buffered. The
-	// kernel has returned, so every shard goroutine is parked.
-	obsFanin.Flush()
-	shardTap.Flush()
+	// Final drain: the last window's emissions (and, on an interrupt or
+	// a shard-worker panic, the partial tail the crash dump wants) are
+	// still buffered. Deferred so the flush also runs while a ShardPanic
+	// unwinds toward RunGuarded's recover — the group parks every worker
+	// before re-panicking on the coordinator, so the drain is safe and
+	// the ring tail stays (when, key, seq)-ordered. Both flushes are
+	// nil-safe no-ops when tracing is off, and idempotent.
+	func() {
+		defer func() {
+			obsFanin.Flush()
+			shardTap.Flush()
+		}()
+		kernel.Run(s.Duration)
+	}()
 	if kernel.Interrupted() {
 		return Result{}, &SeedFailure{
 			Scenario: s.Name, Seed: seed, TimedOut: true,

@@ -16,8 +16,11 @@ import (
 // Resolution is legal inside functions whose name marks them as
 // attach-time or test scaffolding (New*, Instrument*, init, Test*,
 // Benchmark*, Fuzz*, Example*) — but not inside a closure built there,
-// since the closure body runs later. Genuinely cold sites may carry a
-// //detlint:allow obshot directive with a justification.
+// since the closure body runs later. A Counter/Gauge/Histogram selector
+// captured as a method value (f := reg.Counter) is flagged everywhere,
+// attach time included: the lookup it wraps runs wherever the value is
+// eventually invoked, beyond this analysis's reach. Genuinely cold sites
+// may carry a //detlint:allow obshot directive with a justification.
 var Obshot = &Analyzer{
 	Name: "obshot",
 	Doc:  "flag registry Counter/Gauge/Histogram lookups outside attach-time functions",
@@ -59,11 +62,7 @@ func runObshot(pass *Pass) {
 	info := pass.Pkg.Info
 	for _, f := range pass.Pkg.Files {
 		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
+			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
 			}
@@ -76,13 +75,34 @@ func runObshot(pass *Pass) {
 				!hasMethod(named, "Counter") || !hasMethod(named, "Gauge") || !hasMethod(named, "Histogram") {
 				return true
 			}
+			// A selector that is not immediately called is a method value:
+			// the by-name lookup it wraps happens wherever the value is
+			// finally invoked — beyond this analysis's reach — so storing or
+			// passing one re-smuggles a per-call lookup into the hot path no
+			// matter which function builds it. Flag it even at attach time.
+			if !obshotImmediateCall(sel, stack) {
+				pass.Reportf(sel.Pos(), "%s.%s captured as a method value defers the by-name lookup to every future call; resolve the handle here and pass the handle instead",
+					named.Obj().Name(), name)
+				return true
+			}
 			fn, inLit := obshotContext(stack)
 			if !inLit && obshotAttachTime(fn) {
 				return true
 			}
-			pass.Reportf(call.Pos(), "%s.%s handle lookup by name outside attach time pays the registry mutex+map per call; resolve the handle once in New*/Instrument* and store it",
+			pass.Reportf(sel.Pos(), "%s.%s handle lookup by name outside attach time pays the registry mutex+map per call; resolve the handle once in New*/Instrument* and store it",
 				named.Obj().Name(), name)
 			return true
 		})
 	}
+}
+
+// obshotImmediateCall reports whether sel is the function operand of its
+// enclosing call expression (reg.Counter(...)), as opposed to a method
+// value (f := reg.Counter; fns = append(fns, reg.Gauge)).
+func obshotImmediateCall(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	return ok && call.Fun == sel
 }

@@ -76,3 +76,39 @@ func tally(c counterOnly) int { return c.Counter("x") }
 func (n *node) debugDump(reg *Registry) {
 	reg.Counter("mac", 0, "dump_requests").Inc() //detlint:allow obshot -- on-demand debug dump, never on the event path
 }
+
+// A method value defers the by-name lookup to every future invocation:
+// it is flagged even inside attach-time functions, where a direct call
+// would be legal.
+func NewLazyNode(reg *Registry) func(string, int, string) *Counter {
+	return reg.Counter // want `Registry\.Counter captured as a method value`
+}
+
+// Per-shard telemetry shape: fanning a lookup method out to worker
+// callbacks re-pays the registry walk on every window. Resolve one
+// handle per shard up front instead.
+func InstrumentShards(reg *Registry, nShards int) []func(float64) {
+	var fns []func(float64)
+	lookup := reg.Gauge // want `Registry\.Gauge captured as a method value`
+	for i := 0; i < nShards; i++ {
+		shard := i
+		fns = append(fns, func(v float64) {
+			lookup("shard", shard, "queue_depth").Set(v)
+		})
+	}
+	return fns
+}
+
+// The right shape: handles resolved once at attach time, closures
+// capture the handles, not the registry.
+func InstrumentShardsResolved(reg *Registry, nShards int) []func(float64) {
+	var fns []func(float64)
+	for i := 0; i < nShards; i++ {
+		g := reg.Gauge("shard", i, "queue_depth")
+		fns = append(fns, func(v float64) { g.Set(v) })
+	}
+	return fns
+}
+
+// A resolved handle's method value is fine: the lookup already happened.
+func (n *node) successFn() func() { return n.success.Inc }

@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // DebugServer is the live introspection endpoint behind `macsim
@@ -69,7 +71,10 @@ func (d *DebugServer) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener.
+// Close stops the listener and drains in-flight handlers before
+// returning, so callers may close the sinks and registry the handlers
+// read as soon as Close returns — a handler mid-snapshot never races a
+// closing run. A handler stuck past the drain window is cut off hard.
 func (d *DebugServer) Close() error {
 	d.mu.Lock()
 	ln := d.ln
@@ -78,7 +83,12 @@ func (d *DebugServer) Close() error {
 	if ln == nil {
 		return nil
 	}
-	return d.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		return d.srv.Close()
+	}
+	return nil
 }
 
 func (d *DebugServer) serveIndex(w http.ResponseWriter, r *http.Request) {
@@ -93,10 +103,17 @@ func (d *DebugServer) serveIndex(w http.ResponseWriter, r *http.Request) {
 </ul></body></html>`)
 }
 
-func (d *DebugServer) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+// serveMetrics renders the registry snapshot: JSON by default (the
+// historical format), Prometheus text with ?format=prometheus.
+func (d *DebugServer) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	d.mu.Lock()
 	reg := d.registry
 	d.mu.Unlock()
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		_ = reg.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// Synthetic flight-recorder trace: three window updates chained by
+// Parent, one with a deviation that links back to its assignment, and a
+// "diagnosis" verdict transition anchored on the newest window. Node 0
+// monitors sender 3.
+func explainFixture() []Record {
+	assign := Record{Cat: CatBackoff, Time: 10, Node: 0, Peer: 3, Event: "assign",
+		Seq: 1, A: 12, B: 0, C: 12,
+		Self: Ref{When: 10, Key: 100, Seq: 1}}
+	w1 := Record{Cat: CatDiagnosis, Time: 20, Node: 0, Peer: 3, Event: "window",
+		Aux: "ok", Seq: 1, A: 2, B: 2, C: 9, D: 12, E: 10,
+		Self: Ref{When: 20, Key: 200, Seq: 1}}
+	dev := Record{Cat: CatDeviation, Time: 30, Node: 0, Peer: 3, Event: "deviation",
+		Seq: 2, A: 5, B: 3, C: 4, D: 12,
+		Self: Ref{When: 30, Key: 300, Seq: 2}, Parent: assign.Self}
+	w2 := Record{Cat: CatDiagnosis, Time: 30, Node: 0, Peer: 3, Event: "window",
+		Aux: "ok", Seq: 2, A: 8, B: 10, C: 9, D: 12, E: 4,
+		Self: Ref{When: 30, Key: 200, Seq: 2}, Parent: w1.Self}
+	w3 := Record{Cat: CatDiagnosis, Time: 40, Node: 0, Peer: 3, Event: "window",
+		Aux: "diagnosed", Seq: 3, A: 1, B: 11, C: 9, D: 12, E: 11,
+		Self: Ref{When: 40, Key: 200, Seq: 3}, Parent: w2.Self}
+	diag := Record{Cat: CatDiagnosis, Time: 40, Node: 0, Peer: 3, Event: "diagnosis",
+		Aux: "diagnosed", Seq: 3, A: 2, B: 11, C: 9, E: 3,
+		Self: Ref{When: 40, Key: 400, Seq: 3}, Parent: w3.Self}
+	// Emission order scrambled on purpose: lineage must come from the
+	// causal references, not slice position.
+	return []Record{w2, diag, assign, w1, dev, w3}
+}
+
+func TestExplainWalksLineage(t *testing.T) {
+	exps := Explain(explainFixture(), 3)
+	if len(exps) != 1 {
+		t.Fatalf("explanations = %d, want 1", len(exps))
+	}
+	e := exps[0]
+	if e.Decision.Event != "diagnosis" || e.Truncated {
+		t.Fatalf("decision %q truncated=%v", e.Decision.Event, e.Truncated)
+	}
+	if len(e.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3 (decision.E)", len(e.Steps))
+	}
+	// Oldest first: w1, w2, w3.
+	for i, wantSeq := range []uint32{1, 2, 3} {
+		if e.Steps[i].Window.Seq != wantSeq {
+			t.Fatalf("step %d window seq %d, want %d", i, e.Steps[i].Window.Seq, wantSeq)
+		}
+	}
+	// The deviating exchange carries its deviation and assignment.
+	if e.Steps[1].Deviation == nil || e.Steps[1].Deviation.Seq != 2 {
+		t.Fatal("step 1 lost its deviation record")
+	}
+	if e.Steps[1].Assign == nil || e.Steps[1].Assign.Event != "assign" {
+		t.Fatal("step 1 deviation did not resolve its assignment")
+	}
+	if e.Steps[0].Deviation != nil || e.Steps[2].Deviation != nil {
+		t.Fatal("non-deviating steps grew deviation records")
+	}
+
+	text := e.Text()
+	for _, want := range []string{
+		"DIAGNOSED sender 3", "margin +2", "evidence (3 window updates",
+		"b_exp=12 b_act=4", "deviation=5 penalty=3", "assigned=12",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Text() missing %q:\n%s", want, text)
+		}
+	}
+
+	// JSONL: one line per chain record, decision first, all valid JSON.
+	lines := strings.Split(strings.TrimRight(e.JSONL(), "\n"), "\n")
+	if len(lines) != 6 { // decision + w1 + (assign+dev+w2) + w3
+		t.Fatalf("JSONL lines = %d:\n%s", len(lines), e.JSONL())
+	}
+	for i, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, ln)
+		}
+	}
+	var first map[string]any
+	json.Unmarshal([]byte(lines[0]), &first)
+	if first["event"] != "diagnosis" {
+		t.Fatalf("JSONL leads with %v, want the decision", first["event"])
+	}
+}
+
+// TestExplainTruncated: a Parent pointing outside the capture (ring
+// eviction) flags the explanation instead of fabricating evidence.
+func TestExplainTruncated(t *testing.T) {
+	recs := explainFixture()
+	// Drop w1: w2's Parent now dangles.
+	var kept []Record
+	for _, r := range recs {
+		if r.Event == "window" && r.Seq == 1 {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	exps := Explain(kept, 3)
+	if len(exps) != 1 {
+		t.Fatalf("explanations = %d", len(exps))
+	}
+	if !exps[0].Truncated {
+		t.Fatal("dangling Parent not flagged as truncated")
+	}
+	if len(exps[0].Steps) != 2 {
+		t.Fatalf("steps = %d, want the 2 resolvable windows", len(exps[0].Steps))
+	}
+	if !strings.Contains(exps[0].Text(), "truncated") {
+		t.Fatal("Text() hides the truncation")
+	}
+}
+
+// TestExplainProven: attempt-verification proofs are decisions too, with
+// the proof on the record itself (no window chain).
+func TestExplainProven(t *testing.T) {
+	recs := []Record{{
+		Cat: CatDiagnosis, Time: 99, Node: 0, Peer: 3, Event: "proven",
+		Seq: 7, A: 4, B: 2,
+		Self: Ref{When: 99, Key: 500, Seq: 7},
+	}}
+	exps := Explain(recs, 3)
+	if len(exps) != 1 || len(exps[0].Steps) != 0 {
+		t.Fatalf("proven explanation = %+v", exps)
+	}
+	if !strings.Contains(exps[0].Text(), "PROVED sender 3") {
+		t.Fatalf("Text() = %q", exps[0].Text())
+	}
+}
+
+// TestExplainNodeFilter: asking about a node with no decisions returns
+// nothing; NoNode returns everything.
+func TestExplainNodeFilter(t *testing.T) {
+	recs := explainFixture()
+	if got := Explain(recs, 5); len(got) != 0 {
+		t.Fatalf("node 5 explanations = %d, want 0", len(got))
+	}
+	if got := Explain(recs, NoNode); len(got) != 1 {
+		t.Fatalf("NoNode explanations = %d, want 1", len(got))
+	}
+}
+
+func TestCaptureSink(t *testing.T) {
+	s := NewCaptureSink()
+	if s.Len() != 0 {
+		t.Fatal("fresh capture not empty")
+	}
+	s.Emit(Record{Seq: 1})
+	s.Emit(Record{Seq: 2})
+	got := s.Records()
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("records = %v", got)
+	}
+	// Records returns a copy: mutating it does not corrupt the capture.
+	got[0].Seq = 99
+	if s.Records()[0].Seq != 1 {
+		t.Fatal("Records aliases the internal buffer")
+	}
+}
+
+// TestJSONLRefs: Self/Parent causal references serialise as [when, key,
+// seq] triples, elided when zero — existing traces stay byte-stable.
+func TestJSONLRefs(t *testing.T) {
+	path := t.TempDir() + "/refs.jsonl"
+	s := NewJSONLSink(path)
+	s.Emit(Record{Cat: CatDiagnosis, Time: 40, Node: 0, Peer: 3, Event: "window",
+		Seq: 3, A: 1, D: 12, E: 11,
+		Self: Ref{When: 40, Key: 200, Seq: 3}, Parent: Ref{When: 30, Key: 200, Seq: 2}})
+	s.Emit(Record{Cat: CatMACState, Time: 5, Node: 1, Peer: NoNode, Event: "contend"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["d"] != float64(12) || m["e"] != float64(11) {
+		t.Fatalf("d/e payloads = %v", m)
+	}
+	self, ok := m["self"].([]any)
+	if !ok || len(self) != 3 || self[0] != float64(40) || self[1] != float64(200) || self[2] != float64(3) {
+		t.Fatalf("self = %v", m["self"])
+	}
+	if parent, ok := m["parent"].([]any); !ok || parent[0] != float64(30) {
+		t.Fatalf("parent = %v", m["parent"])
+	}
+	// Zero refs and zero payloads stay elided.
+	m = nil // Unmarshal merges into a live map; start fresh
+	if err := json.Unmarshal([]byte(lines[1]), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"self", "parent", "d", "e"} {
+		if _, present := m[k]; present {
+			t.Fatalf("zero field %q serialised: %v", k, m)
+		}
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := Ref{When: 40, Key: 200, Seq: 3}
+	if r.String() != "40:200:3" {
+		t.Fatalf("Ref.String() = %q", r.String())
+	}
+	if r.IsZero() || (Ref{}).IsZero() == false {
+		t.Fatal("IsZero broken")
+	}
+}

@@ -140,11 +140,31 @@ func ParseCategories(spec string) (CategorySet, error) {
 	return s, nil
 }
 
+// Ref is a causal reference to a trace record: the (when, key, seq)
+// identity of the decision that produced it. Key is content-derived at
+// the emission site (node, peer and record kind — see core/monitor.go),
+// never a shard or scheduler artifact, so references are identical
+// across serial and sharded runs of the same seed. The zero Ref means
+// "no reference".
+type Ref struct {
+	When sim.Time
+	Key  uint64
+	Seq  uint32
+}
+
+// IsZero reports whether the reference is absent.
+func (f Ref) IsZero() bool { return f == Ref{} }
+
+// String renders the reference compactly (when:key:seq).
+func (f Ref) String() string {
+	return fmt.Sprintf("%d:%d:%d", int64(f.When), f.Key, f.Seq)
+}
+
 // Record is one structured trace event. A single flat shape serves every
 // category so emission never allocates; the per-category meaning of
-// Event, Aux, Seq and A/B/C is catalogued in DESIGN.md §9. Event and Aux
-// are always static strings at emission sites (no formatting on the hot
-// path).
+// Event, Aux, Seq and A/B/C/D/E is catalogued in DESIGN.md §9 and §14.
+// Event and Aux are always static strings at emission sites (no
+// formatting on the hot path).
 type Record struct {
 	Cat  Category
 	Time sim.Time
@@ -159,8 +179,13 @@ type Record struct {
 	Aux   string
 	// Seq is the frame sequence number involved, 0 when not applicable.
 	Seq uint32
-	// A, B, C are event-specific numeric payloads.
-	A, B, C float64
+	// A, B, C, D, E are event-specific numeric payloads.
+	A, B, C, D, E float64
+	// Self is this record's causal identity; Parent references the
+	// record whose decision produced this one. Both are zero for
+	// records outside the flight-recorder lineage (DESIGN.md §14).
+	Self   Ref
+	Parent Ref
 }
 
 // String renders the record compactly for crash dumps and logs.
@@ -178,6 +203,12 @@ func (r Record) String() string {
 		fmt.Fprintf(&b, " seq=%d", r.Seq)
 	}
 	fmt.Fprintf(&b, " a=%g b=%g c=%g", r.A, r.B, r.C)
+	if r.D != 0 || r.E != 0 { //detlint:allow floateq -- display elision, exact zero is the unset default
+		fmt.Fprintf(&b, " d=%g e=%g", r.D, r.E)
+	}
+	if !r.Parent.IsZero() {
+		b.WriteString(" parent=" + r.Parent.String())
+	}
 	return b.String()
 }
 

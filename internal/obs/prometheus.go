@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the metrics
+// registry. Every metric maps to one family named
+//
+//	dcf_<scope>_<name>            gauges and histograms
+//	dcf_<scope>_<name>_total      counters
+//
+// with a `node` label on per-node metrics (omitted for NoNode-scoped,
+// system-wide metrics). Families render in sorted name order and series
+// within a family in node order, so two scrapes of an idle registry are
+// byte-identical — the same determinism discipline as every other
+// export in this repo. Histograms render cumulatively with the
+// mandatory `+Inf` bucket, `_sum` and `_count`.
+
+// PrometheusContentType is the Content-Type of the exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName mangles a metric key into a legal Prometheus metric name:
+// anything outside [a-zA-Z0-9_] becomes '_'.
+func promName(scope, name string) string {
+	var b strings.Builder
+	b.WriteString("dcf_")
+	for _, part := range []string{scope, name} {
+		if b.Len() > len("dcf_") {
+			b.WriteByte('_')
+		}
+		for _, r := range part {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+				r >= '0' && r <= '9', r == '_':
+				b.WriteRune(r)
+			default:
+				b.WriteByte('_')
+			}
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders the label set for a key ("" for system-wide).
+func promLabels(k Key) string {
+	if k.Node == NoNode {
+		return ""
+	}
+	return `{node="` + strconv.Itoa(int(k.Node)) + `"}`
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promFamily groups the snapshot points sharing one exposition name.
+type promFamily struct {
+	name string
+	kind string // "counter", "gauge", "histogram"
+	idx  []int  // indexes into the source slice, node-sorted
+}
+
+func promFamilies(n int, keyAt func(int) Key, kind string) []promFamily {
+	byName := map[string]*promFamily{}
+	var order []string
+	for i := 0; i < n; i++ {
+		name := promName(keyAt(i).Scope, keyAt(i).Name)
+		f, ok := byName[name]
+		if !ok {
+			f = &promFamily{name: name, kind: kind}
+			byName[name] = f
+			order = append(order, name)
+		}
+		f.idx = append(f.idx, i)
+	}
+	sort.Strings(order)
+	out := make([]promFamily, 0, len(order))
+	for _, name := range order {
+		f := byName[name]
+		sort.Slice(f.idx, func(a, b int) bool {
+			return keyLess(keyAt(f.idx[a]), keyAt(f.idx[b]))
+		})
+		out = append(out, *f)
+	}
+	return out
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text format.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range promFamilies(len(s.Counters), func(i int) Key { return s.Counters[i].Key }, "counter") {
+		fmt.Fprintf(&b, "# TYPE %s_total counter\n", f.name)
+		for _, i := range f.idx {
+			p := s.Counters[i]
+			fmt.Fprintf(&b, "%s_total%s %d\n", f.name, promLabels(p.Key), p.Value)
+		}
+	}
+	for _, f := range promFamilies(len(s.Gauges), func(i int) Key { return s.Gauges[i].Key }, "gauge") {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", f.name)
+		for _, i := range f.idx {
+			p := s.Gauges[i]
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, promLabels(p.Key), promFloat(p.Value))
+		}
+	}
+	for _, f := range promFamilies(len(s.Histograms), func(i int) Key { return s.Histograms[i].Key }, "histogram") {
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", f.name)
+		for _, i := range f.idx {
+			p := s.Histograms[i]
+			node := ""
+			if p.Node != NoNode {
+				node = `node="` + strconv.Itoa(int(p.Node)) + `",`
+			}
+			cum := uint64(0)
+			for bi, bound := range p.Bounds {
+				cum += p.Buckets[bi]
+				fmt.Fprintf(&b, "%s_bucket{%sle=\"%s\"} %d\n", f.name, node, promFloat(bound), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket{%sle=\"+Inf\"} %d\n", f.name, node, p.Count)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, promLabels(p.Key), promFloat(p.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", f.name, promLabels(p.Key), p.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePrometheus renders a point-in-time snapshot of the registry in
+// the Prometheus text exposition format. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return r.Snapshot().WritePrometheus(w)
+}

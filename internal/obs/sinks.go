@@ -89,7 +89,13 @@ func NewJSONLSink(path string) *JSONLSink {
 // Emit appends one line. Records carry only static strings and scalars,
 // so the hand-rolled encoder needs no reflection and no escaping.
 func (s *JSONLSink) Emit(r Record) {
-	b := &s.buf
+	appendRecordJSON(&s.buf, r)
+	s.n++
+}
+
+// appendRecordJSON writes one record as a JSON line — the encoder
+// behind JSONLSink and the -explain JSONL export.
+func appendRecordJSON(b *strings.Builder, r Record) {
 	b.WriteString(`{"cat":"`)
 	b.WriteString(r.Cat.String())
 	b.WriteString(`","t":`)
@@ -126,8 +132,35 @@ func (s *JSONLSink) Emit(r Record) {
 		b.WriteString(`,"c":`)
 		b.WriteString(strconv.FormatFloat(r.C, 'g', -1, 64))
 	}
+	if r.D != 0 { //detlint:allow floateq -- encoder field elision, exact zero is the wire default
+		b.WriteString(`,"d":`)
+		b.WriteString(strconv.FormatFloat(r.D, 'g', -1, 64))
+	}
+	if r.E != 0 { //detlint:allow floateq -- encoder field elision, exact zero is the wire default
+		b.WriteString(`,"e":`)
+		b.WriteString(strconv.FormatFloat(r.E, 'g', -1, 64))
+	}
+	appendRefJSON(b, "self", r.Self)
+	appendRefJSON(b, "parent", r.Parent)
 	b.WriteString("}\n")
-	s.n++
+}
+
+// appendRefJSON writes a causal reference as `,"<key>":[when,key,seq]`,
+// eliding the zero (absent) reference so pre-flight-recorder traces
+// keep their exact shape.
+func appendRefJSON(b *strings.Builder, key string, f Ref) {
+	if f.IsZero() {
+		return
+	}
+	b.WriteString(`,"`)
+	b.WriteString(key)
+	b.WriteString(`":[`)
+	b.WriteString(strconv.FormatInt(int64(f.When), 10))
+	b.WriteString(",")
+	b.WriteString(strconv.FormatUint(f.Key, 10))
+	b.WriteString(",")
+	b.WriteString(strconv.FormatUint(uint64(f.Seq), 10))
+	b.WriteString("]")
 }
 
 // Len returns the number of buffered records.
@@ -179,4 +212,37 @@ func (d *DiagnosisCSV) CSV() string { return d.buf.String() }
 // Close writes the trail atomically.
 func (d *DiagnosisCSV) Close() error {
 	return atomicio.WriteFile(d.path, []byte(d.buf.String()), 0o644)
+}
+
+// CaptureSink retains every record in memory, in emission order: the
+// input of post-run lineage analysis (Explain, macsim -explain). The
+// mutex mirrors RingSink's — the failure-reporting goroutine may read
+// while the watchdog is still winding a run down.
+type CaptureSink struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// NewCaptureSink returns an empty capture buffer.
+func NewCaptureSink() *CaptureSink { return &CaptureSink{} }
+
+// Emit appends r.
+func (s *CaptureSink) Emit(r Record) {
+	s.mu.Lock()
+	s.recs = append(s.recs, r)
+	s.mu.Unlock()
+}
+
+// Records returns a copy of everything captured, oldest first.
+func (s *CaptureSink) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.recs...)
+}
+
+// Len returns the number of captured records.
+func (s *CaptureSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
 }

@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	ID   string
+	Kind string
+	Data string
+}
+
+// readSSE parses events off an open stream until limit events arrive
+// (limit <= 0: until a terminal "state" event) or the stream ends.
+func readSSE(t *testing.T, body *bufio.Reader, limit int) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var cur sseEvent
+	for {
+		line, err := body.ReadString('\n')
+		if err != nil {
+			return out
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			cur.ID = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.Kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.Kind == "" && cur.Data == "" {
+				continue
+			}
+			out = append(out, cur)
+			done := cur.Kind == "state"
+			cur = sseEvent{}
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+			if limit <= 0 && done {
+				return out
+			}
+		}
+	}
+}
+
+// TestSSEExactlyOnce: a client that disconnects mid-job and reconnects
+// with Last-Event-ID observes every cell-completion event exactly once
+// across both connections, and the stream terminates with the job's
+// final state.
+func TestSSEExactlyOnce(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	seeds := []uint64{1, 2, 3, 4, 5, 6}
+	if _, err := s.Submit(testSpec("sse", seeds...)); err != nil {
+		t.Fatal(err)
+	}
+
+	// First connection: take the first two cell events, then drop.
+	resp, err := http.Get(srv.URL + "/jobs/sse/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	first := readSSE(t, bufio.NewReader(resp.Body), 2)
+	resp.Body.Close()
+	if len(first) != 2 {
+		t.Fatalf("first connection: %d events, want 2", len(first))
+	}
+	lastID := first[len(first)-1].ID
+
+	// Let the job finish while nobody is listening: the reconnect must
+	// replay everything missed, not just what arrives after it.
+	if st, ok := s.Wait("sse"); !ok || st.State != StateDone {
+		t.Fatalf("job state %q ok=%v", st.State, ok)
+	}
+
+	// Second connection resumes from the last id received.
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/jobs/sse/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", lastID)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := readSSE(t, bufio.NewReader(resp2.Body), 0)
+	resp2.Body.Close()
+	if len(second) == 0 {
+		t.Fatal("second connection saw no events")
+	}
+	if last := second[len(second)-1]; last.Kind != "state" || !strings.Contains(last.Data, StateDone) {
+		t.Fatalf("stream ended with %+v, want terminal state event", last)
+	}
+
+	// Union of cell events across both connections: every seed exactly
+	// once, every ok, and no id replayed twice.
+	seen := map[uint64]int{}
+	ids := map[string]bool{}
+	for _, ev := range append(first, second...) {
+		if ids[ev.ID] {
+			t.Fatalf("event id %s delivered twice", ev.ID)
+		}
+		ids[ev.ID] = true
+		if ev.Kind != "cell" {
+			continue
+		}
+		var d cellEventData
+		if err := json.Unmarshal([]byte(ev.Data), &d); err != nil {
+			t.Fatalf("cell event %q: %v", ev.Data, err)
+		}
+		if !d.OK {
+			t.Fatalf("cell event reported failure: %q", ev.Data)
+		}
+		seen[d.Seed]++
+	}
+	for _, seed := range seeds {
+		if seen[seed] != 1 {
+			t.Fatalf("seed %d: %d cell events, want exactly 1 (seen %v)", seed, seen[seed], seen)
+		}
+	}
+	// The final cell event carries the complete tally.
+	if len(second) >= 2 {
+		if got := second[len(second)-2]; got.Kind == "cell" {
+			var d cellEventData
+			json.Unmarshal([]byte(got.Data), &d)
+			if d.Done != len(seeds) || d.Total != len(seeds) {
+				t.Fatalf("final cell event tally %d/%d, want %d/%d", d.Done, d.Total, len(seeds), len(seeds))
+			}
+		}
+	}
+}
+
+// TestSSERecoveredTerminal: a daemon restarted over a finished job still
+// serves its events stream — a synthesized state event that closes the
+// stream immediately.
+func TestSSERecoveredTerminal(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Options{Workers: 2, DataDir: dir})
+	if _, err := s1.Submit(testSpec("rec", 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := s1.Wait("rec"); !ok || st.State != StateDone {
+		t.Fatalf("job state %q ok=%v", st.State, ok)
+	}
+	s1.Shutdown()
+
+	s2 := newTestServer(t, Options{Workers: 2, DataDir: dir})
+	srv := httptest.NewServer(s2.Handler())
+	defer srv.Close()
+	// Resume with an id far past the (reset) log: the handler must still
+	// close the stream with a final state event instead of hanging.
+	resp, err := http.Get(srv.URL + "/jobs/rec/events?last=9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := readSSE(t, bufio.NewReader(resp.Body), 0)
+	if len(events) == 0 {
+		t.Fatal("no events from recovered terminal job")
+	}
+	last := events[len(events)-1]
+	if last.Kind != "state" || !strings.Contains(last.Data, StateDone) {
+		t.Fatalf("recovered stream ended with %+v", last)
+	}
+}
+
+// TestSSEUnknownJob: streaming a job that does not exist is a 404, not
+// a hung stream.
+func TestSSEUnknownJob(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/jobs/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRetention: with Retain=2, finishing a third job retires the
+// oldest terminal one — from the job table and from disk — while the
+// survivors keep their artifacts.
+func TestRetention(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2, Retain: 2})
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("ret%d", i)
+		if _, err := s.Submit(testSpec(name, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if st, ok := s.Wait(name); !ok || st.State != StateDone {
+			t.Fatalf("%s state %q ok=%v", name, st.State, ok)
+		}
+	}
+	if _, ok := s.Status("ret1"); ok {
+		t.Fatal("oldest terminal job still in the table")
+	}
+	if _, err := os.Stat(s.st.jobDir("ret1")); !os.IsNotExist(err) {
+		t.Fatalf("oldest terminal job dir still on disk: %v", err)
+	}
+	for _, name := range []string{"ret2", "ret3"} {
+		st, ok := s.Status(name)
+		if !ok || st.State != StateDone {
+			t.Fatalf("%s: ok=%v state %q", name, ok, st.State)
+		}
+		if !equalStrings(st.Artifacts, artifactFiles) {
+			t.Fatalf("%s artifacts %v", name, st.Artifacts)
+		}
+	}
+}
+
+// TestRetentionStartupGC: restarting with a tighter Retain prunes the
+// backlog of terminal jobs recovered from disk, keeping the most
+// recently finished.
+func TestRetentionStartupGC(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Options{Workers: 2, DataDir: dir})
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("gc%d", i)
+		if _, err := s1.Submit(testSpec(name, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if st, ok := s1.Wait(name); !ok || st.State != StateDone {
+			t.Fatalf("%s state %q ok=%v", name, st.State, ok)
+		}
+	}
+	s1.Shutdown()
+
+	s2 := newTestServer(t, Options{Workers: 2, DataDir: dir, Retain: 1})
+	statuses := s2.Statuses()
+	if len(statuses) != 1 || statuses[0].Name != "gc3" {
+		names := make([]string, 0, len(statuses))
+		for _, st := range statuses {
+			names = append(names, st.Name)
+		}
+		t.Fatalf("after startup GC: jobs %v, want [gc3]", names)
+	}
+	for _, name := range []string{"gc1", "gc2"} {
+		if _, err := os.Stat(s2.st.jobDir(name)); !os.IsNotExist(err) {
+			t.Fatalf("%s dir survived startup GC: %v", name, err)
+		}
+	}
+}
+
+// TestRetentionSparesLiveJobs: a running job is never a GC candidate,
+// no matter how tight the retention. Two tenants share one worker so a
+// quick job finishes (and triggers GC) while a long job is mid-run.
+func TestRetentionSparesLiveJobs(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1, Retain: 1})
+	if _, err := s.Submit(testSpec("old", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := s.Wait("old"); !ok || st.State != StateDone {
+		t.Fatalf("old state %q ok=%v", st.State, ok)
+	}
+	long := testSpec("long", 1, 2, 3, 4, 5, 6)
+	long.Tenant = "x"
+	quick := testSpec("quick", 7)
+	quick.Tenant = "y"
+	if _, err := s.Submit(long); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(quick); err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin gives quick's single cell the second dispatch slot, so
+	// its finalize (and the GC it triggers) happens while long is live.
+	if st, ok := s.Wait("quick"); !ok || st.State != StateDone {
+		t.Fatalf("quick state %q ok=%v", st.State, ok)
+	}
+	if _, ok := s.Status("long"); !ok {
+		t.Fatal("live job vanished under retention pressure")
+	}
+	if _, ok := s.Status("old"); ok {
+		t.Fatal("oldest terminal job should have been retired")
+	}
+	if st, ok := s.Wait("long"); !ok || st.State != StateDone {
+		t.Fatalf("long state %q ok=%v", st.State, ok)
+	}
+}

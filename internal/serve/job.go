@@ -121,6 +121,14 @@ type job struct {
 	started time.Time
 	// finished closes when the job reaches a terminal state.
 	finished chan struct{}
+	// finishedAt is the wall instant the job turned terminal (recovered
+	// jobs: the mtime of their terminal disk marker). Retention keeps
+	// the newest N terminal jobs by this stamp.
+	finishedAt time.Time
+	// events is the in-memory SSE log (see events.go); nextEvent is the
+	// id of the last event appended.
+	events    []jobEvent
+	nextEvent uint64
 }
 
 func (j *job) terminal() bool {

@@ -43,6 +43,12 @@ type Options struct {
 	// SeedTimeout bounds each cell's wall time via RunGuarded's
 	// watchdog (0 = no watchdog).
 	SeedTimeout time.Duration
+	// Retain, when positive, bounds the terminal jobs kept on disk: on
+	// startup and whenever a job turns terminal, only the Retain most
+	// recently finished terminal jobs survive; older ones are deleted
+	// (directory and all). Live jobs are never touched. 0 keeps
+	// everything.
+	Retain int
 	// Registry receives the daemon's "serve"-scoped counters
 	// (nil = a private registry; expose it to share /metrics).
 	Registry *obs.Registry
@@ -95,20 +101,22 @@ type metrics struct {
 	cellsRetried  *obs.Counter
 	cellsFailed   *obs.Counter
 	rejected      *obs.Counter
+	jobsRetired   *obs.Counter
 }
 
 // NewMetrics resolves every handle once, at attach time; the hot paths
 // only touch the stored atomics.
 func NewMetrics(reg *obs.Registry) metrics {
 	return metrics{
-		jobsSubmitted: reg.Counter("serve", 0, "jobs_submitted"),
-		jobsDone:      reg.Counter("serve", 0, "jobs_done"),
-		jobsFailed:    reg.Counter("serve", 0, "jobs_failed"),
-		jobsDegraded:  reg.Counter("serve", 0, "jobs_degraded"),
-		cellsRun:      reg.Counter("serve", 0, "cells_run"),
-		cellsResumed:  reg.Counter("serve", 0, "cells_resumed"),
-		cellsRetried:  reg.Counter("serve", 0, "cells_retried"),
-		cellsFailed:   reg.Counter("serve", 0, "cells_failed"),
-		rejected:      reg.Counter("serve", 0, "admission_rejected"),
+		jobsSubmitted: reg.Counter("serve", obs.NoNode, "jobs_submitted"),
+		jobsDone:      reg.Counter("serve", obs.NoNode, "jobs_done"),
+		jobsFailed:    reg.Counter("serve", obs.NoNode, "jobs_failed"),
+		jobsDegraded:  reg.Counter("serve", obs.NoNode, "jobs_degraded"),
+		cellsRun:      reg.Counter("serve", obs.NoNode, "cells_run"),
+		cellsResumed:  reg.Counter("serve", obs.NoNode, "cells_resumed"),
+		cellsRetried:  reg.Counter("serve", obs.NoNode, "cells_retried"),
+		cellsFailed:   reg.Counter("serve", obs.NoNode, "cells_failed"),
+		rejected:      reg.Counter("serve", obs.NoNode, "admission_rejected"),
+		jobsRetired:   reg.Counter("serve", obs.NoNode, "jobs_retired"),
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dcfguard/internal/experiment"
+	"dcfguard/internal/obs"
 )
 
 // Submission errors with dedicated HTTP mappings.
@@ -125,10 +126,47 @@ func (s *Server) recover() error {
 				}
 			}
 			j.finish(term)
+			j.finishedAt = s.st.terminalStamp(name)
+			// The event log died with the previous daemon; a synthesized
+			// state event lets a late SSE subscriber still learn the
+			// outcome and terminate cleanly.
+			s.eventLocked(j, "state", stateEventData{State: term})
 		}
 		s.jobs[name] = j
 	}
+	s.gcLocked()
 	return nil
+}
+
+// gcLocked enforces Options.Retain: among terminal jobs with no cells
+// still draining, the Retain most recently finished survive; the rest
+// leave the table and the disk. Live jobs are never candidates.
+func (s *Server) gcLocked() {
+	if s.opts.Retain <= 0 {
+		return
+	}
+	var term []*job
+	for _, j := range s.jobs { //detlint:allow maporder -- the total sort below (finishedAt, then name) makes the survivor set order-independent
+		if j.terminal() && j.inflight == 0 {
+			term = append(term, j)
+		}
+	}
+	if len(term) <= s.opts.Retain {
+		return
+	}
+	sort.Slice(term, func(a, b int) bool {
+		if !term[a].finishedAt.Equal(term[b].finishedAt) {
+			return term[a].finishedAt.After(term[b].finishedAt)
+		}
+		return term[a].spec.Name < term[b].spec.Name
+	})
+	for _, j := range term[s.opts.Retain:] {
+		delete(s.jobs, j.spec.Name)
+		// Best effort: a directory that refuses to die is re-candidate
+		// on the next GC pass or restart.
+		s.st.removeJob(j.spec.Name)
+		s.m.jobsRetired.Inc()
+	}
 }
 
 // buildJob validates a spec into runnable state: scenario built and
@@ -385,7 +423,9 @@ func (s *Server) cellDone(ref cellRef, res experiment.Result, err error, resumed
 			j.progress.CellResumed()
 		} else {
 			j.progress.CellDone(false)
+			j.progress.AddEvents(res.EventsFired)
 		}
+		s.cellEventLocked(j, idx, true, resumed)
 
 	default:
 		f := asSeedFailure(err, j.cells[idx])
@@ -406,6 +446,7 @@ func (s *Server) cellDone(ref cellRef, res experiment.Result, err error, resumed
 			j.done[idx] = true
 			j.progress.CellDone(true)
 			s.m.cellsFailed.Inc()
+			s.cellEventLocked(j, idx, false, false)
 		}
 	}
 
@@ -433,7 +474,14 @@ func (s *Server) scheduleRetryLocked(j *job, idx int) {
 	delay := s.opts.Retry.Delay(key, retry)
 	j.waiting++
 	j.retries++
+	j.progress.CellRetried()
 	s.m.cellsRetried.Inc()
+	s.eventLocked(j, "retry", retryEventData{
+		Scenario: j.cells[idx].Scenario.Name,
+		Seed:     j.cells[idx].Seed,
+		Attempt:  j.attempts[idx],
+		Delay:    delay.String(),
+	})
 	j.stops[idx] = s.opts.Timer(delay, func() { s.requeue(j, idx) })
 }
 
@@ -464,6 +512,7 @@ func (s *Server) parkDegradedLocked(j *job, idx int, f *experiment.SeedFailure) 
 	j.done[idx] = true
 	j.progress.CellDone(true)
 	s.m.cellsFailed.Inc()
+	s.cellEventLocked(j, idx, false, false)
 	j.pending = nil
 	for i, stop := range j.stops {
 		stop()
@@ -478,7 +527,11 @@ func (s *Server) parkDegradedLocked(j *job, idx int, f *experiment.SeedFailure) 
 		rec.Reason += "; WARNING: degraded record not durable: " + err.Error()
 	}
 	s.m.jobsDegraded.Inc()
+	s.eventLocked(j, "breaker", breakerEventData{Reason: rec.Reason})
 	j.finish(StateDegraded)
+	j.finishedAt = time.Now()
+	s.eventLocked(j, "state", stateEventData{State: j.state})
+	s.gcLocked()
 }
 
 // finalizeLocked settles a job whose every cell is done: artifacts are
@@ -502,10 +555,13 @@ func (s *Server) finalizeLocked(j *job) {
 		s.st.writeFailures(j.spec.Name, dumps)
 		s.m.jobsFailed.Inc()
 		j.finish(StateFailed)
-		return
+	} else {
+		s.m.jobsDone.Inc()
+		j.finish(StateDone)
 	}
-	s.m.jobsDone.Inc()
-	j.finish(StateDone)
+	j.finishedAt = time.Now()
+	s.eventLocked(j, "state", stateEventData{State: j.state})
+	s.gcLocked()
 }
 
 // statusLocked renders a job's live state.
@@ -631,10 +687,11 @@ func (s *Server) Shutdown() {
 //	                                 409 conflict / 429 overload / 503 draining)
 //	GET  /jobs                       list job statuses
 //	GET  /jobs/{name}                one job's status
+//	GET  /jobs/{name}/events         live progress as SSE (Last-Event-ID resume)
 //	GET  /jobs/{name}/artifacts/{f}  download an artifact
 //	GET  /healthz                    process liveness (always 200)
 //	GET  /readyz                     200 iff accepting work, else 503
-//	GET  /metrics                    observability registry snapshot (JSON)
+//	GET  /metrics                    Prometheus text (?format=json for the raw snapshot)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -650,13 +707,18 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		data, err := json.MarshalIndent(s.opts.Registry, "", "  ")
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			data, err := json.MarshalIndent(s.opts.Registry, "", "  ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Write(append(data, '\n'))
 			return
 		}
-		w.Write(append(data, '\n'))
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		s.opts.Registry.WritePrometheus(w)
 	})
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/jobs/", s.handleJob)
@@ -736,6 +798,8 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, status)
+	case len(parts) == 2 && parts[1] == "events":
+		s.handleEvents(w, r, name)
 	case len(parts) == 3 && parts[1] == "artifacts":
 		file := parts[2]
 		if file == "" || strings.ContainsAny(file, "/\\") || strings.HasPrefix(file, ".") {

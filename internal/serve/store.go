@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"dcfguard/internal/atomicio"
 	"dcfguard/internal/experiment"
@@ -241,6 +242,29 @@ func (st store) artifactNames(name string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// removeJob deletes a job's entire directory — spec, journal, artifacts
+// and dumps. Retention GC only; callers must have removed the job from
+// the in-memory table first.
+func (st store) removeJob(name string) error {
+	if err := sanitizeJobName(name); err != nil {
+		return err
+	}
+	return os.RemoveAll(st.jobDir(name))
+}
+
+// terminalStamp reports when a recovered job turned terminal: the mtime
+// of its terminal disk marker (degraded.json, else artifacts). Zero when
+// neither exists.
+func (st store) terminalStamp(name string) time.Time {
+	if fi, err := os.Stat(st.degradedPath(name)); err == nil {
+		return fi.ModTime()
+	}
+	if fi, err := os.Stat(filepath.Join(st.artifactsDir(name), "results.json")); err == nil {
+		return fi.ModTime()
+	}
+	return time.Time{}
 }
 
 // terminalState derives a recovered job's state from disk truth alone:

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync/atomic"
+	"time"
 )
 
 // Kernel is the surface the experiment harness drives a run through,
@@ -49,7 +51,55 @@ type ShardGroup struct {
 	// schedulers (the medium's outbox drain) in a deterministic order.
 	Exchange func()
 
+	// Telemetry, when non-nil, receives per-window statistics at every
+	// barrier, on the coordinator goroutine with all shards parked. The
+	// slices in the argument are reused across windows: consume or copy
+	// them inside the callback. A nil hook costs nothing — no clocks are
+	// read and no buffers are kept. Wall-time fields describe the host,
+	// never the model; feeding them back into simulation state would
+	// break determinism (the pass-through contract of internal/obs).
+	Telemetry func(WindowTelemetry)
+
 	interrupted atomic.Bool
+	panicked    atomic.Pointer[ShardPanic]
+
+	// Per-window telemetry scratch, allocated once per Run when the
+	// hook is set. Workers write only their own index between barriers;
+	// the done-channel handoff orders those writes before the
+	// coordinator's reads.
+	busy   []time.Duration
+	events []uint64
+	depth  []int
+}
+
+// WindowTelemetry describes one completed conservative window.
+type WindowTelemetry struct {
+	// Start and Horizon bound the window in simulated time.
+	Start, Horizon Time
+	// Wall is the coordinator's wall-clock span of the window: dispatch
+	// to last shard done. Busy[i] is shard i's wall time inside
+	// RunWindow; Wall − Busy[i] approximates its barrier wait.
+	Wall time.Duration
+	Busy []time.Duration
+	// Events[i] counts events shard i fired within the window; Depth[i]
+	// is its pending-event count at the barrier.
+	Events []uint64
+	Depth  []int
+}
+
+// ShardPanic wraps a panic recovered on a shard worker goroutine. The
+// group keeps the barrier protocol alive (so every shard parks and
+// buffered trace emissions stay flushable), then re-panics with this
+// value on the coordinator — the per-seed guard's recover sees the
+// worker's own stack, not the coordinator's.
+type ShardPanic struct {
+	Shard int
+	Value any
+	Stack []byte
+}
+
+func (p *ShardPanic) String() string {
+	return fmt.Sprintf("shard %d: %v", p.Shard, p.Value)
 }
 
 // NewShardGroup assembles a group over scheds. lookahead must be
@@ -82,13 +132,18 @@ func (g *ShardGroup) Run(until Time) {
 		starts[i] = make(chan Time, 1)
 	}
 	done := make(chan struct{}, n)
+	if g.Telemetry != nil {
+		g.busy = make([]time.Duration, n)
+		g.events = make([]uint64, n)
+		g.depth = make([]int, n)
+	}
 	for i, s := range g.scheds {
-		go func(s *Scheduler, start <-chan Time) {
+		go func(i int, s *Scheduler, start <-chan Time) {
 			for h := range start {
-				s.RunWindow(h)
+				g.runShardWindow(i, s, h)
 				done <- struct{}{}
 			}
-		}(s, starts[i])
+		}(i, s, starts[i])
 	}
 	for !g.interrupted.Load() {
 		// T: the earliest pending event anywhere. Events beyond until
@@ -111,11 +166,25 @@ func (g *ShardGroup) Run(until Time) {
 			// fire — RunWindow's bound is strict.
 			horizon = until + 1
 		}
+		var wall0 time.Time
+		if g.Telemetry != nil {
+			wall0 = time.Now() //detlint:allow wallclock -- host-performance telemetry, never a scheduling input
+		}
 		for i := range starts {
 			starts[i] <- horizon
 		}
 		for range g.scheds {
 			<-done
+		}
+		if g.panicked.Load() != nil {
+			break // re-panic below, after the workers are parked
+		}
+		if g.Telemetry != nil {
+			g.Telemetry(WindowTelemetry{
+				Start: t, Horizon: horizon,
+				Wall: time.Since(wall0), //detlint:allow wallclock -- host-performance telemetry, never a scheduling input
+				Busy: g.busy, Events: g.events, Depth: g.depth,
+			})
 		}
 		if g.Exchange != nil {
 			g.Exchange()
@@ -123,6 +192,9 @@ func (g *ShardGroup) Run(until Time) {
 	}
 	for i := range starts {
 		close(starts[i])
+	}
+	if sp := g.panicked.Load(); sp != nil {
+		panic(sp)
 	}
 	if g.interrupted.Load() {
 		return // leave every clock at its last fired event
@@ -133,6 +205,33 @@ func (g *ShardGroup) Run(until Time) {
 	for _, s := range g.scheds {
 		s.Run(until)
 	}
+}
+
+// runShardWindow drains one window on shard i's worker goroutine. A
+// panic inside the window is captured (first one wins) and the group
+// interrupted; the worker then keeps honouring the barrier protocol, so
+// the coordinator can park every shard before re-panicking — crash
+// forensics (the ring tail) see a fully flushed, coherently ordered
+// trace instead of a process torn mid-barrier.
+func (g *ShardGroup) runShardWindow(i int, s *Scheduler, h Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			sp := &ShardPanic{Shard: i, Value: r, Stack: debug.Stack()}
+			if g.panicked.CompareAndSwap(nil, sp) {
+				g.Interrupt()
+			}
+		}
+	}()
+	if g.Telemetry == nil {
+		s.RunWindow(h)
+		return
+	}
+	wall0 := time.Now() //detlint:allow wallclock -- host-performance telemetry, never a scheduling input
+	e0 := s.EventsFired()
+	s.RunWindow(h)
+	g.busy[i] = time.Since(wall0) //detlint:allow wallclock -- host-performance telemetry, never a scheduling input
+	g.events[i] = s.EventsFired() - e0
+	g.depth[i] = s.Pending()
 }
 
 // Interrupt stops the group at the next window boundary and every shard

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -262,5 +264,90 @@ func TestNewShardGroupPanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+// TestShardGroupWorkerPanic: a panic on a shard worker goroutine does
+// not deadlock the barrier or kill the process sideways — the group
+// parks every worker and re-panics the captured *ShardPanic (worker
+// stack attached) on the Run caller's goroutine.
+func TestShardGroupWorkerPanic(t *testing.T) {
+	a, b := &Scheduler{}, &Scheduler{}
+	a.EnableKeyed(1)
+	b.EnableKeyed(1)
+	a.SetOwner(0)
+	b.SetOwner(0)
+	// Steady load on shard 0 so both shards are genuinely inside
+	// windows when shard 1 blows up.
+	var tick func()
+	tick = func() {
+		a.After(Microsecond, tick)
+	}
+	a.At(Microsecond, tick)
+	b.At(5*Microsecond, func() { panic("injected shard bug") })
+
+	g := NewShardGroup([]*Scheduler{a, b}, Microsecond)
+	defer func() {
+		r := recover()
+		sp, ok := r.(*ShardPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *ShardPanic", r, r)
+		}
+		if sp.Shard != 1 {
+			t.Fatalf("ShardPanic.Shard = %d, want 1", sp.Shard)
+		}
+		if got := fmt.Sprint(sp.Value); got != "injected shard bug" {
+			t.Fatalf("ShardPanic.Value = %q", got)
+		}
+		if !strings.Contains(string(sp.Stack), "goroutine") {
+			t.Fatal("ShardPanic carries no worker stack")
+		}
+		if !strings.Contains(sp.String(), "shard 1: injected shard bug") {
+			t.Fatalf("ShardPanic.String() = %q", sp.String())
+		}
+	}()
+	g.Run(Second)
+	t.Fatal("Run returned instead of re-panicking")
+}
+
+// TestShardGroupTelemetry: the per-window telemetry callback sees every
+// shard's busy time, event delta and queue depth, and the window's sim
+// span, without perturbing the run.
+func TestShardGroupTelemetry(t *testing.T) {
+	a, b := &Scheduler{}, &Scheduler{}
+	a.EnableKeyed(1)
+	b.EnableKeyed(1)
+	a.SetOwner(0)
+	b.SetOwner(0)
+	n := 0
+	var tick func()
+	tick = func() {
+		if n++; n < 100 {
+			a.After(Microsecond, tick)
+		}
+	}
+	a.At(Microsecond, tick)
+	b.At(Microsecond, func() {})
+
+	g := NewShardGroup([]*Scheduler{a, b}, Microsecond)
+	windows := 0
+	var events uint64
+	g.Telemetry = func(w WindowTelemetry) {
+		windows++
+		if len(w.Busy) != 2 || len(w.Events) != 2 || len(w.Depth) != 2 {
+			t.Fatalf("telemetry slices sized %d/%d/%d, want 2 each",
+				len(w.Busy), len(w.Events), len(w.Depth))
+		}
+		if w.Horizon <= w.Start {
+			t.Fatalf("window [%v, %v) is empty", w.Start, w.Horizon)
+		}
+		events += w.Events[0] + w.Events[1]
+	}
+	g.Run(Second)
+	if windows == 0 {
+		t.Fatal("telemetry callback never fired")
+	}
+	if events != g.EventsFired() {
+		t.Fatalf("telemetry counted %d events, group fired %d", events, g.EventsFired())
 	}
 }

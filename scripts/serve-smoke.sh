@@ -10,7 +10,9 @@
 #   3. restart daemon B over the same data directory, wait for done;
 #   4. assert B's artifacts are byte-for-byte identical to A's and
 #      that at least one cell was resumed from the journal;
-#   5. smoke the macsim -submit client against the survivor.
+#   5. smoke the macsim -submit -follow client (SSE stream) against the
+#      survivor and scrape /metrics (Prometheus text; exported to
+#      $SERVE_SMOKE_METRICS_OUT when set, for the CI artifact).
 #
 # Run by `make serve` and the CI serve step. Needs only curl + coreutils.
 set -euo pipefail
@@ -121,10 +123,23 @@ for f in aggregate.json results.csv results.json; do
 		die "artifact $f differs after kill -9 + restart"
 done
 
-say "macsim -submit client smoke"
+say "macsim -submit -follow client smoke (SSE stream)"
 "$tmp/macsim" -submit "$base" -job client-smoke -random 40 -mis 5 -pm 80 \
-	-duration 2s -csv "$tmp/client.csv" >/dev/null
+	-duration 2s -csv "$tmp/client.csv" -follow >/dev/null 2>"$tmp/follow.log"
 [ -s "$tmp/client.csv" ] || die "client downloaded an empty results.csv"
+grep -q '^state: done' "$tmp/follow.log" || die "-follow never streamed the terminal state event"
+grep -q '^cell ' "$tmp/follow.log" || die "-follow streamed no cell events"
+
+say "scrape /metrics (Prometheus exposition)"
+curl -fsS "$base/metrics" >"$tmp/metrics.prom" || die "/metrics scrape failed"
+grep -q '^# TYPE dcf_serve_jobs_submitted_total counter' "$tmp/metrics.prom" ||
+	die "/metrics is not Prometheus text (no dcf_serve_ TYPE line)"
+grep -q '^dcf_serve_cells_run_total ' "$tmp/metrics.prom" ||
+	die "/metrics lost the cells_run counter"
+if [ -n "${SERVE_SMOKE_METRICS_OUT:-}" ]; then
+	cp "$tmp/metrics.prom" "$SERVE_SMOKE_METRICS_OUT"
+	say "metrics snapshot saved to $SERVE_SMOKE_METRICS_OUT"
+fi
 
 stop
 say "OK: kill -9 mid-sweep, restart, byte-identical artifacts ($resumed resumed)"
